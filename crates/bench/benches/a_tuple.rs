@@ -1,0 +1,43 @@
+//! Criterion bench: Theorem 4.13 — `A_tuple` scaling in `n` and in `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defender_core::algorithm::a_tuple;
+use defender_core::model::TupleGame;
+use defender_graph::{generators, Graph, VertexId};
+
+fn partition(n: usize) -> (Vec<VertexId>, Vec<VertexId>) {
+    (
+        (0..n).step_by(2).map(VertexId::new).collect(),
+        (1..n).step_by(2).map(VertexId::new).collect(),
+    )
+}
+
+fn bench_scaling_in_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a_tuple_n");
+    for n in [1_000usize, 4_000, 16_000] {
+        let graph: Graph = generators::cycle(n);
+        let (is, vc) = partition(n);
+        let game = TupleGame::new(&graph, 4, 3).expect("valid game");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &game, |b, game| {
+            b.iter(|| std::hint::black_box(a_tuple(game, &is, &vc).expect("even cycle")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a_tuple_k");
+    let n = 8_000usize;
+    let graph: Graph = generators::cycle(n);
+    let (is, vc) = partition(n);
+    for k in [2usize, 16, 128] {
+        let game = TupleGame::new(&graph, k, 3).expect("valid game");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &game, |b, game| {
+            b.iter(|| std::hint::black_box(a_tuple(game, &is, &vc).expect("even cycle")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_in_n, bench_scaling_in_k);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench: the Theorem 3.4 verifier — analytic vs exhaustive
+//! modes — plus Monte-Carlo simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defender_core::bipartite::a_tuple_bipartite;
+use defender_core::characterization::{verify_mixed_ne, VerificationMode};
+use defender_core::model::TupleGame;
+use defender_core::simulate::{SimulationConfig, Simulator};
+use defender_graph::generators;
+
+fn bench_verifier_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_mixed_ne");
+    let graph = generators::cycle(12);
+    let game = TupleGame::new(&graph, 2, 4).expect("valid game");
+    let ne = a_tuple_bipartite(&game).expect("even cycle");
+    group.bench_function("analytic_c12_k2", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                verify_mixed_ne(&game, ne.config(), VerificationMode::Analytic)
+                    .expect("analytic applies"),
+            )
+        });
+    });
+    group.bench_function("exhaustive_c12_k2", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                verify_mixed_ne(&game, ne.config(), VerificationMode::Exhaustive { limit: 100_000 })
+                    .expect("within limit"),
+            )
+        });
+    });
+    // Analytic mode on a much larger instance (exhaustive is impossible).
+    let big = generators::cycle(2_000);
+    let big_game = TupleGame::new(&big, 8, 10).expect("valid game");
+    let big_ne = a_tuple_bipartite(&big_game).expect("even cycle");
+    group.bench_function("analytic_c2000_k8", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                verify_mixed_ne(&big_game, big_ne.config(), VerificationMode::Analytic)
+                    .expect("analytic applies"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let graph = generators::complete_bipartite(4, 8);
+    let game = TupleGame::new(&graph, 3, 6).expect("valid game");
+    let ne = a_tuple_bipartite(&game).expect("bipartite");
+    for rounds in [1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
+            b.iter(|| {
+                std::hint::black_box(
+                    Simulator::new(&game, ne.config())
+                        .run(&SimulationConfig { rounds, seed: 31 }),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verifier_modes, bench_simulator);
+criterion_main!(benches);

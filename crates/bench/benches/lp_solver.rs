@@ -1,0 +1,44 @@
+//! Criterion bench: the exact LP solver — raw simplex throughput and the
+//! end-to-end game-value pipeline of `defender-core::solve`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defender_core::model::TupleGame;
+use defender_core::solve::solve_exact;
+use defender_graph::generators;
+use defender_lp::solve_zero_sum;
+use defender_num::Ratio;
+
+fn bench_zero_sum_matrices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_sum_lp");
+    for size in [4usize, 8, 16] {
+        // A structured matrix with a fully mixed optimum: shifted cyclic
+        // distance payoffs.
+        let m: Vec<Vec<Ratio>> = (0..size)
+            .map(|i| {
+                (0..size)
+                    .map(|j| Ratio::from(((i + j) % size) as i64))
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &m, |b, m| {
+            b.iter(|| std::hint::black_box(solve_zero_sum(m).expect("solvable")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_game_value(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_exact");
+    group.sample_size(10);
+    for n in [7usize, 9, 11] {
+        let graph = generators::cycle(n);
+        let game = TupleGame::new(&graph, 2, 1).expect("valid game");
+        group.bench_with_input(BenchmarkId::new("odd_cycle", n), &game, |b, game| {
+            b.iter(|| std::hint::black_box(solve_exact(game, 300_000).expect("within limit")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zero_sum_matrices, bench_game_value);
+criterion_main!(benches);

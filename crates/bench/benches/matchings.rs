@@ -1,0 +1,46 @@
+//! Criterion bench: the matching substrates — Hopcroft–Karp (`O(m√n)`,
+//! Theorem 5.1's bottleneck) and Edmonds blossom (Corollary 3.2's
+//! bottleneck).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defender_bench::experiments::common::{random_bipartite, random_connected};
+use defender_graph::VertexId;
+use defender_matching::{hopcroft_karp, maximum_matching, minimum_edge_cover};
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp");
+    for side in [200usize, 800, 3_200] {
+        let graph = random_bipartite(side, side, 4.0 / side as f64, 21);
+        let left: Vec<VertexId> = (0..side).map(VertexId::new).collect();
+        let right: Vec<VertexId> = (side..2 * side).map(VertexId::new).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(2 * side), &graph, |b, g| {
+            b.iter(|| std::hint::black_box(hopcroft_karp(g, &left, &right)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_blossom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blossom");
+    for n in [100usize, 400, 1_600] {
+        let graph = random_connected(n, 4.0 / n as f64, 23);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| std::hint::black_box(maximum_matching(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_min_edge_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimum_edge_cover");
+    for n in [100usize, 400, 1_600] {
+        let graph = random_connected(n, 4.0 / n as f64, 25);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| std::hint::black_box(minimum_edge_cover(g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hopcroft_karp, bench_blossom, bench_min_edge_cover);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Experiment E10 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e10_covering::run();
+}

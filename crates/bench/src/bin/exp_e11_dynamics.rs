@@ -1,0 +1,5 @@
+//! Experiment E11 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e11_dynamics::run();
+}

@@ -1,0 +1,5 @@
+//! Experiment E12 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e12_path_model::run();
+}

@@ -1,0 +1,5 @@
+//! Experiment E13 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e13_exact_value::run();
+}

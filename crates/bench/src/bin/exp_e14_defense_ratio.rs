@@ -1,0 +1,5 @@
+//! Experiment E14 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e14_defense_ratio::run();
+}

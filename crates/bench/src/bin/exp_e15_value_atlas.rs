@@ -1,0 +1,5 @@
+//! Experiment E15 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e15_value_atlas::run();
+}

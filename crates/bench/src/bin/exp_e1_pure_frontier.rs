@@ -1,0 +1,5 @@
+//! Experiment E1 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e1_pure_frontier::run();
+}

@@ -1,0 +1,5 @@
+//! Experiment E2 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e2_pure_runtime::run();
+}

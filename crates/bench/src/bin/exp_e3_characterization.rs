@@ -1,0 +1,5 @@
+//! Experiment E3 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e3_characterization::run();
+}

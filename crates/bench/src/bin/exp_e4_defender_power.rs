@@ -1,0 +1,5 @@
+//! Experiment E4 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e4_defender_power::run();
+}

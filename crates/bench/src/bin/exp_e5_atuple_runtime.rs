@@ -1,0 +1,5 @@
+//! Experiment E5 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e5_atuple_runtime::run();
+}

@@ -1,0 +1,5 @@
+//! Experiment E6 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e6_bipartite::run();
+}

@@ -1,0 +1,5 @@
+//! Experiment E7 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e7_montecarlo::run();
+}

@@ -1,0 +1,5 @@
+//! Experiment E8 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e8_support_ablation::run();
+}

@@ -1,0 +1,5 @@
+//! Experiment E9 binary — see DESIGN.md §4.
+
+fn main() {
+    defender_bench::experiments::e9_roundtrip::run();
+}

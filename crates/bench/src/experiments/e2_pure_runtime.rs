@@ -1,0 +1,43 @@
+//! E2 — Corollary 3.2: pure-NE existence is decidable in polynomial time.
+//!
+//! Times [`pure_ne_existence`] (minimum edge cover via blossom matching +
+//! padding) on connected `G(n, p)` graphs of doubling size and fits the
+//! log-log growth rate: a bounded exponent certifies polynomial scaling.
+
+use defender_core::model::TupleGame;
+use defender_core::pure::pure_ne_existence;
+
+use crate::experiments::common::random_connected;
+use crate::{linear_fit, median_time, Table};
+
+/// Runs the experiment; panics if the fitted growth exponent explodes.
+pub fn run() {
+    println!("== E2: pure-NE existence runtime (Corollary 3.2) ==\n");
+    let sizes = [64usize, 128, 256, 512, 1024];
+    let mut table = Table::new(vec!["n", "m", "median time", "us/run"]);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let graph = random_connected(n, 4.0 / n as f64, 42 + i as u64);
+        let game = TupleGame::new(&graph, 1, 2).expect("valid game");
+        let t = median_time(5, || {
+            std::hint::black_box(pure_ne_existence(&game));
+        });
+        xs.push((n as f64).ln());
+        ys.push(t.as_secs_f64().max(1e-9).ln());
+        table.row(vec![
+            n.to_string(),
+            graph.edge_count().to_string(),
+            format!("{t:?}"),
+            format!("{:.1}", t.as_secs_f64() * 1e6),
+        ]);
+    }
+    table.print();
+    let (exponent, _, r2) = linear_fit(&xs, &ys);
+    println!("\nlog-log fit: time ~ n^{exponent:.2} (r² = {r2:.3})");
+    assert!(
+        exponent < 3.5,
+        "growth exponent {exponent:.2} is not polynomial-looking for this range"
+    );
+    println!("Paper prediction: polynomial — confirmed (blossom matching dominates, O(n³) worst case).");
+}

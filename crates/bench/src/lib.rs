@@ -1,0 +1,14 @@
+//! Experiment harness for the reproduction.
+//!
+//! The paper is pure theory, so "tables and figures" are its theorems;
+//! every module under [`experiments`] regenerates one of them empirically
+//! (see DESIGN.md §4 for the index and EXPERIMENTS.md for recorded
+//! outcomes). Each `exp_*` binary is a thin wrapper over the matching
+//! `experiments::eN::run` function; `run_all_experiments` chains them.
+
+pub mod experiments;
+pub mod report;
+pub mod timing;
+
+pub use report::Table;
+pub use timing::{linear_fit, median_time};

@@ -1,0 +1,114 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` options.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    values: BTreeMap<String, String>,
+}
+
+impl Options {
+    /// Parses a `--key value --key2 value2 …` list.
+    ///
+    /// # Errors
+    ///
+    /// Rejects positional arguments, repeated keys and dangling flags.
+    pub fn parse(argv: &[String]) -> Result<Options, String> {
+        let mut values = BTreeMap::new();
+        let mut iter = argv.iter();
+        while let Some(token) = iter.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(format!("expected `--option`, found `{token}`"));
+            };
+            let Some(value) = iter.next() else {
+                return Err(format!("option `--{key}` needs a value"));
+            };
+            if values.insert(key.to_string(), value.clone()).is_some() {
+                return Err(format!("option `--{key}` given twice"));
+            }
+        }
+        Ok(Options { values })
+    }
+
+    /// The raw value of `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage error naming the missing option.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option `--{key}`"))
+    }
+
+    /// A required parsed option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage error for missing or malformed values.
+    pub fn required_parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.required(key)?
+            .parse()
+            .map_err(|_| format!("option `--{key}` has an invalid value"))
+    }
+
+    /// An optional parsed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage error for malformed values.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("option `--{key}` has an invalid value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let options = Options::parse(&argv(&["--n", "12", "--family", "cycle"])).unwrap();
+        assert_eq!(options.get("n"), Some("12"));
+        assert_eq!(options.required("family").unwrap(), "cycle");
+        assert_eq!(options.required_parse::<usize>("n").unwrap(), 12);
+        assert_eq!(options.parse_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(Options::parse(&argv(&["cycle"])).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        assert!(Options::parse(&argv(&["--n"])).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(Options::parse(&argv(&["--n", "1", "--n", "2"])).is_err());
+    }
+
+    #[test]
+    fn reports_missing_and_malformed() {
+        let options = Options::parse(&argv(&["--n", "twelve"])).unwrap();
+        assert!(options.required("family").unwrap_err().contains("--family"));
+        assert!(options.required_parse::<usize>("n").unwrap_err().contains("--n"));
+        assert!(options.parse_or::<usize>("n", 1).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! `defender help`.
+
+/// Prints usage for every subcommand.
+pub fn print() {
+    println!(
+        "defender — the Tuple model of 'The Power of the Defender' (ICDCS 2006)
+
+USAGE:
+  defender generate --family <name> [params] --out <file>
+  defender analyze  --graph <file> --k <K> --nu <NU>
+  defender simulate --graph <file> --k <K> --nu <NU> [--rounds <R>] [--seed <S>]
+  defender value    --graph <file> --k <K> [--limit <TUPLES>]
+  defender convert  --in <file> --out <file> [--from <fmt>] [--to <fmt>]
+  defender help
+
+FORMATS: edges (default; `u v` per line) and graph6.
+
+GENERATE FAMILIES (params):
+  path            --n <N>
+  cycle           --n <N>
+  star            --leaves <L>
+  wheel           --n <RIM>
+  complete        --n <N>
+  complete-bipartite --a <A> --b <B>
+  grid            --rows <R> --cols <C>
+  hypercube       --dim <D>
+  petersen
+  ladder          --n <RUNGS>
+  tree            --n <N> [--seed <S>]
+  gnp             --n <N> --p <P> [--seed <S>]        (connected variant)
+  bipartite       --a <A> --b <B> --p <P> [--seed <S>]
+
+GRAPH FILE FORMAT:
+  one `u v` edge per line; `#` comments; optional `n <count>` header.
+
+EXAMPLES:
+  defender generate --family cycle --n 12 --out ring.edges
+  defender analyze --graph ring.edges --k 2 --nu 6
+  defender simulate --graph ring.edges --k 2 --nu 6 --rounds 100000"
+    );
+}

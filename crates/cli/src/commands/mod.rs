@@ -1,0 +1,8 @@
+//! The CLI subcommands.
+
+pub mod analyze;
+pub mod convert;
+pub mod generate;
+pub mod help;
+pub mod simulate;
+pub mod value;

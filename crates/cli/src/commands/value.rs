@@ -1,0 +1,71 @@
+//! `defender value` — exact game value on an arbitrary graph via the
+//! rational LP (single-attacker zero-sum reduction).
+
+use defender_core::defense::{defense_ratio_lower_bound};
+use defender_core::model::TupleGame;
+use defender_core::solve::solve_exact;
+use defender_graph::Graph;
+
+use crate::args::Options;
+use crate::edgelist;
+
+/// The value report as a string (pure function, testable without IO).
+pub fn report(graph: &Graph, k: usize, limit: usize) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let game = TupleGame::new(graph, k, 1).map_err(|e| e.to_string())?;
+    let exact = solve_exact(&game, limit).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "exact game value (catch probability): {} = {:.6}",
+        exact.value,
+        exact.value.to_f64()
+    );
+    let _ = writeln!(
+        out,
+        "optimal attacker support: {:?}",
+        exact.config.vp_support_union()
+    );
+    let _ = writeln!(
+        out,
+        "optimal defender support: {} tuples over edges {:?}",
+        exact.config.tp_support().len(),
+        exact.config.support_edges()
+    );
+    let _ = writeln!(
+        out,
+        "defense ratio 1/value = {}; universal lower bound n/(2k) = {}",
+        exact.value.recip().map(|r| r.to_string()).unwrap_or_else(|_| "∞".into()),
+        defense_ratio_lower_bound(&game)
+    );
+    Ok(out)
+}
+
+/// Runs the subcommand.
+pub fn run(options: &Options) -> Result<(), String> {
+    let graph = edgelist::read(std::path::Path::new(options.required("graph")?))?;
+    let k: usize = options.required_parse("k")?;
+    let limit: usize = options.parse_or("limit", 200_000)?;
+    print!("{}", report(&graph, k, limit)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defender_graph::generators;
+
+    #[test]
+    fn odd_cycle_value() {
+        let g = generators::cycle(5);
+        let text = report(&g, 1, 100_000).unwrap();
+        assert!(text.contains("2/5"), "{text}");
+        assert!(text.contains("lower bound n/(2k) = 5/2"));
+    }
+
+    #[test]
+    fn guard_propagates() {
+        let g = generators::complete(9);
+        assert!(report(&g, 9, 100).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Plain edge-list file format: `u v` per line, `#` comments, blank lines
+//! ignored, vertex count inferred from the largest endpoint (or an
+//! optional `n <count>` header to declare trailing isolated vertices).
+
+use std::path::Path;
+
+use defender_graph::{Graph, GraphBuilder};
+
+/// Parses an edge list from text.
+///
+/// # Errors
+///
+/// Reports the line number of the first malformed entry.
+pub fn parse(text: &str) -> Result<Graph, String> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().expect("non-empty line has a token");
+        if first == "n" {
+            let value = parts
+                .next()
+                .ok_or_else(|| format!("line {}: `n` header needs a count", lineno + 1))?;
+            declared_n = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("line {}: invalid vertex count", lineno + 1))?,
+            );
+            continue;
+        }
+        let u: usize = first
+            .parse()
+            .map_err(|_| format!("line {}: invalid endpoint `{first}`", lineno + 1))?;
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing second endpoint", lineno + 1))?
+            .parse()
+            .map_err(|_| format!("line {}: invalid endpoint", lineno + 1))?;
+        if parts.next().is_some() {
+            return Err(format!("line {}: trailing tokens", lineno + 1));
+        }
+        if u == v {
+            return Err(format!("line {}: self-loop ({u}, {u})", lineno + 1));
+        }
+        edges.push((u, v));
+    }
+    let needed = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
+    let n = declared_n.unwrap_or(needed).max(needed);
+    let mut builder = GraphBuilder::new(n);
+    for (u, v) in edges {
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+/// Renders a graph as edge-list text (with an `n` header).
+#[must_use]
+pub fn render(graph: &Graph) -> String {
+    let mut out = format!("# {} vertices, {} edges\nn {}\n", graph.vertex_count(), graph.edge_count(), graph.vertex_count());
+    for e in graph.edges() {
+        let ep = graph.endpoints(e);
+        out.push_str(&format!("{} {}\n", ep.u().index(), ep.v().index()));
+    }
+    out
+}
+
+/// Reads and parses a graph file (edge-list format).
+///
+/// # Errors
+///
+/// IO and parse errors as strings (CLI-level reporting).
+pub fn read(path: &Path) -> Result<Graph, String> {
+    read_format(path, None)
+}
+
+/// Reads a graph file in the given format (`None`/`"edges"` for the edge
+/// list, `"graph6"` for graph6).
+///
+/// # Errors
+///
+/// IO, parse and unknown-format errors as strings.
+pub fn read_format(path: &Path, format: Option<&str>) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    match format {
+        None | Some("edges") => parse(&text),
+        Some("graph6") => defender_graph::graph6::from_graph6(&text).map_err(|e| e.to_string()),
+        Some(other) => Err(format!("unknown format `{other}` (use edges or graph6)")),
+    }
+}
+
+/// Writes a graph file (edge-list format).
+///
+/// # Errors
+///
+/// IO errors as strings.
+pub fn write(path: &Path, graph: &Graph) -> Result<(), String> {
+    write_format(path, graph, None)
+}
+
+/// Writes a graph file in the given format.
+///
+/// # Errors
+///
+/// IO and unknown-format errors as strings.
+pub fn write_format(path: &Path, graph: &Graph, format: Option<&str>) -> Result<(), String> {
+    let text = match format {
+        None | Some("edges") => render(graph),
+        Some("graph6") => {
+            let mut s = defender_graph::graph6::to_graph6(graph);
+            s.push('\n');
+            s
+        }
+        Some(other) => return Err(format!("unknown format `{other}` (use edges or graph6)")),
+    };
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defender_graph::generators;
+
+    #[test]
+    fn round_trip() {
+        let g = generators::petersen();
+        let back = parse(&render(&g)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = parse("# a triangle\n0 1\n\n1 2 # chord\n0 2\n").unwrap();
+        assert_eq!((g.vertex_count(), g.edge_count()), (3, 3));
+    }
+
+    #[test]
+    fn header_declares_isolated_vertices() {
+        let g = parse("n 5\n0 1\n").unwrap();
+        assert_eq!(g.vertex_count(), 5);
+        assert!(g.has_isolated_vertex());
+    }
+
+    #[test]
+    fn header_never_shrinks() {
+        let g = parse("n 2\n0 4\n").unwrap();
+        assert_eq!(g.vertex_count(), 5);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        assert!(parse("0\n").unwrap_err().contains("line 1"));
+        assert!(parse("0 1\nx y\n").unwrap_err().contains("line 2"));
+        assert!(parse("0 0\n").unwrap_err().contains("self-loop"));
+        assert!(parse("0 1 2\n").unwrap_err().contains("trailing"));
+        assert!(parse("n\n").unwrap_err().contains("count"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = parse("").unwrap();
+        assert_eq!(g.vertex_count(), 0);
+    }
+}

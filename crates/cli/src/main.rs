@@ -1,0 +1,49 @@
+//! `defender` — command-line front end for the Tuple model.
+//!
+//! ```text
+//! defender generate --family cycle --n 12 --out ring.edges
+//! defender analyze  --graph ring.edges --k 2 --nu 6
+//! defender simulate --graph ring.edges --k 2 --nu 6 --rounds 100000
+//! defender help
+//! ```
+//!
+//! Graph files are plain edge lists: one `u v` pair per line, `#` comments
+//! allowed, vertex count inferred from the largest index.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+mod edgelist;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `defender help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = argv.split_first() else {
+        commands::help::print();
+        return Ok(());
+    };
+    let options = args::Options::parse(rest)?;
+    match command.as_str() {
+        "generate" => commands::generate::run(&options),
+        "analyze" => commands::analyze::run(&options),
+        "simulate" => commands::simulate::run(&options),
+        "value" => commands::value::run(&options),
+        "convert" => commands::convert::run(&options),
+        "help" | "--help" | "-h" => {
+            commands::help::print();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

@@ -1,0 +1,149 @@
+//! Algorithm `A_tuple` (Figure 1): computing a k-matching mixed Nash
+//! equilibrium from an `(IS, VC)` partition.
+//!
+//! Steps, exactly as in the paper:
+//!
+//! 1. run algorithm `A(Π_1(G), IS, VC)` — a matching NE of the Edge model;
+//! 2. label its support edges `e_0 … e_{E_num−1}`;
+//! 3. slide the width-`k` cyclic window to build the tuple set `T`
+//!    (`δ = E_num / gcd(E_num, k)` tuples);
+//! 4. support: `D(VP) := IS`, `D(tp) := T`;
+//! 5. uniform probabilities per Lemma 4.1.
+//!
+//! Theorem 4.12 proves correctness, Theorem 4.13 the `O(k·n)` running time
+//! of steps 2–5 (step 1 costs `O(n)` given the partition).
+
+use crate::k_matching::KMatchingNe;
+use crate::matching_ne::{algorithm_a, MatchingNe};
+use crate::model::TupleGame;
+use crate::reduction::{expand_to_k_matching, support_tuple_count};
+use crate::CoreError;
+use defender_graph::VertexId;
+
+/// The output of [`a_tuple`]: the equilibrium plus the intermediate
+/// artifacts useful for diagnostics and the experiments.
+#[derive(Clone, Debug)]
+pub struct ATupleReport {
+    /// The k-matching mixed Nash equilibrium of `Π_k(G)`.
+    pub ne: KMatchingNe,
+    /// The Edge-model matching NE produced by step 1.
+    pub base: MatchingNe,
+    /// `E_num = |D_s'(tp)|` — support edges labeled in step 2.
+    pub e_num: usize,
+    /// `δ` — the number of tuples built in step 3.
+    pub delta: usize,
+}
+
+impl ATupleReport {
+    /// The defender-gain amplification over the Edge model — exactly `k`
+    /// (Theorem 4.5).
+    #[must_use]
+    pub fn gain_ratio(&self) -> defender_num::Ratio {
+        crate::reduction::gain_ratio(&self.ne, &self.base)
+    }
+}
+
+/// Algorithm `A_tuple(Π_k(G), IS, VC)` — Figure 1 of the paper.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidPartition`] when `(IS, VC)` does not partition
+///   `V`, `IS` is dependent, or `VC` cannot be matched into `IS`;
+/// - [`CoreError::TupleWiderThanSupport`] when `k > |IS|`
+///   (DESIGN.md §5.2).
+///
+/// # Examples
+///
+/// ```
+/// use defender_core::{a_tuple, model::TupleGame};
+/// use defender_graph::{generators, VertexId};
+/// use defender_num::Ratio;
+///
+/// let g = generators::cycle(6);
+/// let game = TupleGame::new(&g, 2, 3)?;
+/// let is: Vec<_> = [0, 2, 4].into_iter().map(VertexId::new).collect();
+/// let vc: Vec<_> = [1, 3, 5].into_iter().map(VertexId::new).collect();
+/// let report = a_tuple(&game, &is, &vc)?;
+/// assert_eq!(report.ne.defender_gain(), Ratio::new(2 * 3, 3));
+/// assert_eq!(report.gain_ratio(), Ratio::from(2));
+/// # Ok::<(), defender_core::CoreError>(())
+/// ```
+pub fn a_tuple(
+    game: &TupleGame<'_>,
+    is: &[VertexId],
+    vc: &[VertexId],
+) -> Result<ATupleReport, CoreError> {
+    // Step 1: matching NE of Π_1(G) on the same graph and ν.
+    let edge_game = TupleGame::edge_model(game.graph(), game.attacker_count())?;
+    let base = algorithm_a(&edge_game, is, vc)?;
+    // Steps 2–5: cyclic expansion (shared with Lemma 4.8) and uniform play.
+    let e_num = base.supports().tp_support.len();
+    let ne = expand_to_k_matching(game, &base)?;
+    let delta = support_tuple_count(e_num, game.k());
+    debug_assert_eq!(ne.tuple_count(), delta);
+    Ok(ATupleReport { ne, base, e_num, delta })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterization::{verify_mixed_ne, VerificationMode};
+    use defender_graph::generators;
+    use defender_num::Ratio;
+
+    fn ids(values: &[usize]) -> Vec<VertexId> {
+        values.iter().copied().map(VertexId::new).collect()
+    }
+
+    #[test]
+    fn theorem_4_12_output_is_equilibrium() {
+        let g = generators::cycle(8);
+        for k in 1..=4usize {
+            let game = TupleGame::new(&g, k, 5).unwrap();
+            let report = a_tuple(&game, &ids(&[0, 2, 4, 6]), &ids(&[1, 3, 5, 7])).unwrap();
+            let check = verify_mixed_ne(&game, report.ne.config(), VerificationMode::Auto).unwrap();
+            assert!(check.is_equilibrium(), "k = {k}: {:?}", check.failures());
+            assert_eq!(report.gain_ratio(), Ratio::from(k));
+            assert_eq!(report.e_num, 4);
+            assert_eq!(report.delta, support_tuple_count(4, k));
+        }
+    }
+
+    #[test]
+    fn grid_partition() {
+        // 2×3 grid is bipartite with color classes of size 3.
+        let g = generators::grid(2, 3);
+        let bp = defender_graph::properties::bipartition(&g).unwrap();
+        let game = TupleGame::new(&g, 2, 6).unwrap();
+        let report = a_tuple(&game, &bp.left, &bp.right).unwrap();
+        let check = verify_mixed_ne(&game, report.ne.config(), VerificationMode::Auto).unwrap();
+        assert!(check.is_equilibrium(), "{:?}", check.failures());
+        assert_eq!(report.ne.defender_gain(), Ratio::new(2 * 6, 3));
+    }
+
+    #[test]
+    fn k_above_is_size_fails_cleanly() {
+        let g = generators::cycle(4); // |IS| = 2, m = 4
+        let game = TupleGame::new(&g, 3, 2).unwrap();
+        let err = a_tuple(&game, &ids(&[0, 2]), &ids(&[1, 3])).unwrap_err();
+        assert!(matches!(err, CoreError::TupleWiderThanSupport { k: 3, support_size: 2 }));
+    }
+
+    #[test]
+    fn bad_partition_fails() {
+        let g = generators::cycle(4);
+        let game = TupleGame::new(&g, 1, 1).unwrap();
+        let err = a_tuple(&game, &ids(&[0, 1]), &ids(&[2, 3])).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidPartition { .. }));
+    }
+
+    #[test]
+    fn k_equals_e_num_single_tuple() {
+        let g = generators::cycle(6);
+        let game = TupleGame::new(&g, 3, 3).unwrap();
+        let report = a_tuple(&game, &ids(&[0, 2, 4]), &ids(&[1, 3, 5])).unwrap();
+        assert_eq!(report.delta, 1, "δ = E/gcd(E,E) = 1");
+        assert_eq!(report.ne.tuple_count(), 1);
+        assert_eq!(report.ne.hit_probability(), Ratio::ONE);
+    }
+}

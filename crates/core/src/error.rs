@@ -1,0 +1,121 @@
+//! Error types for the Tuple model.
+
+use core::fmt;
+
+use defender_graph::GraphError;
+
+/// Errors reported by the Tuple-model constructions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// The underlying graph violates the model's standing assumptions.
+    Graph(GraphError),
+    /// The defender width `k` is outside `1..=m`.
+    InvalidWidth {
+        /// The requested width.
+        k: usize,
+        /// The graph's edge count.
+        edge_count: usize,
+    },
+    /// The supplied partition is not (independent set, complement) or the
+    /// expander condition fails.
+    InvalidPartition {
+        /// Human-readable reason, e.g. the Hall violator found.
+        reason: String,
+    },
+    /// A configuration was used with a game it does not fit.
+    ConfigMismatch {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The matching-NE machinery was invoked on a game with `k != 1`.
+    NotEdgeModel {
+        /// The actual width.
+        k: usize,
+    },
+    /// The 1→k reduction (Lemma 4.8) needs `k` distinct support edges but
+    /// the matching NE's support is smaller (DESIGN.md §5.2).
+    TupleWiderThanSupport {
+        /// The requested width.
+        k: usize,
+        /// The matching NE's support size `E_num = |IS|`.
+        support_size: usize,
+    },
+    /// A configuration failed the k-matching conditions (Definition 4.1).
+    NotKMatching {
+        /// Which condition failed and why.
+        reason: String,
+    },
+    /// An exhaustive routine was asked to enumerate too large a space.
+    TooLarge {
+        /// What blew up (e.g. "C(m, k) tuples").
+        what: String,
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::InvalidWidth { k, edge_count } => {
+                write!(f, "defender width k = {k} outside 1..={edge_count}")
+            }
+            CoreError::InvalidPartition { reason } => {
+                write!(f, "invalid (IS, VC) partition: {reason}")
+            }
+            CoreError::ConfigMismatch { reason } => {
+                write!(f, "configuration does not fit the game: {reason}")
+            }
+            CoreError::NotEdgeModel { k } => {
+                write!(f, "matching NE machinery needs k = 1, got k = {k}")
+            }
+            CoreError::TupleWiderThanSupport { k, support_size } => {
+                write!(
+                    f,
+                    "k = {k} exceeds the matching NE support size {support_size}; \
+                     no k-matching NE exists (DESIGN.md §5.2)"
+                )
+            }
+            CoreError::NotKMatching { reason } => {
+                write!(f, "not a k-matching configuration: {reason}")
+            }
+            CoreError::TooLarge { what, limit } => {
+                write!(f, "exhaustive enumeration of {what} exceeds the limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> CoreError {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CoreError::InvalidWidth { k: 9, edge_count: 3 };
+        assert!(e.to_string().contains("k = 9"));
+        let e = CoreError::TupleWiderThanSupport { k: 5, support_size: 3 };
+        assert!(e.to_string().contains("support size 3"));
+        let e = CoreError::NotEdgeModel { k: 4 };
+        assert!(e.to_string().contains("k = 1"));
+        let e: CoreError = GraphError::EmptyGraph.into();
+        assert!(e.to_string().contains("graph error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

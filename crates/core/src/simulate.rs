@@ -1,0 +1,202 @@
+//! Monte-Carlo attack simulator.
+//!
+//! The paper's motivating scenario — viruses attacking network hosts while
+//! the security software scans `k` links — has no hardware to reproduce,
+//! so we *simulate* it (DESIGN.md §6): repeatedly sample every player's
+//! pure action from the mixed configuration, count arrests, and compare
+//! empirical means against the exact expectations of equations (1)–(2).
+//! Experiment E7 drives this module.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use defender_game::MixedStrategy;
+use defender_num::Ratio;
+
+use crate::model::{MixedConfig, TupleGame};
+
+/// Parameters of a simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimulationConfig {
+    /// Number of independent rounds to play.
+    pub rounds: u64,
+    /// RNG seed (runs are reproducible).
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> SimulationConfig {
+        SimulationConfig { rounds: 10_000, seed: 0xDEFE17DE5 }
+    }
+}
+
+/// Aggregated results of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimulationOutcome {
+    /// Rounds played.
+    pub rounds: u64,
+    /// Total arrests across all rounds.
+    pub total_caught: u64,
+    /// Empirical mean arrests per round (estimates `IP_tp`).
+    pub mean_caught: f64,
+    /// Per-attacker empirical escape frequency (estimates `IP_i`).
+    pub escape_frequency: Vec<f64>,
+}
+
+impl SimulationOutcome {
+    /// Absolute deviation of the empirical defender gain from an exact
+    /// prediction.
+    #[must_use]
+    pub fn gain_error(&self, predicted: Ratio) -> f64 {
+        (self.mean_caught - predicted.to_f64()).abs()
+    }
+}
+
+/// A reusable sampler for one mixed configuration.
+#[derive(Debug)]
+pub struct Simulator<'a, 'g> {
+    game: &'a TupleGame<'g>,
+    config: &'a MixedConfig,
+}
+
+impl<'a, 'g> Simulator<'a, 'g> {
+    /// Creates a simulator for `config` played on `game`.
+    #[must_use]
+    pub fn new(game: &'a TupleGame<'g>, config: &'a MixedConfig) -> Simulator<'a, 'g> {
+        Simulator { game, config }
+    }
+
+    /// Plays `sim.rounds` independent rounds and aggregates arrests.
+    #[must_use]
+    pub fn run(&self, sim: &SimulationConfig) -> SimulationOutcome {
+        let mut rng = StdRng::seed_from_u64(sim.seed);
+        let graph = self.game.graph();
+        let nu = self.game.attacker_count();
+        let mut total_caught = 0u64;
+        let mut escapes = vec![0u64; nu];
+        for _ in 0..sim.rounds {
+            let tuple = sample(self.config.defender(), &mut rng);
+            let mut covered = vec![false; graph.vertex_count()];
+            for v in tuple.vertices(graph) {
+                covered[v.index()] = true;
+            }
+            for (i, strategy) in self.config.attackers().iter().enumerate() {
+                let v = sample(strategy, &mut rng);
+                if covered[v.index()] {
+                    total_caught += 1;
+                } else {
+                    escapes[i] += 1;
+                }
+            }
+        }
+        SimulationOutcome {
+            rounds: sim.rounds,
+            total_caught,
+            mean_caught: total_caught as f64 / sim.rounds as f64,
+            escape_frequency: escapes
+                .into_iter()
+                .map(|e| e as f64 / sim.rounds as f64)
+                .collect(),
+        }
+    }
+}
+
+/// Samples one pure strategy by inverse transform: a uniform `f64` draw is
+/// walked down the cumulative distribution. Probabilities are converted to
+/// `f64` once per entry; the resulting per-sample bias is below 2⁻⁵²,
+/// orders of magnitude under the 1/√rounds Monte-Carlo noise this module
+/// exists to measure (exactness lives in `payoff`, not here).
+fn sample<'s, S: Clone + Ord, R: Rng + ?Sized>(strategy: &'s MixedStrategy<S>, rng: &mut R) -> &'s S {
+    // Draw u uniform in [0, 1) as a rational with 2^53 granularity.
+    let u = rng.gen::<f64>();
+    let mut acc = 0.0f64;
+    let mut last = None;
+    for (s, p) in strategy.iter() {
+        acc += p.to_f64();
+        last = Some(s);
+        if u < acc {
+            return s;
+        }
+    }
+    last.expect("mixed strategies have non-empty support")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::a_tuple_bipartite;
+    use crate::gain::defender_gain;
+    use crate::model::TupleGame;
+    use crate::tuple::Tuple;
+    use defender_graph::{generators, EdgeId, VertexId};
+
+    #[test]
+    fn deterministic_configuration_has_zero_variance() {
+        // Defender covers everything with a pure edge-cover tuple.
+        let g = generators::path(4);
+        let game = TupleGame::new(&g, 2, 3).unwrap();
+        let config = MixedConfig::symmetric(
+            &game,
+            MixedStrategy::pure(VertexId::new(0)),
+            MixedStrategy::pure(Tuple::new(vec![EdgeId::new(0), EdgeId::new(2)]).unwrap()),
+        )
+        .unwrap();
+        let outcome = Simulator::new(&game, &config).run(&SimulationConfig { rounds: 500, seed: 1 });
+        assert_eq!(outcome.total_caught, 3 * 500, "v0 is always covered");
+        assert!(outcome.escape_frequency.iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn empirical_gain_converges_to_exact() {
+        let g = generators::complete_bipartite(3, 4);
+        let game = TupleGame::new(&g, 2, 5).unwrap();
+        let ne = a_tuple_bipartite(&game).unwrap();
+        let exact = defender_gain(&game, ne.config());
+        let outcome = Simulator::new(&game, ne.config())
+            .run(&SimulationConfig { rounds: 60_000, seed: 42 });
+        // Per-round catches are bounded by ν = 5; 60k rounds give a tight CI.
+        assert!(
+            outcome.gain_error(exact) < 0.05,
+            "empirical {} vs exact {exact}",
+            outcome.mean_caught
+        );
+    }
+
+    #[test]
+    fn escape_frequency_matches_equation_1() {
+        let g = generators::path(4);
+        let game = TupleGame::new(&g, 1, 2).unwrap();
+        let config = MixedConfig::symmetric(
+            &game,
+            MixedStrategy::uniform(vec![VertexId::new(0), VertexId::new(3)]),
+            MixedStrategy::uniform(vec![
+                Tuple::single(EdgeId::new(0)),
+                Tuple::single(EdgeId::new(2)),
+            ]),
+        )
+        .unwrap();
+        let outcome = Simulator::new(&game, &config)
+            .run(&SimulationConfig { rounds: 40_000, seed: 7 });
+        // Equation (1): every attacker escapes with probability 1/2.
+        for (i, f) in outcome.escape_frequency.iter().enumerate() {
+            assert!((f - 0.5).abs() < 0.02, "attacker {i}: {f}");
+        }
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let g = generators::complete_bipartite(2, 3);
+        let game = TupleGame::new(&g, 1, 2).unwrap();
+        let ne = a_tuple_bipartite(&game).unwrap();
+        let sim = SimulationConfig { rounds: 1_000, seed: 9 };
+        let a = Simulator::new(&game, ne.config()).run(&sim);
+        let b = Simulator::new(&game, ne.config()).run(&sim);
+        assert_eq!(a.total_caught, b.total_caught);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let d = SimulationConfig::default();
+        assert!(d.rounds > 0);
+    }
+}

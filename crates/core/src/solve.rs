@@ -1,0 +1,192 @@
+//! Exact equilibrium computation on **arbitrary** graphs via linear
+//! programming.
+//!
+//! The constructive theory covers bipartite graphs (Theorem 5.1) and
+//! perfect-matching graphs (covering NE); odd cycles with a pendant
+//! vertex, for instance, have neither. But the defender-vs-one-attacker
+//! game is a finite zero-sum matrix game (`M[t][v] = 1` iff tuple `t`
+//! covers vertex `v`), so its exact value and optimal strategies come out
+//! of [`defender_lp`]. Because the tuple player's payoff is *linear in the
+//! sum* of the attackers' distributions and the attackers do not interact,
+//! the pair (optimal defender mixture, every attacker playing the optimal
+//! attacker mixture) is a Nash equilibrium of `Π_k(G)` for **every** `ν`,
+//! with defender gain `ν · value`.
+//!
+//! The matrix has `C(m, k)` columns, so this is for small instances —
+//! exactly the regime the constructive algorithms do *not* cover.
+
+use defender_game::MixedStrategy;
+use defender_graph::VertexId;
+use defender_lp::solve_zero_sum;
+use defender_num::Ratio;
+
+use crate::model::{MixedConfig, TupleGame};
+use crate::tuple::{all_tuples, Tuple};
+use crate::CoreError;
+
+/// An exact equilibrium computed by linear programming.
+#[derive(Clone, Debug)]
+pub struct ExactEquilibrium {
+    /// The single-attacker game value: the probability an optimally
+    /// playing defender catches an optimally hiding attacker.
+    pub value: Ratio,
+    /// The symmetric Nash equilibrium of `Π_k(G)` built from the optimal
+    /// strategies (every attacker plays the same optimal mixture).
+    pub config: MixedConfig,
+    /// Defender gain `ν · value`.
+    pub defender_gain: Ratio,
+}
+
+/// Solves `Π_k(G)` exactly via the zero-sum LP.
+///
+/// # Errors
+///
+/// - [`CoreError::TooLarge`] when `C(m, k) > tuple_limit`;
+/// - shape errors from the LP layer are converted to
+///   [`CoreError::TooLarge`] (they cannot occur for valid games).
+pub fn solve_exact(game: &TupleGame<'_>, tuple_limit: usize) -> Result<ExactEquilibrium, CoreError> {
+    let graph = game.graph();
+    let tuples = all_tuples(graph, game.k(), tuple_limit)?;
+    // Rows: defender tuples (maximizer). Columns: attacker vertices.
+    let matrix: Vec<Vec<Ratio>> = tuples
+        .iter()
+        .map(|t| {
+            let mut row = vec![Ratio::ZERO; graph.vertex_count()];
+            for v in t.vertices(graph) {
+                row[v.index()] = Ratio::ONE;
+            }
+            row
+        })
+        .collect();
+    let solution = solve_zero_sum(&matrix).map_err(|e| CoreError::TooLarge {
+        what: format!("zero-sum LP ({e})"),
+        limit: tuple_limit,
+    })?;
+
+    let defender_entries: Vec<(Tuple, Ratio)> = tuples
+        .into_iter()
+        .zip(solution.row_strategy.iter().copied())
+        .filter(|(_, p)| !p.is_zero())
+        .collect();
+    let attacker_entries: Vec<(VertexId, Ratio)> = graph
+        .vertices()
+        .zip(solution.col_strategy.iter().copied())
+        .filter(|(_, p)| !p.is_zero())
+        .collect();
+    let defender = MixedStrategy::from_entries(defender_entries)
+        .expect("LP strategies are distributions");
+    let attacker = MixedStrategy::from_entries(attacker_entries)
+        .expect("LP strategies are distributions");
+    let config = MixedConfig::symmetric(game, attacker, defender)?;
+    let defender_gain = solution.value * Ratio::from(game.attacker_count());
+    Ok(ExactEquilibrium { value: solution.value, config, defender_gain })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::a_tuple_bipartite;
+    use crate::covering_ne::covering_ne;
+    use crate::exhaustive::GameAdapter;
+    use crate::payoff;
+    use defender_graph::{generators, GraphBuilder};
+
+    const LIMIT: usize = 100_000;
+
+    #[test]
+    fn value_matches_k_matching_on_bipartite() {
+        for (graph, k, is_size) in [
+            (generators::path(4), 1usize, 2usize),
+            (generators::cycle(6), 1, 3),
+            (generators::cycle(6), 2, 3),
+            (generators::star(5), 2, 5),
+            (generators::complete_bipartite(2, 4), 3, 4),
+        ] {
+            let game = TupleGame::new(&graph, k, 1).unwrap();
+            let exact = solve_exact(&game, LIMIT).unwrap();
+            assert_eq!(
+                exact.value,
+                Ratio::new(k as i64, is_size as i64),
+                "{graph:?}, k = {k}: constant-sum games have a unique value"
+            );
+            // And matches the constructive equilibrium's gain.
+            let ne = a_tuple_bipartite(&game).unwrap();
+            assert_eq!(exact.defender_gain, ne.defender_gain());
+        }
+    }
+
+    #[test]
+    fn value_matches_covering_on_perfect_matching_graphs() {
+        for (graph, k) in [
+            (generators::complete(4), 1usize),
+            (generators::complete(4), 2),
+            (generators::petersen(), 1),
+        ] {
+            let game = TupleGame::new(&graph, k, 1).unwrap();
+            let exact = solve_exact(&game, LIMIT).unwrap();
+            let cov = covering_ne(&game).unwrap();
+            assert_eq!(exact.defender_gain, cov.defender_gain(), "{graph:?}, k = {k}");
+        }
+    }
+
+    #[test]
+    fn solves_graphs_outside_every_constructive_family() {
+        // C5: odd (no bipartition) but 2-regular; uniform/uniform is the
+        // equilibrium with value 2k/5.
+        let c5 = generators::cycle(5);
+        for k in 1..=2usize {
+            let game = TupleGame::new(&c5, k, 1).unwrap();
+            let exact = solve_exact(&game, LIMIT).unwrap();
+            assert_eq!(exact.value, Ratio::new(2 * k as i64, 5), "C5, k = {k}");
+        }
+
+        // A "tadpole": triangle with a pendant path — no perfect matching
+        // (n odd), not bipartite. Neither construction applies; the LP
+        // still delivers, and first principles certify it.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2); // triangle
+        b.add_edge(2, 3).add_edge(3, 4); // tail
+        let tadpole = b.build();
+        let game = TupleGame::new(&tadpole, 1, 1).unwrap();
+        let exact = solve_exact(&game, LIMIT).unwrap();
+        let adapter = GameAdapter::new(&game, LIMIT).unwrap();
+        let truth = adapter.verify(&exact.config);
+        assert!(truth.is_equilibrium(), "deviations: {:?}", truth.deviations);
+        assert!(exact.value > Ratio::ZERO && exact.value < Ratio::ONE);
+    }
+
+    #[test]
+    fn lp_equilibrium_is_ne_for_many_attackers() {
+        // The ν-fold symmetric lift stays an equilibrium.
+        let graph = generators::cycle(5);
+        let game = TupleGame::new(&graph, 1, 3).unwrap();
+        let exact = solve_exact(&game, LIMIT).unwrap();
+        let adapter = GameAdapter::new(&game, LIMIT).unwrap();
+        let truth = adapter.verify(&exact.config);
+        assert!(truth.is_equilibrium(), "deviations: {:?}", truth.deviations);
+        assert_eq!(
+            payoff::expected_ip_tuple_player(&game, &exact.config),
+            exact.defender_gain
+        );
+    }
+
+    #[test]
+    fn guard_fires() {
+        let graph = generators::complete(9); // m = 36
+        let game = TupleGame::new(&graph, 9, 1).unwrap();
+        assert!(matches!(solve_exact(&game, 1_000), Err(CoreError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn wheel_value_is_nontrivial() {
+        // W5 (hub + C5): not bipartite, n = 6 even; PM exists? Hub matches
+        // a rim vertex, remaining C4-minus... rim is C5 minus one vertex =
+        // P4, which has a PM. So covering applies; check agreement.
+        let graph = generators::wheel(5);
+        let game = TupleGame::new(&graph, 1, 1).unwrap();
+        let exact = solve_exact(&game, LIMIT).unwrap();
+        let cov = covering_ne(&game).unwrap();
+        assert_eq!(exact.defender_gain, cov.defender_gain());
+        assert_eq!(exact.value, Ratio::new(2, 6));
+    }
+}

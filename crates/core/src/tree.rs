@@ -1,0 +1,111 @@
+//! Tree specialization (\[8\]): k-matching equilibria on trees in `O(k·n)`
+//! total, with no bipartite matching machinery.
+//!
+//! Trees are bipartite, so Theorem 5.1 already applies; this module swaps
+//! König/Hopcroft–Karp (`O(m√n)`) for a one-pass `O(n)` leaf DP
+//! ([`defender_matching::tree`]), making the *entire* pipeline `O(k·n)`.
+
+use defender_graph::vertex_cover;
+use defender_matching::tree::tree_cover;
+
+use crate::algorithm::{a_tuple, ATupleReport};
+use crate::k_matching::KMatchingNe;
+use crate::model::TupleGame;
+use crate::CoreError;
+
+/// Theorem 5.1 on trees, with the `O(n)` tree DP supplying the partition.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidPartition`] when the graph is not a tree/forest;
+/// - [`CoreError::TupleWiderThanSupport`] when `k > |IS|`.
+pub fn a_tuple_tree(game: &TupleGame<'_>) -> Result<KMatchingNe, CoreError> {
+    Ok(a_tuple_tree_report(game)?.ne)
+}
+
+/// [`a_tuple_tree`] exposing the full [`ATupleReport`].
+///
+/// # Errors
+///
+/// Same as [`a_tuple_tree`].
+pub fn a_tuple_tree_report(game: &TupleGame<'_>) -> Result<ATupleReport, CoreError> {
+    let graph = game.graph();
+    let tc = tree_cover(graph).ok_or_else(|| CoreError::InvalidPartition {
+        reason: "the tree-specialized route needs a forest (cycle detected)".into(),
+    })?;
+    let is = vertex_cover::complement(graph, &tc.cover);
+    a_tuple(game, &is, &tc.cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::a_tuple_bipartite;
+    use crate::characterization::{verify_mixed_ne, VerificationMode};
+    use defender_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_the_general_bipartite_route() {
+        let mut rng = StdRng::seed_from_u64(404);
+        for _ in 0..15 {
+            let g = generators::random_tree(14, &mut rng);
+            let game = TupleGame::new(&g, 2, 5).unwrap();
+            match (a_tuple_tree(&game), a_tuple_bipartite(&game)) {
+                (Ok(tree_ne), Ok(bip_ne)) => {
+                    // Both must be verified equilibria with the same gain
+                    // (the partitions may differ; the gain only depends on
+                    // |IS| = n − τ(G), which is unique).
+                    assert_eq!(tree_ne.defender_gain(), bip_ne.defender_gain());
+                    let report =
+                        verify_mixed_ne(&game, tree_ne.config(), VerificationMode::Auto).unwrap();
+                    assert!(report.is_equilibrium(), "{:?}", report.failures());
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(
+                        std::mem::discriminant(&a),
+                        std::mem::discriminant(&b),
+                        "routes must fail alike: {a} vs {b}"
+                    );
+                }
+                (a, b) => panic!("routes disagree: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_paths_and_stars() {
+        for (g, k) in [
+            (generators::path(9), 3usize),
+            (generators::star(7), 4),
+            (generators::path(2), 1),
+        ] {
+            let game = TupleGame::new(&g, k, 4).unwrap();
+            let ne = a_tuple_tree(&game).unwrap();
+            let report = verify_mixed_ne(&game, ne.config(), VerificationMode::Auto).unwrap();
+            assert!(report.is_equilibrium(), "{:?}", report.failures());
+        }
+    }
+
+    #[test]
+    fn rejects_non_trees() {
+        let g = generators::cycle(6);
+        let game = TupleGame::new(&g, 1, 1).unwrap();
+        let err = a_tuple_tree(&game).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidPartition { .. }));
+    }
+
+    #[test]
+    fn k_beyond_is_size_reported() {
+        // Star K_{1,2} = P3: IS = 2 leaves, m = 2.
+        let g = generators::star(2);
+        let game = TupleGame::new(&g, 2, 1).unwrap();
+        assert!(a_tuple_tree(&game).is_ok(), "k = 2 = |IS| is feasible");
+        // P4: IS = {ends} size 2, m = 3, k = 3 > |IS|.
+        let p = generators::path(4);
+        let game = TupleGame::new(&p, 3, 1).unwrap();
+        let err = a_tuple_tree(&game).unwrap_err();
+        assert!(matches!(err, CoreError::TupleWiderThanSupport { .. }));
+    }
+}

@@ -1,0 +1,249 @@
+//! Support enumeration: *all* equilibria of small bimatrix games.
+//!
+//! For a candidate pair of equal-size supports, the opponent's mixture
+//! must make every supported pure strategy exactly indifferent — a square
+//! rational linear system ([`defender_lp::solve_linear`]). Solving it,
+//! checking non-negativity and the outside-support deviation conditions
+//! yields every equilibrium with those supports; sweeping all pairs finds
+//! every equilibrium of a *nondegenerate* game (degenerate games may
+//! additionally carry continua of equilibria, of which this reports the
+//! equal-support extreme points).
+//!
+//! Exponential in the strategy counts — this is a cross-validation tool
+//! for tiny games (the exact constructions of `defender-core` are checked
+//! against it), not a production solver.
+
+use defender_lp::solve_linear;
+use defender_num::Ratio;
+
+use crate::{nash, MixedStrategy, StrategicGame, TwoPlayerMatrixGame};
+
+/// One equilibrium of a bimatrix game.
+#[derive(Clone, Debug)]
+pub struct BimatrixEquilibrium {
+    /// The row player's mixed strategy.
+    pub row: MixedStrategy<usize>,
+    /// The column player's mixed strategy.
+    pub col: MixedStrategy<usize>,
+    /// The row player's expected payoff.
+    pub row_payoff: Ratio,
+    /// The column player's expected payoff.
+    pub col_payoff: Ratio,
+}
+
+const MAX_STRATEGIES: usize = 12;
+
+/// Enumerates the equilibria of `game` with equal-size supports.
+///
+/// For nondegenerate games this is the complete equilibrium set.
+///
+/// # Panics
+///
+/// Panics if either player has more than 12 strategies (2^12 subsets per
+/// side).
+#[must_use]
+pub fn enumerate_equilibria(game: &TwoPlayerMatrixGame) -> Vec<BimatrixEquilibrium> {
+    let rows = game.rows();
+    let cols = game.cols();
+    assert!(
+        rows <= MAX_STRATEGIES && cols <= MAX_STRATEGIES,
+        "support enumeration limited to {MAX_STRATEGIES} strategies per player"
+    );
+    let mut out: Vec<BimatrixEquilibrium> = Vec::new();
+    for row_mask in 1u32..(1 << rows) {
+        let support_r: Vec<usize> = (0..rows).filter(|&i| row_mask & (1 << i) != 0).collect();
+        for col_mask in 1u32..(1 << cols) {
+            let support_c: Vec<usize> = (0..cols).filter(|&j| col_mask & (1 << j) != 0).collect();
+            if support_r.len() != support_c.len() {
+                continue;
+            }
+            if let Some(eq) = try_supports(game, &support_r, &support_c) {
+                out.push(eq);
+            }
+        }
+    }
+    out
+}
+
+/// Attempts to place an equilibrium exactly on `(support_r, support_c)`.
+fn try_supports(
+    game: &TwoPlayerMatrixGame,
+    support_r: &[usize],
+    support_c: &[usize],
+) -> Option<BimatrixEquilibrium> {
+    let k = support_r.len();
+
+    // Column mixture y and value v: row player indifferent across R.
+    //   Σ_c A[i][c]·y_c − v = 0  (i ∈ R),   Σ_c y_c = 1.
+    let y_system: Vec<Vec<Ratio>> = support_r
+        .iter()
+        .map(|&i| {
+            let mut row: Vec<Ratio> = support_c
+                .iter()
+                .map(|&j| game.payoff(0, &[i, j]))
+                .collect();
+            row.push(-Ratio::ONE);
+            row
+        })
+        .chain(std::iter::once({
+            let mut row = vec![Ratio::ONE; k];
+            row.push(Ratio::ZERO);
+            row
+        }))
+        .collect();
+    let mut rhs = vec![Ratio::ZERO; k];
+    rhs.push(Ratio::ONE);
+    let y_solution = solve_linear(&y_system, &rhs)?;
+    let (y, v) = (&y_solution[..k], y_solution[k]);
+
+    // Row mixture x and value w: column player indifferent across C.
+    let x_system: Vec<Vec<Ratio>> = support_c
+        .iter()
+        .map(|&j| {
+            let mut row: Vec<Ratio> = support_r
+                .iter()
+                .map(|&i| game.payoff(1, &[i, j]))
+                .collect();
+            row.push(-Ratio::ONE);
+            row
+        })
+        .chain(std::iter::once({
+            let mut row = vec![Ratio::ONE; k];
+            row.push(Ratio::ZERO);
+            row
+        }))
+        .collect();
+    let mut rhs = vec![Ratio::ZERO; k];
+    rhs.push(Ratio::ONE);
+    let x_solution = solve_linear(&x_system, &rhs)?;
+    let (x, w) = (&x_solution[..k], x_solution[k]);
+
+    // Supports must be played with strictly positive probability (smaller
+    // supports are visited by their own iteration).
+    if y.iter().any(|&p| p <= Ratio::ZERO) || x.iter().any(|&p| p <= Ratio::ZERO) {
+        return None;
+    }
+
+    // No profitable deviation outside the supports.
+    for i in 0..game.rows() {
+        if support_r.contains(&i) {
+            continue;
+        }
+        let payoff: Ratio = support_c
+            .iter()
+            .zip(y)
+            .map(|(&j, &p)| game.payoff(0, &[i, j]) * p)
+            .sum();
+        if payoff > v {
+            return None;
+        }
+    }
+    for j in 0..game.cols() {
+        if support_c.contains(&j) {
+            continue;
+        }
+        let payoff: Ratio = support_r
+            .iter()
+            .zip(x)
+            .map(|(&i, &p)| game.payoff(1, &[i, j]) * p)
+            .sum();
+        if payoff > w {
+            return None;
+        }
+    }
+
+    let row = MixedStrategy::from_entries(
+        support_r.iter().zip(x).map(|(&i, &p)| (i, p)).collect(),
+    )
+    .expect("positive probabilities summing to one");
+    let col = MixedStrategy::from_entries(
+        support_c.iter().zip(y).map(|(&j, &p)| (j, p)).collect(),
+    )
+    .expect("positive probabilities summing to one");
+    debug_assert!(nash::verify_two_player(game, &row, &col).is_equilibrium());
+    Some(BimatrixEquilibrium { row, col, row_payoff: v, col_payoff: w })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> Ratio {
+        Ratio::from(v)
+    }
+
+    #[test]
+    fn matching_pennies_unique_mixed() {
+        let game = TwoPlayerMatrixGame::zero_sum(vec![
+            vec![int(1), int(-1)],
+            vec![int(-1), int(1)],
+        ]);
+        let eqs = enumerate_equilibria(&game);
+        assert_eq!(eqs.len(), 1);
+        let eq = &eqs[0];
+        assert_eq!(eq.row_payoff, Ratio::ZERO);
+        assert_eq!(eq.row.probability(&0), Ratio::new(1, 2));
+        assert_eq!(eq.col.probability(&1), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn prisoners_dilemma_unique_pure() {
+        let game = TwoPlayerMatrixGame::new(
+            vec![vec![int(3), int(0)], vec![int(5), int(1)]],
+            vec![vec![int(3), int(5)], vec![int(0), int(1)]],
+        );
+        let eqs = enumerate_equilibria(&game);
+        assert_eq!(eqs.len(), 1);
+        assert!(eqs[0].row.is_pure() && eqs[0].col.is_pure());
+        assert_eq!(eqs[0].row_payoff, int(1));
+    }
+
+    #[test]
+    fn battle_of_the_sexes_three_equilibria() {
+        let game = TwoPlayerMatrixGame::new(
+            vec![vec![int(2), int(0)], vec![int(0), int(1)]],
+            vec![vec![int(1), int(0)], vec![int(0), int(2)]],
+        );
+        let eqs = enumerate_equilibria(&game);
+        assert_eq!(eqs.len(), 3, "two pure + one mixed");
+        let mixed = eqs.iter().find(|e| !e.row.is_pure()).expect("mixed equilibrium");
+        assert_eq!(mixed.row.probability(&0), Ratio::new(2, 3));
+        assert_eq!(mixed.col.probability(&0), Ratio::new(1, 3));
+        assert_eq!(mixed.row_payoff, Ratio::new(2, 3));
+    }
+
+    #[test]
+    fn every_found_equilibrium_verifies() {
+        let game = TwoPlayerMatrixGame::new(
+            vec![vec![int(4), int(1), int(0)], vec![int(2), int(3), int(1)], vec![int(0), int(1), int(2)]],
+            vec![vec![int(1), int(2), int(0)], vec![int(0), int(3), int(2)], vec![int(3), int(0), int(4)]],
+        );
+        let eqs = enumerate_equilibria(&game);
+        assert!(!eqs.is_empty(), "finite games have equilibria (Nash)");
+        for eq in &eqs {
+            let report = nash::verify_two_player(&game, &eq.row, &eq.col);
+            assert!(report.is_equilibrium(), "{:?}", report.deviations);
+            assert_eq!(report.expected_payoffs[0], eq.row_payoff);
+            assert_eq!(report.expected_payoffs[1], eq.col_payoff);
+        }
+    }
+
+    #[test]
+    fn zero_sum_equilibria_share_the_value() {
+        // Multiple equilibria of a zero-sum game all have the same payoff.
+        let game = TwoPlayerMatrixGame::zero_sum(vec![
+            vec![int(1), int(1)],
+            vec![int(1), int(1)],
+        ]);
+        let eqs = enumerate_equilibria(&game);
+        assert!(!eqs.is_empty());
+        assert!(eqs.iter().all(|e| e.row_payoff == int(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn size_guard() {
+        let game = TwoPlayerMatrixGame::zero_sum(vec![vec![Ratio::ZERO; 13]; 13]);
+        let _ = enumerate_equilibria(&game);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the strategic-game substrate.
+
+use defender_game::{nash, MixedStrategy, TwoPlayerMatrixGame};
+use defender_num::Ratio;
+use proptest::prelude::*;
+
+fn small_ratio() -> impl Strategy<Value = Ratio> {
+    (-6i64..=6, 1i64..=4).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<Ratio>>> {
+    proptest::collection::vec(proptest::collection::vec(small_ratio(), cols), rows)
+}
+
+fn mixed(over: usize) -> impl Strategy<Value = MixedStrategy<usize>> {
+    proptest::collection::vec(1u32..=5, over).prop_map(|weights| {
+        let total: i64 = weights.iter().map(|&w| i64::from(w)).sum();
+        MixedStrategy::from_entries(
+            weights
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| (i, Ratio::new(i64::from(w), total)))
+                .collect(),
+        )
+        .expect("positive weights normalize")
+    })
+}
+
+proptest! {
+    /// Expected payoff is bilinear: mixing commutes with expectation.
+    #[test]
+    fn expected_payoff_is_convex_combination(
+        m in matrix(3, 3),
+        row in mixed(3),
+        col in mixed(3),
+    ) {
+        let game = TwoPlayerMatrixGame::zero_sum(m);
+        let by_definition = nash::expected_payoff(&game, 0, &[row.clone(), col.clone()]);
+        // Recompute by expanding the row mixture manually.
+        let manual: Ratio = row
+            .iter()
+            .map(|(&i, p)| {
+                p * nash::expected_payoff(
+                    &game,
+                    0,
+                    &[MixedStrategy::pure(i), col.clone()],
+                )
+            })
+            .sum();
+        prop_assert_eq!(by_definition, manual);
+    }
+
+    /// In zero-sum games the two expected payoffs negate each other.
+    #[test]
+    fn zero_sum_payoffs_negate(m in matrix(3, 2), row in mixed(3), col in mixed(2)) {
+        let game = TwoPlayerMatrixGame::zero_sum(m);
+        let profile = [row, col];
+        let a = nash::expected_payoff(&game, 0, &profile);
+        let b = nash::expected_payoff(&game, 1, &profile);
+        prop_assert_eq!(a + b, Ratio::ZERO);
+    }
+
+    /// Best response weakly dominates every pure alternative.
+    #[test]
+    fn best_response_is_optimal(m in matrix(3, 3), row in mixed(3), col in mixed(3)) {
+        let game = TwoPlayerMatrixGame::zero_sum(m);
+        let profile = [row, col];
+        for player in 0..2 {
+            let (_, value) = nash::best_response(&game, player, &profile);
+            for s in game_strategies(player) {
+                let dev = nash::deviation_payoff(&game, player, &profile, &s);
+                prop_assert!(dev <= value);
+            }
+            // And the profile itself never beats its best response.
+            prop_assert!(nash::expected_payoff(&game, player, &profile) <= value);
+        }
+    }
+
+    /// Every pure equilibrium found by enumeration passes `verify` as a
+    /// degenerate mixed profile, and a profile passing verify has no
+    /// profitable pure deviation by definition.
+    #[test]
+    fn pure_equilibria_verify(m in matrix(3, 3)) {
+        let game = TwoPlayerMatrixGame::zero_sum(m);
+        for profile in nash::pure_equilibria(&game) {
+            let mixed: Vec<MixedStrategy<usize>> =
+                profile.iter().map(|&s| MixedStrategy::pure(s)).collect();
+            let report = nash::verify(&game, &mixed);
+            prop_assert!(report.is_equilibrium(), "deviations: {:?}", report.deviations);
+        }
+    }
+
+    /// Support invariants of mixed strategies.
+    #[test]
+    fn mixed_strategy_invariants(s in mixed(4)) {
+        let total: Ratio = s.iter().map(|(_, p)| p).sum();
+        prop_assert_eq!(total, Ratio::ONE);
+        prop_assert!(s.iter().all(|(_, p)| p > Ratio::ZERO));
+        let support = s.support();
+        prop_assert!(support.windows(2).all(|w| w[0] < w[1]), "sorted support");
+    }
+}
+
+fn game_strategies(player: usize) -> Vec<usize> {
+    match player {
+        0 | 1 => (0..3).collect(),
+        _ => unreachable!(),
+    }
+}

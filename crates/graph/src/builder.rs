@@ -1,0 +1,189 @@
+//! Incremental construction of [`Graph`] values.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{Endpoints, Graph, VertexId};
+
+/// Builder for [`Graph`].
+///
+/// Collects edges, rejecting self-loops and silently deduplicating parallel
+/// edges (the Tuple model is defined on simple graphs). Vertices are fixed
+/// up front; [`GraphBuilder::add_vertex`] grows the vertex set when the
+/// final count is not known in advance.
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);
+/// b.add_edge(1, 2); // duplicate, ignored
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    vertex_count: usize,
+    edges: BTreeSet<Endpoints>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `vertex_count` vertices and no
+    /// edges yet.
+    #[must_use]
+    pub fn new(vertex_count: usize) -> GraphBuilder {
+        GraphBuilder { vertex_count, edges: BTreeSet::new() }
+    }
+
+    /// Adds a new vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let id = VertexId::new(self.vertex_count);
+        self.vertex_count += 1;
+        id
+    }
+
+    /// Number of vertices currently declared.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Number of distinct edges currently added.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{a, b}` by raw indices.
+    ///
+    /// Duplicate edges are ignored, so the result is always simple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loop) or either endpoint is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> &mut GraphBuilder {
+        assert!(a != b, "self-loop ({a}, {a}) is not allowed in a simple graph");
+        assert!(
+            a < self.vertex_count && b < self.vertex_count,
+            "edge ({a}, {b}) has an endpoint outside 0..{}",
+            self.vertex_count
+        );
+        self.edges.insert(Endpoints::new(VertexId::new(a), VertexId::new(b)));
+        self
+    }
+
+    /// Adds the undirected edge `{a, b}` by vertex ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GraphBuilder::add_edge`].
+    pub fn add_edge_ids(&mut self, a: VertexId, b: VertexId) -> &mut GraphBuilder {
+        self.add_edge(a.index(), b.index())
+    }
+
+    /// Whether the edge `{a, b}` has already been added.
+    #[must_use]
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.edges
+            .contains(&Endpoints::new(VertexId::new(a), VertexId::new(b)))
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    ///
+    /// Edge ids are assigned in sorted endpoint order, so identical edge
+    /// sets always produce identical graphs regardless of insertion order.
+    #[must_use]
+    pub fn build(&self) -> Graph {
+        Graph::from_parts(self.vertex_count, self.edges.iter().copied().collect())
+    }
+}
+
+impl FromIterator<(usize, usize)> for GraphBuilder {
+    /// Builds from an edge list; the vertex count is one past the largest
+    /// endpoint mentioned.
+    fn from_iter<I: IntoIterator<Item = (usize, usize)>>(iter: I) -> GraphBuilder {
+        let pairs: Vec<(usize, usize)> = iter.into_iter().collect();
+        let n = pairs
+            .iter()
+            .map(|&(a, b)| a.max(b) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut b = GraphBuilder::new(n);
+        for (x, y) in pairs {
+            b.add_edge(x, y);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn deduplicates_parallel_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        assert_eq!(b.edge_count(), 1);
+        assert_eq!(b.build().edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        GraphBuilder::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range() {
+        GraphBuilder::new(2).add_edge(0, 5);
+    }
+
+    #[test]
+    fn add_vertex_grows() {
+        let mut b = GraphBuilder::new(0);
+        let a = b.add_vertex();
+        let c = b.add_vertex();
+        b.add_edge_ids(a, c);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn insertion_order_irrelevant() {
+        let mut b1 = GraphBuilder::new(3);
+        b1.add_edge(0, 1).add_edge(1, 2);
+        let mut b2 = GraphBuilder::new(3);
+        b2.add_edge(1, 2).add_edge(0, 1);
+        assert_eq!(b1.build(), b2.build());
+    }
+
+    #[test]
+    fn from_edge_list() {
+        let b: GraphBuilder = vec![(0, 1), (2, 4)].into_iter().collect();
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn has_edge_query() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2);
+        assert!(b.has_edge(2, 0));
+        assert!(!b.has_edge(0, 1));
+    }
+}

@@ -1,0 +1,215 @@
+//! Edge covers: predicates and greedy construction.
+//!
+//! Theorem 3.1 ties pure Nash equilibria of `Π_k(G)` to edge covers of size
+//! `k`; Claim 3.5 makes the defender's support edge set an edge cover in
+//! every mixed equilibrium. The *minimum* edge cover (Gallai:
+//! `ρ(G) = n − μ(G)`) needs maximum matching and therefore lives in
+//! `defender-matching::minimum_edge_cover`; this module hosts the
+//! matching-free parts.
+
+use crate::{EdgeId, EdgeSet, Graph, VertexId, VertexSet};
+
+/// Whether `edges` is an edge cover of `graph`: every vertex is an endpoint
+/// of at least one chosen edge.
+///
+/// An empty edge set covers only the empty graph; graphs with isolated
+/// vertices admit no edge cover at all.
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::{generators, edge_cover};
+///
+/// let g = generators::star(3);
+/// let all: Vec<_> = g.edges().collect();
+/// assert!(edge_cover::is_edge_cover(&g, &all));
+/// assert!(!edge_cover::is_edge_cover(&g, &all[..2]));
+/// ```
+#[must_use]
+pub fn is_edge_cover(graph: &Graph, edges: &[EdgeId]) -> bool {
+    uncovered_vertices(graph, edges).is_empty()
+}
+
+/// The vertices *not* covered by `edges`, sorted.
+#[must_use]
+pub fn uncovered_vertices(graph: &Graph, edges: &[EdgeId]) -> VertexSet {
+    let mut covered = vec![false; graph.vertex_count()];
+    for &e in edges {
+        let ep = graph.endpoints(e);
+        covered[ep.u().index()] = true;
+        covered[ep.v().index()] = true;
+    }
+    graph.vertices().filter(|v| !covered[v.index()]).collect()
+}
+
+/// Greedy edge cover: scan vertices in id order; for each uncovered vertex
+/// pick its lowest-id incident edge. At most `n` edges; within a factor of
+/// at most 2 of the minimum.
+///
+/// Returns `None` if the graph has an isolated vertex (no cover exists).
+#[must_use]
+pub fn greedy(graph: &Graph) -> Option<EdgeSet> {
+    let mut covered = vec![false; graph.vertex_count()];
+    let mut out = Vec::new();
+    for v in graph.vertices() {
+        if covered[v.index()] {
+            continue;
+        }
+        // Prefer an edge to another uncovered vertex (matching-like step).
+        let incidence = graph.incidence(v);
+        if incidence.is_empty() {
+            return None;
+        }
+        let (w, e) = incidence
+            .iter()
+            .copied()
+            .find(|&(w, _)| !covered[w.index()])
+            .unwrap_or(incidence[0]);
+        covered[v.index()] = true;
+        covered[w.index()] = true;
+        out.push(e);
+    }
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+/// Exact minimum edge cover by exhaustive search over edge subsets,
+/// smallest first. For cross-validation only.
+///
+/// Returns `None` if no edge cover exists (isolated vertex).
+///
+/// # Panics
+///
+/// Panics if the graph has more than 20 edges.
+#[must_use]
+pub fn minimum_exact_small(graph: &Graph) -> Option<EdgeSet> {
+    let m = graph.edge_count();
+    assert!(m <= 20, "exhaustive edge-cover search is limited to 20 edges, got {m}");
+    if graph.has_isolated_vertex() {
+        return None;
+    }
+    if graph.vertex_count() == 0 {
+        return Some(Vec::new());
+    }
+    let mut best: Option<Vec<EdgeId>> = None;
+    for mask in 0u32..(1u32 << m) {
+        let size = mask.count_ones() as usize;
+        if best.as_ref().is_some_and(|b| b.len() <= size) {
+            continue;
+        }
+        let subset: Vec<EdgeId> = (0..m)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(EdgeId::new)
+            .collect();
+        if is_edge_cover(graph, &subset) {
+            best = Some(subset);
+        }
+    }
+    best
+}
+
+/// Lower bound `⌈n / 2⌉` on any edge cover (each edge covers two vertices).
+/// Used by Corollary 3.3: if `n ≥ 2k + 1` no size-`k` edge cover exists.
+#[must_use]
+pub fn lower_bound(graph: &Graph) -> usize {
+    graph.vertex_count().div_ceil(2)
+}
+
+/// Per-vertex cover multiplicity: how many of `edges` are incident to each
+/// vertex. Handy for checking the bijection argument of Corollary 4.11
+/// (each support vertex lies on exactly one support edge).
+#[must_use]
+pub fn cover_multiplicity(graph: &Graph, edges: &[EdgeId]) -> Vec<usize> {
+    let mut mult = vec![0usize; graph.vertex_count()];
+    for &e in edges {
+        let ep = graph.endpoints(e);
+        mult[ep.u().index()] += 1;
+        mult[ep.v().index()] += 1;
+    }
+    mult
+}
+
+/// The vertices covered exactly once by `edges`, sorted.
+#[must_use]
+pub fn singly_covered(graph: &Graph, edges: &[EdgeId]) -> Vec<VertexId> {
+    cover_multiplicity(graph, edges)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c == 1)
+        .map(|(i, _)| VertexId::new(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn predicate_and_uncovered() {
+        let g = generators::path(4);
+        let e01 = g.find_edge(VertexId::new(0), VertexId::new(1)).unwrap();
+        let e23 = g.find_edge(VertexId::new(2), VertexId::new(3)).unwrap();
+        assert!(is_edge_cover(&g, &[e01, e23]));
+        assert_eq!(uncovered_vertices(&g, &[e01]), vec![VertexId::new(2), VertexId::new(3)]);
+    }
+
+    #[test]
+    fn greedy_covers() {
+        for g in [
+            generators::path(7),
+            generators::cycle(6),
+            generators::star(5),
+            generators::petersen(),
+            generators::complete(6),
+        ] {
+            let cover = greedy(&g).expect("no isolated vertices");
+            assert!(is_edge_cover(&g, &cover));
+            assert!(cover.len() >= lower_bound(&g));
+            assert!(cover.len() <= g.vertex_count());
+        }
+    }
+
+    #[test]
+    fn greedy_fails_on_isolated() {
+        let mut b = crate::GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        assert_eq!(greedy(&b.build()), None);
+    }
+
+    #[test]
+    fn exact_small_matches_known_values() {
+        // ρ(P4) = 2, ρ(C5) = 3, ρ(K4) = 2, ρ(star_4) = 4.
+        assert_eq!(minimum_exact_small(&generators::path(4)).unwrap().len(), 2);
+        assert_eq!(minimum_exact_small(&generators::cycle(5)).unwrap().len(), 3);
+        assert_eq!(minimum_exact_small(&generators::complete(4)).unwrap().len(), 2);
+        assert_eq!(minimum_exact_small(&generators::star(4)).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn exact_small_none_for_isolated() {
+        let mut b = crate::GraphBuilder::new(2);
+        let _ = b.add_vertex();
+        b.add_edge(0, 1);
+        assert_eq!(minimum_exact_small(&b.build()), None);
+    }
+
+    #[test]
+    fn multiplicity_and_singly_covered() {
+        let g = generators::star(3);
+        let all: Vec<EdgeId> = g.edges().collect();
+        let mult = cover_multiplicity(&g, &all);
+        assert_eq!(mult[0], 3, "hub covered thrice");
+        assert_eq!(
+            singly_covered(&g, &all),
+            vec![VertexId::new(1), VertexId::new(2), VertexId::new(3)]
+        );
+    }
+
+    #[test]
+    fn lower_bound_values() {
+        assert_eq!(lower_bound(&generators::path(5)), 3);
+        assert_eq!(lower_bound(&generators::path(6)), 3);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for graph-level operations.
+
+use core::fmt;
+
+/// Errors reported by fallible graph operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The operation requires a graph with no isolated vertices
+    /// (the standing assumption of the Tuple model).
+    IsolatedVertex {
+        /// An isolated vertex witnessing the failure.
+        vertex: crate::VertexId,
+    },
+    /// The operation requires a non-empty graph.
+    EmptyGraph,
+    /// The operation requires a bipartite graph but an odd cycle exists.
+    NotBipartite,
+    /// A vertex id was out of range for this graph.
+    UnknownVertex {
+        /// The offending index.
+        index: usize,
+        /// The graph's vertex count.
+        vertex_count: usize,
+    },
+    /// An edge id was out of range for this graph.
+    UnknownEdge {
+        /// The offending index.
+        index: usize,
+        /// The graph's edge count.
+        edge_count: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::IsolatedVertex { vertex } => {
+                write!(f, "graph has isolated vertex {vertex}")
+            }
+            GraphError::EmptyGraph => write!(f, "graph has no vertices"),
+            GraphError::NotBipartite => write!(f, "graph contains an odd cycle"),
+            GraphError::UnknownVertex { index, vertex_count } => {
+                write!(f, "vertex index {index} out of range for graph with {vertex_count} vertices")
+            }
+            GraphError::UnknownEdge { index, edge_count } => {
+                write!(f, "edge index {index} out of range for graph with {edge_count} edges")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VertexId;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = GraphError::IsolatedVertex { vertex: VertexId::new(3) };
+        assert!(e.to_string().contains("v3"));
+        assert!(GraphError::NotBipartite.to_string().contains("odd cycle"));
+        let e = GraphError::UnknownVertex { index: 9, vertex_count: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        let e = GraphError::UnknownEdge { index: 2, edge_count: 1 };
+        assert!(e.to_string().contains("edge index 2"));
+        assert!(GraphError::EmptyGraph.to_string().contains("no vertices"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Expander conditions for the matching-NE characterization (Theorem 2.2 /
+//! Corollary 4.11).
+//!
+//! The paper calls `G` an *`S`-expander* when `|X| ≤ |Neigh_G(X)|` for every
+//! `X ⊆ S`. As DESIGN.md §5.1 explains, the matching-NE construction needs
+//! the slightly stronger *expansion into the complement*:
+//! `|X| ≤ |Neigh_G(X) ∩ (V \ S)|` for every `X ⊆ S` — equivalently (by
+//! Hall's theorem) `S` can be matched into `V \ S`. This module provides
+//! exact brute-force checks of both conditions for small `S`; the
+//! polynomial-time Hall check via Hopcroft–Karp lives in
+//! `defender-matching::hall`.
+
+use crate::{Graph, VertexId};
+
+const BRUTE_FORCE_LIMIT: usize = 22;
+
+/// Brute-force check of the paper's literal condition:
+/// `|X| ≤ |Neigh_G(X)|` for every `X ⊆ s`.
+///
+/// # Panics
+///
+/// Panics if `s` has more than 22 vertices (2^|s| subsets are enumerated).
+#[must_use]
+pub fn is_expander_literal_exact(graph: &Graph, s: &[VertexId]) -> bool {
+    subset_check(graph, s, |nb, _| nb.len())
+}
+
+/// Brute-force check of expansion *into the complement of `s`*:
+/// `|X| ≤ |Neigh_G(X) \ s|` for every `X ⊆ s`.
+///
+/// This is the condition actually required by the matching-NE construction
+/// (each vertex of `s` needs a private partner outside `s`).
+///
+/// # Panics
+///
+/// Panics if `s` has more than 22 vertices.
+#[must_use]
+pub fn is_expander_into_complement_exact(graph: &Graph, s: &[VertexId]) -> bool {
+    let mut in_s = vec![false; graph.vertex_count()];
+    for &v in s {
+        in_s[v.index()] = true;
+    }
+    subset_check(graph, s, move |nb, _| {
+        nb.iter().filter(|w| !in_s[w.index()]).count()
+    })
+}
+
+/// Shared subset enumeration: for every non-empty `X ⊆ s` require
+/// `measure(Neigh(X), X) ≥ |X|`.
+fn subset_check<F>(graph: &Graph, s: &[VertexId], measure: F) -> bool
+where
+    F: Fn(&[VertexId], &[VertexId]) -> usize,
+{
+    assert!(
+        s.len() <= BRUTE_FORCE_LIMIT,
+        "brute-force expander check limited to {BRUTE_FORCE_LIMIT} vertices, got {}",
+        s.len()
+    );
+    for mask in 1u32..(1u32 << s.len()) {
+        let x: Vec<VertexId> = (0..s.len())
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| s[i])
+            .collect();
+        let nb = graph.neighborhood(&x);
+        if measure(&nb, &x) < x.len() {
+            return false;
+        }
+    }
+    true
+}
+
+/// The worst (most deficient) subset under expansion into the complement,
+/// if any: returns `Some((X, shortfall))` where
+/// `shortfall = |X| − |Neigh(X) \ s| > 0`.
+///
+/// # Panics
+///
+/// Panics if `s` has more than 22 vertices.
+#[must_use]
+pub fn deficiency_witness_exact(graph: &Graph, s: &[VertexId]) -> Option<(Vec<VertexId>, usize)> {
+    assert!(
+        s.len() <= BRUTE_FORCE_LIMIT,
+        "brute-force expander check limited to {BRUTE_FORCE_LIMIT} vertices, got {}",
+        s.len()
+    );
+    let mut in_s = vec![false; graph.vertex_count()];
+    for &v in s {
+        in_s[v.index()] = true;
+    }
+    let mut worst: Option<(Vec<VertexId>, usize)> = None;
+    for mask in 1u32..(1u32 << s.len()) {
+        let x: Vec<VertexId> = (0..s.len())
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| s[i])
+            .collect();
+        let outside = graph
+            .neighborhood(&x)
+            .into_iter()
+            .filter(|w| !in_s[w.index()])
+            .count();
+        if outside < x.len() {
+            let shortfall = x.len() - outside;
+            if worst.as_ref().map_or(true, |(_, s0)| shortfall > *s0) {
+                worst = Some((x, shortfall));
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// DESIGN.md §5.1: the triangle separates the two conditions.
+    #[test]
+    fn k3_separates_literal_from_into_complement() {
+        let g = generators::complete(3);
+        let vc = vec![VertexId::new(1), VertexId::new(2)]; // IS = {v0}
+        assert!(is_expander_literal_exact(&g, &vc), "paper's literal condition holds");
+        assert!(
+            !is_expander_into_complement_exact(&g, &vc),
+            "but VC cannot be matched into IS = {{v0}}"
+        );
+        let (x, shortfall) = deficiency_witness_exact(&g, &vc).unwrap();
+        assert_eq!(x.len(), 2);
+        assert_eq!(shortfall, 1);
+    }
+
+    #[test]
+    fn star_center_expands_into_leaves() {
+        let g = generators::star(4);
+        let vc = vec![VertexId::new(0)];
+        assert!(is_expander_into_complement_exact(&g, &vc));
+        assert!(deficiency_witness_exact(&g, &vc).is_none());
+    }
+
+    #[test]
+    fn complete_bipartite_side_expands() {
+        let g = generators::complete_bipartite(3, 3);
+        let left: Vec<VertexId> = (0..3).map(VertexId::new).collect();
+        assert!(is_expander_into_complement_exact(&g, &left));
+    }
+
+    #[test]
+    fn unbalanced_bipartite_fails_from_large_side() {
+        let g = generators::complete_bipartite(4, 2);
+        let left: Vec<VertexId> = (0..4).map(VertexId::new).collect();
+        assert!(!is_expander_into_complement_exact(&g, &left));
+        let right: Vec<VertexId> = (4..6).map(VertexId::new).collect();
+        assert!(is_expander_into_complement_exact(&g, &right));
+    }
+
+    #[test]
+    fn empty_set_trivially_expands() {
+        let g = generators::path(3);
+        assert!(is_expander_literal_exact(&g, &[]));
+        assert!(is_expander_into_complement_exact(&g, &[]));
+    }
+
+    #[test]
+    fn cycle_alternate_cover() {
+        let g = generators::cycle(6);
+        let vc: Vec<VertexId> = [1, 3, 5].into_iter().map(VertexId::new).collect();
+        assert!(is_expander_into_complement_exact(&g, &vc));
+    }
+}

@@ -1,0 +1,213 @@
+//! The graph6 interchange format (McKay).
+//!
+//! graph6 encodes a simple undirected graph as printable ASCII: the vertex
+//! count, then the upper triangle of the adjacency matrix in column-major
+//! order (`(0,1), (0,2), (1,2), (0,3), …`), packed six bits per character
+//! with an offset of 63. Supported here for `n ≤ 258 047` (one- and
+//! four-byte size headers), which covers every dataset this project
+//! touches; the eight-byte header for larger graphs is rejected
+//! explicitly.
+
+use core::fmt;
+
+use crate::{Graph, GraphBuilder, VertexId};
+
+/// Errors from [`from_graph6`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Graph6Error {
+    /// The string is empty.
+    Empty,
+    /// A character is outside the printable graph6 range `'?'..='~'`.
+    BadCharacter {
+        /// Byte offset of the offending character.
+        position: usize,
+    },
+    /// The bit payload is shorter than the upper triangle requires.
+    Truncated,
+    /// The size header announces a graph too large to handle.
+    TooLarge,
+}
+
+impl fmt::Display for Graph6Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Graph6Error::Empty => write!(f, "empty graph6 string"),
+            Graph6Error::BadCharacter { position } => {
+                write!(f, "invalid graph6 character at byte {position}")
+            }
+            Graph6Error::Truncated => write!(f, "graph6 payload shorter than the upper triangle"),
+            Graph6Error::TooLarge => write!(f, "graph6 size header exceeds the supported range"),
+        }
+    }
+}
+
+impl std::error::Error for Graph6Error {}
+
+/// Encodes a graph in graph6.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 258 047 vertices.
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::{generators, graph6};
+///
+/// assert_eq!(graph6::to_graph6(&generators::complete(4)), "C~");
+/// ```
+#[must_use]
+pub fn to_graph6(graph: &Graph) -> String {
+    let n = graph.vertex_count();
+    assert!(n <= 258_047, "graph6 support here stops at 258047 vertices");
+    let mut out = Vec::new();
+    if n <= 62 {
+        out.push((n as u8) + 63);
+    } else {
+        out.push(126); // '~'
+        out.push(((n >> 12) & 63) as u8 + 63);
+        out.push(((n >> 6) & 63) as u8 + 63);
+        out.push((n & 63) as u8 + 63);
+    }
+    // Upper triangle, column-major: for j in 1..n, for i in 0..j.
+    let mut bits: Vec<bool> = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+    for j in 1..n {
+        for i in 0..j {
+            bits.push(graph.has_edge(VertexId::new(i), VertexId::new(j)));
+        }
+    }
+    for chunk in bits.chunks(6) {
+        let mut value = 0u8;
+        for (pos, &bit) in chunk.iter().enumerate() {
+            if bit {
+                value |= 1 << (5 - pos);
+            }
+        }
+        out.push(value + 63);
+    }
+    String::from_utf8(out).expect("graph6 bytes are printable ASCII")
+}
+
+/// Decodes a graph6 string.
+///
+/// # Errors
+///
+/// See [`Graph6Error`].
+pub fn from_graph6(text: &str) -> Result<Graph, Graph6Error> {
+    let bytes = text.trim().as_bytes();
+    if bytes.is_empty() {
+        return Err(Graph6Error::Empty);
+    }
+    for (position, &b) in bytes.iter().enumerate() {
+        if !(63..=126).contains(&b) {
+            return Err(Graph6Error::BadCharacter { position });
+        }
+    }
+    let (n, payload) = if bytes[0] == 126 {
+        if bytes.len() >= 2 && bytes[1] == 126 {
+            return Err(Graph6Error::TooLarge); // eight-byte header
+        }
+        if bytes.len() < 4 {
+            return Err(Graph6Error::Truncated);
+        }
+        let n = ((usize::from(bytes[1] - 63)) << 12)
+            | ((usize::from(bytes[2] - 63)) << 6)
+            | usize::from(bytes[3] - 63);
+        (n, &bytes[4..])
+    } else {
+        (usize::from(bytes[0] - 63), &bytes[1..])
+    };
+
+    let needed_bits = n.saturating_sub(1) * n / 2;
+    if payload.len() * 6 < needed_bits {
+        return Err(Graph6Error::Truncated);
+    }
+    let mut b = GraphBuilder::new(n);
+    let mut bit_index = 0usize;
+    for j in 1..n {
+        for i in 0..j {
+            let byte = payload[bit_index / 6] - 63;
+            let bit = (byte >> (5 - (bit_index % 6))) & 1;
+            if bit == 1 {
+                b.add_edge(i, j);
+            }
+            bit_index += 1;
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(to_graph6(&generators::complete(4)), "C~");
+        // P3 with edges (0,1), (1,2): bits (0,1)=1, (0,2)=0, (1,2)=1.
+        assert_eq!(to_graph6(&generators::path(3)), "Bg");
+        // C5 — a standard example string.
+        assert_eq!(to_graph6(&generators::cycle(5)), "Dhc");
+        // The singleton and the empty-ish cases.
+        assert_eq!(to_graph6(&crate::GraphBuilder::new(1).build()), "@");
+        assert_eq!(to_graph6(&crate::GraphBuilder::new(0).build()), "?");
+    }
+
+    #[test]
+    fn known_decodings() {
+        assert_eq!(from_graph6("C~").unwrap(), generators::complete(4));
+        assert_eq!(from_graph6("Bg").unwrap(), generators::path(3));
+        assert_eq!(from_graph6("Dhc").unwrap(), generators::cycle(5));
+    }
+
+    #[test]
+    fn round_trips() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for g in [
+            generators::petersen(),
+            generators::grid(4, 5),
+            generators::star(9),
+            generators::gnp(17, 0.3, &mut rng),
+            crate::GraphBuilder::new(7).build(),
+        ] {
+            let encoded = to_graph6(&g);
+            assert_eq!(from_graph6(&encoded).unwrap(), g, "{encoded}");
+        }
+    }
+
+    #[test]
+    fn large_n_header_round_trips() {
+        // 63 vertices forces the four-byte header.
+        let g = generators::cycle(63);
+        let encoded = to_graph6(&g);
+        assert!(encoded.starts_with('~'));
+        assert_eq!(from_graph6(&encoded).unwrap(), g);
+        let g = generators::cycle(100);
+        assert_eq!(from_graph6(&to_graph6(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert_eq!(from_graph6(""), Err(Graph6Error::Empty));
+        assert_eq!(from_graph6("C"), Err(Graph6Error::Truncated));
+        assert_eq!(from_graph6("C\u{7f}"), Err(Graph6Error::BadCharacter { position: 1 }));
+        assert_eq!(from_graph6("~~????"), Err(Graph6Error::TooLarge));
+        assert!(from_graph6("~?").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(from_graph6(" C~\n").unwrap(), generators::complete(4));
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(Graph6Error::Empty.to_string().contains("empty"));
+        assert!(Graph6Error::Truncated.to_string().contains("shorter"));
+        assert!(Graph6Error::TooLarge.to_string().contains("exceeds"));
+        assert!(Graph6Error::BadCharacter { position: 2 }.to_string().contains('2'));
+    }
+}

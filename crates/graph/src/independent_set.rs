@@ -1,0 +1,219 @@
+//! Independent sets: predicates, greedy construction, exact maximum for
+//! small graphs.
+//!
+//! In the Tuple model the support of the vertex players in a (k-)matching
+//! Nash equilibrium is an independent set (condition (1) of Definitions 2.2
+//! and 4.1).
+
+use crate::{Graph, VertexId, VertexSet};
+
+/// Whether `set` is an independent set of `graph`: no two members adjacent.
+///
+/// `set` need not be sorted.
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::{generators, independent_set, VertexId};
+///
+/// let g = generators::path(4);
+/// let ends = vec![VertexId::new(0), VertexId::new(2)];
+/// assert!(independent_set::is_independent_set(&g, &ends));
+/// ```
+#[must_use]
+pub fn is_independent_set(graph: &Graph, set: &[VertexId]) -> bool {
+    let mut member = vec![false; graph.vertex_count()];
+    for &v in set {
+        member[v.index()] = true;
+    }
+    for &v in set {
+        if graph.neighbors(v).any(|w| member[w.index()]) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Greedy maximal independent set: repeatedly pick the lowest-id vertex not
+/// yet excluded, exclude its neighbors. Deterministic; sorted output.
+///
+/// The result is *maximal* (cannot be extended) but generally not *maximum*.
+#[must_use]
+pub fn greedy_maximal(graph: &Graph) -> VertexSet {
+    let mut excluded = vec![false; graph.vertex_count()];
+    let mut out = Vec::new();
+    for v in graph.vertices() {
+        if excluded[v.index()] {
+            continue;
+        }
+        out.push(v);
+        excluded[v.index()] = true;
+        for w in graph.neighbors(v) {
+            excluded[w.index()] = true;
+        }
+    }
+    out
+}
+
+/// Greedy maximal independent set with a minimum-degree heuristic: at each
+/// step pick a not-yet-excluded vertex of smallest remaining degree. Tends
+/// to produce larger sets than [`greedy_maximal`].
+#[must_use]
+pub fn greedy_min_degree(graph: &Graph) -> VertexSet {
+    let n = graph.vertex_count();
+    let mut excluded = vec![false; n];
+    let mut remaining_degree: Vec<usize> = graph.vertices().map(|v| graph.degree(v)).collect();
+    let mut out = Vec::new();
+    loop {
+        let pick = graph
+            .vertices()
+            .filter(|v| !excluded[v.index()])
+            .min_by_key(|v| remaining_degree[v.index()]);
+        let Some(v) = pick else { break };
+        out.push(v);
+        excluded[v.index()] = true;
+        for w in graph.neighbors(v) {
+            if !excluded[w.index()] {
+                excluded[w.index()] = true;
+                for x in graph.neighbors(w) {
+                    remaining_degree[x.index()] = remaining_degree[x.index()].saturating_sub(1);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Exact maximum independent set by branch and bound.
+///
+/// Intended for cross-validation on small instances.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 64 vertices (use the greedy variants
+/// or the bipartite König route for larger instances).
+#[must_use]
+pub fn maximum_exact(graph: &Graph) -> VertexSet {
+    let n = graph.vertex_count();
+    assert!(n <= 64, "exact maximum independent set is limited to 64 vertices, got {n}");
+    if n == 0 {
+        return Vec::new();
+    }
+    let masks: Vec<u64> = graph
+        .vertices()
+        .map(|v| {
+            graph
+                .neighbors(v)
+                .fold(0u64, |acc, w| acc | (1u64 << w.index()))
+        })
+        .collect();
+
+    fn solve(candidates: u64, chosen: u64, best: &mut u64, masks: &[u64]) {
+        if candidates == 0 {
+            if chosen.count_ones() > best.count_ones() {
+                *best = chosen;
+            }
+            return;
+        }
+        if chosen.count_ones() + candidates.count_ones() <= best.count_ones() {
+            return; // bound
+        }
+        let v = candidates.trailing_zeros() as usize;
+        let bit = 1u64 << v;
+        // Branch 1: take v (drop its neighbors from candidates).
+        solve(candidates & !bit & !masks[v], chosen | bit, best, masks);
+        // Branch 2: skip v.
+        solve(candidates & !bit, chosen, best, masks);
+    }
+
+    let mut best = 0u64;
+    let all = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    solve(all, 0, &mut best, &masks);
+    (0..n)
+        .filter(|&i| best & (1u64 << i) != 0)
+        .map(VertexId::new)
+        .collect()
+}
+
+/// The independence number `α(G)` for small graphs (`n ≤ 64`).
+///
+/// # Panics
+///
+/// Panics if the graph has more than 64 vertices.
+#[must_use]
+pub fn independence_number_exact(graph: &Graph) -> usize {
+    maximum_exact(graph).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn predicate_basics() {
+        let g = generators::cycle(5);
+        assert!(is_independent_set(&g, &[]));
+        assert!(is_independent_set(&g, &[VertexId::new(0), VertexId::new(2)]));
+        assert!(!is_independent_set(&g, &[VertexId::new(0), VertexId::new(1)]));
+    }
+
+    #[test]
+    fn greedy_outputs_are_independent_and_maximal() {
+        for g in [generators::cycle(7), generators::petersen(), generators::grid(3, 3)] {
+            for set in [greedy_maximal(&g), greedy_min_degree(&g)] {
+                assert!(is_independent_set(&g, &set));
+                // Maximality: every vertex outside has a neighbor inside.
+                let mut inside = vec![false; g.vertex_count()];
+                for &v in &set {
+                    inside[v.index()] = true;
+                }
+                for v in g.vertices() {
+                    if !inside[v.index()] {
+                        assert!(
+                            g.neighbors(v).any(|w| inside[w.index()]),
+                            "{v} could be added"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_known_graphs() {
+        assert_eq!(independence_number_exact(&generators::complete(5)), 1);
+        assert_eq!(independence_number_exact(&generators::cycle(5)), 2);
+        assert_eq!(independence_number_exact(&generators::cycle(6)), 3);
+        assert_eq!(independence_number_exact(&generators::star(7)), 7);
+        assert_eq!(independence_number_exact(&generators::petersen()), 4);
+        assert_eq!(independence_number_exact(&generators::complete_bipartite(3, 5)), 5);
+    }
+
+    #[test]
+    fn exact_result_is_independent() {
+        let g = generators::grid(3, 4);
+        let set = maximum_exact(&g);
+        assert!(is_independent_set(&g, &set));
+        assert_eq!(set.len(), 6, "grid(3,4) has α = ceil(12/2)");
+    }
+
+    #[test]
+    fn exact_handles_empty_and_edgeless() {
+        let empty = crate::GraphBuilder::new(0).build();
+        assert!(maximum_exact(&empty).is_empty());
+        let edgeless = crate::GraphBuilder::new(4).build();
+        assert_eq!(maximum_exact(&edgeless).len(), 4);
+    }
+
+    #[test]
+    fn greedy_at_least_half_exact_on_cycles() {
+        for n in 3..12 {
+            let g = generators::cycle(n);
+            let greedy = greedy_min_degree(&g).len();
+            let exact = independence_number_exact(&g);
+            assert!(greedy * 2 >= exact, "n = {n}: greedy {greedy} vs exact {exact}");
+        }
+    }
+}

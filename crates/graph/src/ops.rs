@@ -1,0 +1,139 @@
+//! Graph operators: complement, disjoint union, join.
+//!
+//! Handy for composing experiment instances (e.g. a triangle joined to an
+//! independent set, or non-bipartite graphs with controlled matchings)
+//! without hand-writing edge lists.
+
+use crate::{Graph, GraphBuilder};
+
+/// The complement graph: same vertices, exactly the missing edges.
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::{generators, ops};
+///
+/// let g = ops::complement(&generators::complete(4));
+/// assert_eq!(g.edge_count(), 0);
+/// // C5 is self-complementary.
+/// let c5 = generators::cycle(5);
+/// assert_eq!(ops::complement(&c5).edge_count(), c5.edge_count());
+/// ```
+#[must_use]
+pub fn complement(graph: &Graph) -> Graph {
+    let n = graph.vertex_count();
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !graph.has_edge(crate::VertexId::new(i), crate::VertexId::new(j)) {
+                b.add_edge(i, j);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The disjoint union `G ⊔ H`: `H`'s vertices are renumbered to start at
+/// `|V(G)|`.
+#[must_use]
+pub fn disjoint_union(g: &Graph, h: &Graph) -> Graph {
+    let offset = g.vertex_count();
+    let mut b = GraphBuilder::new(offset + h.vertex_count());
+    for e in g.edges() {
+        let ep = g.endpoints(e);
+        b.add_edge(ep.u().index(), ep.v().index());
+    }
+    for e in h.edges() {
+        let ep = h.endpoints(e);
+        b.add_edge(offset + ep.u().index(), offset + ep.v().index());
+    }
+    b.build()
+}
+
+/// The join `G + H`: the disjoint union plus every cross edge.
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::{generators, ops, GraphBuilder};
+///
+/// // Joining two edgeless sets gives a complete bipartite graph.
+/// let a = GraphBuilder::new(2).build();
+/// let b = GraphBuilder::new(3).build();
+/// assert_eq!(ops::join(&a, &b), generators::complete_bipartite(2, 3));
+/// ```
+#[must_use]
+pub fn join(g: &Graph, h: &Graph) -> Graph {
+    let offset = g.vertex_count();
+    let union = disjoint_union(g, h);
+    let mut b = GraphBuilder::new(union.vertex_count());
+    for e in union.edges() {
+        let ep = union.endpoints(e);
+        b.add_edge(ep.u().index(), ep.v().index());
+    }
+    for i in 0..offset {
+        for j in 0..h.vertex_count() {
+            b.add_edge(i, offset + j);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, properties};
+
+    #[test]
+    fn complement_involution() {
+        for g in [generators::path(5), generators::petersen(), generators::gnp(8, 0.4, &mut {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(1)
+        })] {
+            assert_eq!(complement(&complement(&g)), g);
+        }
+    }
+
+    #[test]
+    fn complement_edge_counts() {
+        let g = generators::path(4); // 3 of 6 possible edges
+        assert_eq!(complement(&g).edge_count(), 3);
+        let k5 = generators::complete(5);
+        assert_eq!(complement(&k5).edge_count(), 0);
+    }
+
+    #[test]
+    fn complement_of_petersen_is_johnson() {
+        // The Petersen complement is 6-regular (Kneser ↔ Johnson J(5,2)).
+        let g = complement(&generators::petersen());
+        assert_eq!(properties::regularity(&g), Some(6));
+    }
+
+    #[test]
+    fn disjoint_union_counts() {
+        let g = disjoint_union(&generators::cycle(3), &generators::path(4));
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.edge_count(), 6);
+        let (_, components) = crate::traversal::components(&g);
+        assert_eq!(components, 2);
+    }
+
+    #[test]
+    fn join_builds_wheels() {
+        // Hub + cycle = wheel (up to relabeling; compare structurally).
+        let hub = crate::GraphBuilder::new(1).build();
+        let rim = generators::cycle(5);
+        let wheel = join(&hub, &rim);
+        assert_eq!(wheel.vertex_count(), 6);
+        assert_eq!(wheel.edge_count(), 10);
+        assert_eq!(wheel.degree(crate::VertexId::new(0)), 5);
+    }
+
+    #[test]
+    fn join_of_empty_sides() {
+        let empty = crate::GraphBuilder::new(0).build();
+        let g = generators::path(3);
+        assert_eq!(join(&empty, &g), g);
+        assert_eq!(join(&g, &empty), g);
+    }
+}

@@ -1,0 +1,172 @@
+//! Breadth-first and depth-first traversal.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, VertexId};
+
+/// Breadth-first search from `source`, returning for every vertex its
+/// distance from `source` (`None` when unreachable).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::{generators, traversal, VertexId};
+///
+/// let g = generators::path(4); // v0 - v1 - v2 - v3
+/// let dist = traversal::bfs_distances(&g, VertexId::new(0));
+/// assert_eq!(dist[3], Some(3));
+/// ```
+#[must_use]
+pub fn bfs_distances(graph: &Graph, source: VertexId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; graph.vertex_count()];
+    dist[source.index()] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("queued vertices have distances");
+        for w in graph.neighbors(v) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Vertices in breadth-first order from `source` (its connected component).
+#[must_use]
+pub fn bfs_order(graph: &Graph, source: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; graph.vertex_count()];
+    seen[source.index()] = true;
+    let mut order = Vec::new();
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for w in graph.neighbors(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// Vertices in (iterative, preorder) depth-first order from `source`.
+#[must_use]
+pub fn dfs_order(graph: &Graph, source: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; graph.vertex_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    while let Some(v) = stack.pop() {
+        if seen[v.index()] {
+            continue;
+        }
+        seen[v.index()] = true;
+        order.push(v);
+        // Push in reverse so the smallest-id neighbor is visited first.
+        let neighbors: Vec<VertexId> = graph.neighbors(v).collect();
+        for &w in neighbors.iter().rev() {
+            if !seen[w.index()] {
+                stack.push(w);
+            }
+        }
+    }
+    order
+}
+
+/// Connected-component labeling: returns `(labels, component_count)` where
+/// `labels[v]` identifies `v`'s component with a number in
+/// `0..component_count`, numbered in order of smallest contained vertex.
+#[must_use]
+pub fn components(graph: &Graph) -> (Vec<usize>, usize) {
+    let mut label = vec![usize::MAX; graph.vertex_count()];
+    let mut next = 0;
+    for v in graph.vertices() {
+        if label[v.index()] != usize::MAX {
+            continue;
+        }
+        for w in bfs_order(graph, v) {
+            label[w.index()] = next;
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_triangles() -> Graph {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+        b.add_edge(3, 4).add_edge(4, 5).add_edge(3, 5);
+        b.build()
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = crate::generators::path(5);
+        let dist = bfs_distances(&g, VertexId::new(2));
+        let values: Vec<_> = dist.into_iter().map(Option::unwrap).collect();
+        assert_eq!(values, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let g = two_triangles();
+        let dist = bfs_distances(&g, VertexId::new(0));
+        assert_eq!(dist[4], None);
+        assert_eq!(dist[2], Some(1));
+    }
+
+    #[test]
+    fn bfs_order_covers_component() {
+        let g = two_triangles();
+        let order = bfs_order(&g, VertexId::new(3));
+        assert_eq!(order.len(), 3);
+        assert!(order.contains(&VertexId::new(5)));
+    }
+
+    #[test]
+    fn dfs_order_is_preorder() {
+        let g = crate::generators::path(4);
+        let order = dfs_order(&g, VertexId::new(0));
+        assert_eq!(order, vec![VertexId::new(0), VertexId::new(1), VertexId::new(2), VertexId::new(3)]);
+    }
+
+    #[test]
+    fn dfs_covers_component_once() {
+        let g = two_triangles();
+        let order = dfs_order(&g, VertexId::new(0));
+        assert_eq!(order.len(), 3);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "no vertex repeats");
+    }
+
+    #[test]
+    fn component_labels() {
+        let g = two_triangles();
+        let (labels, count) = components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn single_vertex_components() {
+        let g = GraphBuilder::new(3).build();
+        let (labels, count) = components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Vertex covers: predicates, 2-approximation, exact minimum for small
+//! graphs.
+//!
+//! Condition 1 of Theorem 3.4 requires the vertex players' support to be a
+//! vertex cover of the subgraph spanned by the defender's support edges;
+//! Theorem 2.2 partitions `V` into an independent set and its complementary
+//! vertex cover.
+
+use crate::{Graph, VertexId, VertexSet};
+
+/// Whether `cover` is a vertex cover of `graph`: every edge has at least
+/// one endpoint in `cover`. `cover` need not be sorted.
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::{generators, vertex_cover, VertexId};
+///
+/// let g = generators::path(3);
+/// assert!(vertex_cover::is_vertex_cover(&g, &[VertexId::new(1)]));
+/// assert!(!vertex_cover::is_vertex_cover(&g, &[VertexId::new(0)]));
+/// ```
+#[must_use]
+pub fn is_vertex_cover(graph: &Graph, cover: &[VertexId]) -> bool {
+    let mut member = vec![false; graph.vertex_count()];
+    for &v in cover {
+        member[v.index()] = true;
+    }
+    graph.edges().all(|e| {
+        let ep = graph.endpoints(e);
+        member[ep.u().index()] || member[ep.v().index()]
+    })
+}
+
+/// Whether `cover` covers only — and all of — the edges in `edges`
+/// (the "vertex cover of the graph obtained by an edge set" of Thm 3.4).
+#[must_use]
+pub fn covers_edges(graph: &Graph, cover: &[VertexId], edges: &[crate::EdgeId]) -> bool {
+    let mut member = vec![false; graph.vertex_count()];
+    for &v in cover {
+        member[v.index()] = true;
+    }
+    edges.iter().all(|&e| {
+        let ep = graph.endpoints(e);
+        member[ep.u().index()] || member[ep.v().index()]
+    })
+}
+
+/// The classic maximal-matching 2-approximation: repeatedly pick an
+/// uncovered edge and take both endpoints. Sorted output.
+#[must_use]
+pub fn two_approximation(graph: &Graph) -> VertexSet {
+    let mut covered = vec![false; graph.vertex_count()];
+    let mut out = Vec::new();
+    for e in graph.edges() {
+        let ep = graph.endpoints(e);
+        if !covered[ep.u().index()] && !covered[ep.v().index()] {
+            covered[ep.u().index()] = true;
+            covered[ep.v().index()] = true;
+            out.push(ep.u());
+            out.push(ep.v());
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Exact minimum vertex cover as the complement of an exact maximum
+/// independent set.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 64 vertices.
+#[must_use]
+pub fn minimum_exact(graph: &Graph) -> VertexSet {
+    let is = crate::independent_set::maximum_exact(graph);
+    complement(graph, &is)
+}
+
+/// The vertex-cover number `τ(G)` for small graphs (`n ≤ 64`).
+///
+/// # Panics
+///
+/// Panics if the graph has more than 64 vertices.
+#[must_use]
+pub fn cover_number_exact(graph: &Graph) -> usize {
+    graph.vertex_count() - crate::independent_set::independence_number_exact(graph)
+}
+
+/// The complement `V \ set`, sorted.
+#[must_use]
+pub fn complement(graph: &Graph, set: &[VertexId]) -> VertexSet {
+    let mut member = vec![false; graph.vertex_count()];
+    for &v in set {
+        member[v.index()] = true;
+    }
+    graph.vertices().filter(|v| !member[v.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, independent_set};
+
+    #[test]
+    fn predicate_basics() {
+        let g = generators::cycle(4);
+        assert!(is_vertex_cover(&g, &[VertexId::new(0), VertexId::new(2)]));
+        assert!(!is_vertex_cover(&g, &[VertexId::new(0)]));
+        let edgeless = crate::GraphBuilder::new(3).build();
+        assert!(is_vertex_cover(&edgeless, &[]));
+    }
+
+    #[test]
+    fn covers_edges_subset() {
+        let g = generators::path(4); // edges (0,1), (1,2), (2,3)
+        let e01 = g.find_edge(VertexId::new(0), VertexId::new(1)).unwrap();
+        let e23 = g.find_edge(VertexId::new(2), VertexId::new(3)).unwrap();
+        assert!(covers_edges(&g, &[VertexId::new(0), VertexId::new(3)], &[e01, e23]));
+        assert!(!is_vertex_cover(&g, &[VertexId::new(0), VertexId::new(3)]));
+    }
+
+    #[test]
+    fn two_approx_is_cover_within_factor() {
+        for g in [generators::petersen(), generators::grid(3, 4), generators::complete(6)] {
+            let approx = two_approximation(&g);
+            assert!(is_vertex_cover(&g, &approx));
+            let exact = cover_number_exact(&g);
+            assert!(approx.len() <= 2 * exact, "{} > 2·{exact}", approx.len());
+        }
+    }
+
+    #[test]
+    fn exact_on_known_graphs() {
+        assert_eq!(cover_number_exact(&generators::complete(5)), 4);
+        assert_eq!(cover_number_exact(&generators::cycle(5)), 3);
+        assert_eq!(cover_number_exact(&generators::star(6)), 1);
+        assert_eq!(cover_number_exact(&generators::petersen()), 6);
+    }
+
+    #[test]
+    fn exact_cover_is_cover_and_complement_independent() {
+        let g = generators::grid(3, 3);
+        let vc = minimum_exact(&g);
+        assert!(is_vertex_cover(&g, &vc));
+        let is = complement(&g, &vc);
+        assert!(independent_set::is_independent_set(&g, &is));
+        assert_eq!(vc.len() + is.len(), g.vertex_count());
+    }
+
+    #[test]
+    fn complement_round_trip() {
+        let g = generators::path(5);
+        let set = vec![VertexId::new(1), VertexId::new(3)];
+        assert_eq!(complement(&g, &complement(&g, &set)), set);
+    }
+}

@@ -1,0 +1,297 @@
+//! Tableau simplex with Bland's rule, in exact rational arithmetic.
+//!
+//! Solves the *packing form*
+//!
+//! ```text
+//! maximize    c · x
+//! subject to  A x ≤ b,   x ≥ 0,   b ≥ 0
+//! ```
+//!
+//! which is all the zero-sum reduction needs (the all-slack basis is
+//! feasible because `b ≥ 0`, so no phase-one is required). Bland's
+//! smallest-index pivoting rule guarantees termination even on degenerate
+//! tableaus, and exact rationals make the optimum — and the dual prices —
+//! bit-for-bit reproducible.
+
+use core::fmt;
+
+use defender_num::Ratio;
+
+/// Errors from [`maximize`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// A right-hand side was negative (packing form requires `b ≥ 0`).
+    NegativeRhs {
+        /// The offending constraint row.
+        row: usize,
+    },
+    /// Matrix shapes disagree.
+    ShapeMismatch {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::NegativeRhs { row } => {
+                write!(f, "constraint {row} has a negative right-hand side")
+            }
+            LpError::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution of the packing LP.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// The optimal objective value `c · x*`.
+    pub objective: Ratio,
+    /// The optimal primal point `x*` (length = number of variables).
+    pub primal: Vec<Ratio>,
+    /// The optimal dual prices `y*` (length = number of constraints);
+    /// `y*` solves the dual `min b·y, Aᵀy ≥ c, y ≥ 0`.
+    pub dual: Vec<Ratio>,
+}
+
+/// Solves `max c·x  s.t.  A x ≤ b, x ≥ 0` exactly.
+///
+/// # Errors
+///
+/// - [`LpError::ShapeMismatch`] for ragged input;
+/// - [`LpError::NegativeRhs`] if any `b_i < 0`;
+/// - [`LpError::Unbounded`] when no optimum exists.
+pub fn maximize(c: &[Ratio], a: &[Vec<Ratio>], b: &[Ratio]) -> Result<LpSolution, LpError> {
+    let n = c.len();
+    let m = a.len();
+    if b.len() != m {
+        return Err(LpError::ShapeMismatch { reason: format!("{m} rows but {} rhs entries", b.len()) });
+    }
+    for (i, row) in a.iter().enumerate() {
+        if row.len() != n {
+            return Err(LpError::ShapeMismatch {
+                reason: format!("row {i} has {} coefficients, expected {n}", row.len()),
+            });
+        }
+    }
+    if let Some(row) = b.iter().position(|&bi| bi < Ratio::ZERO) {
+        return Err(LpError::NegativeRhs { row });
+    }
+
+    // Tableau: m constraint rows over columns [x .. | slacks .. | rhs],
+    // plus a reduced-cost row (maximization: positive entry ⇒ improvable).
+    let cols = n + m + 1;
+    let mut tableau: Vec<Vec<Ratio>> = Vec::with_capacity(m + 1);
+    for i in 0..m {
+        let mut row = vec![Ratio::ZERO; cols];
+        row[..n].copy_from_slice(&a[i]);
+        row[n + i] = Ratio::ONE;
+        row[cols - 1] = b[i];
+        tableau.push(row);
+    }
+    let mut objective = vec![Ratio::ZERO; cols];
+    objective[..n].copy_from_slice(c);
+    tableau.push(objective);
+
+    // basis[i]: the variable occupying constraint row i (starts at slacks).
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    // Bland: entering variable = smallest column with positive reduced cost;
+    // loop until no column can improve the objective (optimality).
+    while let Some(entering) = (0..n + m).find(|&j| tableau[m][j] > Ratio::ZERO) {
+        // Ratio test; Bland tie-break on the smallest basis variable.
+        let mut leaving: Option<(usize, Ratio)> = None;
+        for i in 0..m {
+            let coeff = tableau[i][entering];
+            if coeff > Ratio::ZERO {
+                let ratio = tableau[i][cols - 1] / coeff;
+                let better = match &leaving {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio < *lr || (ratio == *lr && basis[i] < basis[*li])
+                    }
+                };
+                if better {
+                    leaving = Some((i, ratio));
+                }
+            }
+        }
+        let Some((pivot_row, _)) = leaving else {
+            return Err(LpError::Unbounded);
+        };
+
+        // Pivot on (pivot_row, entering).
+        let pivot = tableau[pivot_row][entering];
+        for value in tableau[pivot_row].iter_mut() {
+            *value /= pivot;
+        }
+        let pivot_values = tableau[pivot_row].clone();
+        for (i, row) in tableau.iter_mut().enumerate() {
+            if i == pivot_row {
+                continue;
+            }
+            let factor = row[entering];
+            if factor.is_zero() {
+                continue;
+            }
+            for (value, &pv) in row.iter_mut().zip(&pivot_values) {
+                *value -= factor * pv;
+            }
+        }
+        basis[pivot_row] = entering;
+    }
+
+    // Read the solution.
+    let mut primal = vec![Ratio::ZERO; n];
+    for (i, &var) in basis.iter().enumerate() {
+        if var < n {
+            primal[var] = tableau[i][cols - 1];
+        }
+    }
+    // Reduced cost of slack i at optimum is −y_i.
+    let dual: Vec<Ratio> = (0..m).map(|i| -tableau[m][n + i]).collect();
+    let objective = -tableau[m][cols - 1];
+    Ok(LpSolution { objective, primal, dual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Ratio {
+        Ratio::new(n, d)
+    }
+
+    #[test]
+    fn textbook_two_variable_lp() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let solution = maximize(
+            &[r(3, 1), r(5, 1)],
+            &[
+                vec![r(1, 1), r(0, 1)],
+                vec![r(0, 1), r(2, 1)],
+                vec![r(3, 1), r(2, 1)],
+            ],
+            &[r(4, 1), r(12, 1), r(18, 1)],
+        )
+        .unwrap();
+        assert_eq!(solution.objective, r(36, 1));
+        assert_eq!(solution.primal, vec![r(2, 1), r(6, 1)]);
+        // Strong duality: b·y = 36.
+        let b_dot_y = r(4, 1) * solution.dual[0] + r(12, 1) * solution.dual[1] + r(18, 1) * solution.dual[2];
+        assert_eq!(b_dot_y, r(36, 1));
+    }
+
+    #[test]
+    fn fractional_optimum() {
+        // max x + y s.t. 2x + y ≤ 1, x + 2y ≤ 1 → x = y = 1/3, obj 2/3.
+        let solution = maximize(
+            &[r(1, 1), r(1, 1)],
+            &[vec![r(2, 1), r(1, 1)], vec![r(1, 1), r(2, 1)]],
+            &[r(1, 1), r(1, 1)],
+        )
+        .unwrap();
+        assert_eq!(solution.objective, r(2, 3));
+        assert_eq!(solution.primal, vec![r(1, 3), r(1, 3)]);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with no binding constraint on x.
+        let err = maximize(&[r(1, 1), r(0, 1)], &[vec![r(0, 1), r(1, 1)]], &[r(1, 1)]).unwrap_err();
+        assert_eq!(err, LpError::Unbounded);
+    }
+
+    #[test]
+    fn zero_objective_is_fine() {
+        let solution = maximize(&[r(0, 1)], &[vec![r(1, 1)]], &[r(5, 1)]).unwrap();
+        assert_eq!(solution.objective, Ratio::ZERO);
+        assert_eq!(solution.primal, vec![Ratio::ZERO]);
+    }
+
+    #[test]
+    fn negative_rhs_rejected() {
+        let err = maximize(&[r(1, 1)], &[vec![r(1, 1)]], &[r(-1, 1)]).unwrap_err();
+        assert_eq!(err, LpError::NegativeRhs { row: 0 });
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(maximize(&[r(1, 1)], &[vec![r(1, 1), r(1, 1)]], &[r(1, 1)]).is_err());
+        assert!(maximize(&[r(1, 1)], &[vec![r(1, 1)]], &[]).is_err());
+    }
+
+    #[test]
+    fn degenerate_tableau_terminates() {
+        // Degeneracy: redundant constraints touching the optimum; Bland's
+        // rule must not cycle.
+        let solution = maximize(
+            &[r(1, 1), r(1, 1)],
+            &[
+                vec![r(1, 1), r(0, 1)],
+                vec![r(1, 1), r(0, 1)],
+                vec![r(0, 1), r(1, 1)],
+                vec![r(1, 1), r(1, 1)],
+            ],
+            &[r(1, 1), r(1, 1), r(1, 1), r(2, 1)],
+        )
+        .unwrap();
+        assert_eq!(solution.objective, r(2, 1));
+    }
+
+    #[test]
+    fn duals_certify_optimality_on_random_lps() {
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        runner
+            .run(
+                &(
+                    proptest::collection::vec(0i64..=5, 3),
+                    proptest::collection::vec(proptest::collection::vec(0i64..=4, 3), 3),
+                    proptest::collection::vec(1i64..=8, 3),
+                ),
+                |(c, a, b)| {
+                    let c: Vec<Ratio> = c.into_iter().map(Ratio::from).collect();
+                    let a: Vec<Vec<Ratio>> = a
+                        .into_iter()
+                        .map(|row| row.into_iter().map(Ratio::from).collect())
+                        .collect();
+                    let b: Vec<Ratio> = b.into_iter().map(Ratio::from).collect();
+                    match maximize(&c, &a, &b) {
+                        Ok(solution) => {
+                            // Primal feasibility.
+                            for (row, &bi) in a.iter().zip(&b) {
+                                let lhs: Ratio =
+                                    row.iter().zip(&solution.primal).map(|(&aij, &xj)| aij * xj).sum();
+                                prop_assert!(lhs <= bi);
+                            }
+                            prop_assert!(solution.primal.iter().all(|&x| x >= Ratio::ZERO));
+                            // Dual feasibility.
+                            prop_assert!(solution.dual.iter().all(|&y| y >= Ratio::ZERO));
+                            for j in 0..c.len() {
+                                let aty: Ratio =
+                                    a.iter().zip(&solution.dual).map(|(row, &yi)| row[j] * yi).sum();
+                                prop_assert!(aty >= c[j]);
+                            }
+                            // Strong duality.
+                            let by: Ratio = b.iter().zip(&solution.dual).map(|(&bi, &yi)| bi * yi).sum();
+                            prop_assert_eq!(by, solution.objective);
+                        }
+                        Err(LpError::Unbounded) => {
+                            // Possible when some c_j > 0 has a zero column.
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Exact zero-sum matrix-game solving via the classical LP reduction.
+
+use defender_num::Ratio;
+
+use crate::simplex::{maximize, LpError};
+
+/// An exact solution of a zero-sum matrix game.
+#[derive(Clone, Debug)]
+pub struct ZeroSumSolution {
+    /// The game's value (row player's guaranteed expectation).
+    pub value: Ratio,
+    /// An optimal mixed strategy for the row (maximizing) player.
+    pub row_strategy: Vec<Ratio>,
+    /// An optimal mixed strategy for the column (minimizing) player.
+    pub col_strategy: Vec<Ratio>,
+}
+
+/// Solves the zero-sum game with payoff matrix `m` (row player receives
+/// `m[i][j]`, column player pays it).
+///
+/// The reduction: shift `M` to `M' = M + σ > 0`, then the packing LP
+/// `max Σ w_j  s.t.  M' w ≤ 1, w ≥ 0` has optimum `1/v'` where
+/// `v' = value(M')`; the column strategy is `w·v'` and the row strategy
+/// comes out of the duals. Everything is exact.
+///
+/// # Errors
+///
+/// [`LpError::ShapeMismatch`] for empty/ragged matrices. (The game LP is
+/// never unbounded: the feasible region is compact after the shift.)
+pub fn solve_zero_sum(m: &[Vec<Ratio>]) -> Result<ZeroSumSolution, LpError> {
+    let rows = m.len();
+    if rows == 0 {
+        return Err(LpError::ShapeMismatch { reason: "empty matrix".into() });
+    }
+    let cols = m[0].len();
+    if cols == 0 || m.iter().any(|r| r.len() != cols) {
+        return Err(LpError::ShapeMismatch { reason: "ragged or empty matrix".into() });
+    }
+
+    // Shift strictly positive.
+    let min_entry = m
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .min()
+        .expect("non-empty matrix");
+    let sigma = Ratio::ONE - min_entry.min(Ratio::ZERO);
+    let shifted: Vec<Vec<Ratio>> = m
+        .iter()
+        .map(|r| r.iter().map(|&x| x + sigma).collect())
+        .collect();
+
+    // max Σ w_j s.t. M' w ≤ 1, w ≥ 0.
+    let objective = vec![Ratio::ONE; cols];
+    let rhs = vec![Ratio::ONE; rows];
+    let solution = maximize(&objective, &shifted, &rhs)?;
+    debug_assert!(solution.objective > Ratio::ZERO, "M' > 0 makes the optimum positive");
+    let shifted_value = solution.objective.recip().expect("positive optimum");
+
+    let col_strategy: Vec<Ratio> = solution.primal.iter().map(|&w| w * shifted_value).collect();
+    let row_strategy: Vec<Ratio> = solution.dual.iter().map(|&y| y * shifted_value).collect();
+    debug_assert_eq!(col_strategy.iter().copied().sum::<Ratio>(), Ratio::ONE);
+    debug_assert_eq!(row_strategy.iter().copied().sum::<Ratio>(), Ratio::ONE);
+
+    Ok(ZeroSumSolution { value: shifted_value - sigma, row_strategy, col_strategy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Ratio {
+        Ratio::new(n, d)
+    }
+
+    fn int(v: i64) -> Ratio {
+        Ratio::from(v)
+    }
+
+    /// Verifies a claimed solution: both strategies are distributions and
+    /// each guarantees the value against every pure reply.
+    fn certify(m: &[Vec<Ratio>], s: &ZeroSumSolution) {
+        assert_eq!(s.row_strategy.iter().copied().sum::<Ratio>(), Ratio::ONE);
+        assert_eq!(s.col_strategy.iter().copied().sum::<Ratio>(), Ratio::ONE);
+        assert!(s.row_strategy.iter().all(|&p| p >= Ratio::ZERO));
+        assert!(s.col_strategy.iter().all(|&p| p >= Ratio::ZERO));
+        // Row strategy guarantees ≥ value against every column.
+        for j in 0..m[0].len() {
+            let payoff: Ratio = m.iter().zip(&s.row_strategy).map(|(row, &p)| row[j] * p).sum();
+            assert!(payoff >= s.value, "column {j}: {payoff} < {}", s.value);
+        }
+        // Column strategy caps every row at ≤ value.
+        for (i, row) in m.iter().enumerate() {
+            let payoff: Ratio = row.iter().zip(&s.col_strategy).map(|(&x, &q)| x * q).sum();
+            assert!(payoff <= s.value, "row {i}: {payoff} > {}", s.value);
+        }
+    }
+
+    #[test]
+    fn matching_pennies() {
+        let m = vec![vec![int(1), int(-1)], vec![int(-1), int(1)]];
+        let s = solve_zero_sum(&m).unwrap();
+        assert_eq!(s.value, Ratio::ZERO);
+        assert_eq!(s.row_strategy, vec![r(1, 2), r(1, 2)]);
+        assert_eq!(s.col_strategy, vec![r(1, 2), r(1, 2)]);
+        certify(&m, &s);
+    }
+
+    #[test]
+    fn rock_paper_scissors() {
+        let m = vec![
+            vec![int(0), int(-1), int(1)],
+            vec![int(1), int(0), int(-1)],
+            vec![int(-1), int(1), int(0)],
+        ];
+        let s = solve_zero_sum(&m).unwrap();
+        assert_eq!(s.value, Ratio::ZERO);
+        assert_eq!(s.row_strategy, vec![r(1, 3); 3]);
+        certify(&m, &s);
+    }
+
+    #[test]
+    fn game_with_saddle_point() {
+        // Row 1 dominates; column 0 dominates: saddle at (1, 0), value 2.
+        let m = vec![vec![int(1), int(3)], vec![int(2), int(4)]];
+        let s = solve_zero_sum(&m).unwrap();
+        assert_eq!(s.value, int(2));
+        assert_eq!(s.row_strategy, vec![Ratio::ZERO, Ratio::ONE]);
+        assert_eq!(s.col_strategy, vec![Ratio::ONE, Ratio::ZERO]);
+        certify(&m, &s);
+    }
+
+    #[test]
+    fn asymmetric_fractional_value() {
+        // Classic: [[2, -1], [-1, 1]] → value 1/5, row (2/5, 3/5), col (2/5, 3/5).
+        let m = vec![vec![int(2), int(-1)], vec![int(-1), int(1)]];
+        let s = solve_zero_sum(&m).unwrap();
+        assert_eq!(s.value, r(1, 5));
+        assert_eq!(s.row_strategy, vec![r(2, 5), r(3, 5)]);
+        certify(&m, &s);
+    }
+
+    #[test]
+    fn rectangular_games() {
+        // 1×3: row player has one option; value = min entry.
+        let m = vec![vec![int(4), int(2), int(7)]];
+        let s = solve_zero_sum(&m).unwrap();
+        assert_eq!(s.value, int(2));
+        certify(&m, &s);
+        // 3×1: value = max entry.
+        let m = vec![vec![int(4)], vec![int(2)], vec![int(7)]];
+        let s = solve_zero_sum(&m).unwrap();
+        assert_eq!(s.value, int(7));
+        certify(&m, &s);
+    }
+
+    #[test]
+    fn all_negative_matrix() {
+        let m = vec![vec![int(-3), int(-5)], vec![int(-4), int(-2)]];
+        let s = solve_zero_sum(&m).unwrap();
+        certify(&m, &s);
+        assert!(s.value < Ratio::ZERO);
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        assert!(solve_zero_sum(&[]).is_err());
+        assert!(solve_zero_sum(&[vec![]]).is_err());
+    }
+
+    #[test]
+    fn random_matrices_certify() {
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        runner
+            .run(
+                &proptest::collection::vec(proptest::collection::vec(-5i64..=5, 4), 4),
+                |raw| {
+                    let m: Vec<Vec<Ratio>> = raw
+                        .into_iter()
+                        .map(|row| row.into_iter().map(Ratio::from).collect())
+                        .collect();
+                    let s = solve_zero_sum(&m).expect("solvable");
+                    certify(&m, &s);
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+}

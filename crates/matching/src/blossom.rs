@@ -1,0 +1,282 @@
+//! Edmonds' blossom algorithm: maximum matching in general graphs.
+//!
+//! Needed because Theorem 3.1 ties pure equilibria to *minimum edge covers*
+//! of arbitrary graphs, and Gallai's identity `ρ(G) = n − μ(G)` reduces
+//! those to maximum matchings — which on non-bipartite graphs require
+//! blossom contraction. This is the classical `O(n³)` array-based
+//! formulation: repeated alternating-tree searches, contracting odd cycles
+//! (blossoms) to their base on the fly.
+
+use std::collections::VecDeque;
+
+use defender_graph::{Graph, VertexId};
+
+use crate::{greedy, Matching};
+
+const NIL: usize = usize::MAX;
+
+struct Search<'a> {
+    graph: &'a Graph,
+    /// `mate[v]`: current partner of `v`, or NIL.
+    mate: Vec<usize>,
+    /// `parent[v]`: the "odd" parent of `v` in the alternating forest.
+    parent: Vec<usize>,
+    /// `base[v]`: the base vertex of the blossom currently containing `v`.
+    base: Vec<usize>,
+    /// Whether `v` is an even (outer) vertex of the current tree.
+    used: Vec<bool>,
+    /// Scratch marks for blossom contraction.
+    blossom: Vec<bool>,
+}
+
+impl<'a> Search<'a> {
+    fn new(graph: &'a Graph, mate: Vec<usize>) -> Search<'a> {
+        let n = graph.vertex_count();
+        Search {
+            graph,
+            mate,
+            parent: vec![NIL; n],
+            base: (0..n).collect(),
+            used: vec![false; n],
+            blossom: vec![false; n],
+        }
+    }
+
+    /// Lowest common ancestor of `a` and `b` in the alternating tree,
+    /// walking through blossom bases.
+    fn lca(&self, mut a: usize, mut b: usize) -> usize {
+        let n = self.graph.vertex_count();
+        let mut seen = vec![false; n];
+        loop {
+            a = self.base[a];
+            seen[a] = true;
+            if self.mate[a] == NIL {
+                break;
+            }
+            a = self.parent[self.mate[a]];
+        }
+        loop {
+            b = self.base[b];
+            if seen[b] {
+                return b;
+            }
+            b = self.parent[self.mate[b]];
+        }
+    }
+
+    /// Marks the blossom path from `v` down to base `b`, re-rooting parents
+    /// through `child`.
+    fn mark_path(&mut self, mut v: usize, b: usize, mut child: usize) {
+        while self.base[v] != b {
+            self.blossom[self.base[v]] = true;
+            self.blossom[self.base[self.mate[v]]] = true;
+            self.parent[v] = child;
+            child = self.mate[v];
+            v = self.parent[self.mate[v]];
+        }
+    }
+
+    /// Grows an alternating tree from `root`; returns the far end of an
+    /// augmenting path if one is found.
+    fn find_augmenting_path(&mut self, root: usize) -> usize {
+        let n = self.graph.vertex_count();
+        self.used.iter_mut().for_each(|u| *u = false);
+        self.parent.iter_mut().for_each(|p| *p = NIL);
+        for (i, b) in self.base.iter_mut().enumerate() {
+            *b = i;
+        }
+        self.used[root] = true;
+        let mut queue = VecDeque::from([root]);
+        while let Some(v) = queue.pop_front() {
+            let neighbors: Vec<usize> = self
+                .graph
+                .neighbors(VertexId::new(v))
+                .map(VertexId::index)
+                .collect();
+            for to in neighbors {
+                if self.base[v] == self.base[to] || self.mate[v] == to {
+                    continue;
+                }
+                if to == root || (self.mate[to] != NIL && self.parent[self.mate[to]] != NIL) {
+                    // Found an odd cycle: contract the blossom.
+                    let cur_base = self.lca(v, to);
+                    self.blossom.iter_mut().for_each(|b| *b = false);
+                    self.mark_path(v, cur_base, to);
+                    self.mark_path(to, cur_base, v);
+                    for i in 0..n {
+                        if self.blossom[self.base[i]] {
+                            self.base[i] = cur_base;
+                            if !self.used[i] {
+                                self.used[i] = true;
+                                queue.push_back(i);
+                            }
+                        }
+                    }
+                } else if self.parent[to] == NIL {
+                    self.parent[to] = v;
+                    if self.mate[to] == NIL {
+                        return to; // augmenting path root ~> to
+                    }
+                    self.used[self.mate[to]] = true;
+                    queue.push_back(self.mate[to]);
+                }
+            }
+        }
+        NIL
+    }
+
+    /// Flips matched/unmatched edges along the found path ending at `v`.
+    fn augment(&mut self, mut v: usize) {
+        while v != NIL {
+            let pv = self.parent[v];
+            let next = self.mate[pv];
+            self.mate[v] = pv;
+            self.mate[pv] = v;
+            v = next;
+        }
+    }
+}
+
+/// Maximum matching of an arbitrary graph (Edmonds, `O(n³)`).
+///
+/// Starts from a greedy maximal matching and augments until no augmenting
+/// path exists, which by Berge's lemma certifies maximality.
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::generators;
+/// use defender_matching::maximum_matching;
+///
+/// // Odd cycles need blossoms: μ(C5) = 2.
+/// assert_eq!(maximum_matching(&generators::cycle(5)).len(), 2);
+/// ```
+#[must_use]
+pub fn maximum_matching(graph: &Graph) -> Matching {
+    let n = graph.vertex_count();
+    let warm = greedy::maximal_matching(graph);
+    let mut mate = vec![NIL; n];
+    for v in graph.vertices() {
+        if let Some(w) = warm.partner(v) {
+            mate[v.index()] = w.index();
+        }
+    }
+    let mut search = Search::new(graph, mate);
+    for v in 0..n {
+        if search.mate[v] == NIL {
+            let end = search.find_augmenting_path(v);
+            if end != NIL {
+                search.augment(end);
+            }
+        }
+    }
+    let partner: Vec<Option<VertexId>> = search
+        .mate
+        .iter()
+        .map(|&m| (m != NIL).then(|| VertexId::new(m)))
+        .collect();
+    Matching::from_partner_map(graph, partner)
+}
+
+/// The matching number `μ(G)`.
+#[must_use]
+pub fn matching_number(graph: &Graph) -> usize {
+    maximum_matching(graph).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defender_graph::{generators, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_matching_numbers() {
+        assert_eq!(matching_number(&generators::path(2)), 1);
+        assert_eq!(matching_number(&generators::path(7)), 3);
+        assert_eq!(matching_number(&generators::cycle(5)), 2);
+        assert_eq!(matching_number(&generators::cycle(6)), 3);
+        assert_eq!(matching_number(&generators::complete(6)), 3);
+        assert_eq!(matching_number(&generators::complete(7)), 3);
+        assert_eq!(matching_number(&generators::star(9)), 1);
+        assert_eq!(matching_number(&generators::petersen()), 5);
+        assert_eq!(matching_number(&generators::grid(4, 4)), 8);
+    }
+
+    #[test]
+    fn blossom_contraction_is_exercised() {
+        // Two triangles joined by a bridge: greedy can pick the bridge and
+        // strand both triangles; maximum is 3.
+        //   0-1-2-0  3-4-5-3  bridge 2-3
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+        b.add_edge(3, 4).add_edge(4, 5).add_edge(3, 5);
+        b.add_edge(2, 3);
+        assert_eq!(matching_number(&b.build()), 3);
+    }
+
+    #[test]
+    fn flower_graph() {
+        // A blossom with a stem: odd cycle 1-2-3-4-5-1 plus stem 0-1.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2).add_edge(2, 3).add_edge(3, 4).add_edge(4, 5).add_edge(5, 1);
+        assert_eq!(matching_number(&b.build()), 3);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert_eq!(matching_number(&GraphBuilder::new(0).build()), 0);
+        assert_eq!(matching_number(&GraphBuilder::new(5).build()), 0);
+    }
+
+    #[test]
+    fn result_is_valid_and_maximal() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..30 {
+            let g = generators::gnp(14, 0.25, &mut rng);
+            let m = maximum_matching(&g);
+            assert!(m.is_maximal(&g), "maximum implies maximal");
+        }
+    }
+
+    /// Cross-check against brute force on small random graphs.
+    #[test]
+    fn agrees_with_brute_force() {
+        fn brute_force(g: &defender_graph::Graph) -> usize {
+            let m = g.edge_count();
+            let mut best = 0;
+            for mask in 0u32..(1 << m) {
+                let edges: Vec<defender_graph::EdgeId> = (0..m)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(defender_graph::EdgeId::new)
+                    .collect();
+                if Matching::from_edges(g, edges.clone()).is_ok() {
+                    best = best.max(edges.len());
+                }
+            }
+            best
+        }
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut tried = 0;
+        while tried < 25 {
+            let g = generators::gnp(7, 0.4, &mut rng);
+            if g.edge_count() > 14 {
+                continue;
+            }
+            tried += 1;
+            assert_eq!(matching_number(&g), brute_force(&g), "graph: {g:?}");
+        }
+    }
+
+    #[test]
+    fn odd_components_bound() {
+        // Tutte–Berge sanity: deficiency of a star is leaves - 1.
+        for leaves in 1..6 {
+            let g = generators::star(leaves);
+            let exposed = g.vertex_count() - 2 * matching_number(&g);
+            assert_eq!(exposed, leaves - 1);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimum edge cover via Gallai's identity `ρ(G) = n − μ(G)`.
+//!
+//! This is the computational heart of Corollary 3.2: deciding whether
+//! `Π_k(G)` has a pure Nash equilibrium amounts to comparing `k` with the
+//! minimum edge-cover size, and *constructing* the equilibrium requires an
+//! actual cover of that size (padded up to exactly `k` edges).
+
+use defender_graph::{EdgeId, EdgeSet, Graph};
+
+use crate::maximum_matching;
+
+/// A minimum edge cover of `graph`: a maximum matching plus, for each
+/// exposed vertex, one arbitrary incident edge (a "star completion").
+///
+/// Returns `None` when the graph has an isolated vertex (no cover exists)
+/// or is empty of vertices (the empty cover would be ambiguous; callers
+/// treat the empty graph specially).
+///
+/// The result has exactly `n − μ(G)` edges, which is optimal (Gallai 1959).
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::generators;
+/// use defender_matching::minimum_edge_cover;
+///
+/// // ρ(star with 4 leaves) = 4: every leaf needs its own spoke.
+/// let cover = minimum_edge_cover(&generators::star(4)).unwrap();
+/// assert_eq!(cover.len(), 4);
+/// ```
+#[must_use]
+pub fn minimum_edge_cover(graph: &Graph) -> Option<EdgeSet> {
+    if graph.vertex_count() == 0 {
+        return Some(Vec::new());
+    }
+    if graph.has_isolated_vertex() {
+        return None;
+    }
+    let matching = maximum_matching(graph);
+    let mut cover: Vec<EdgeId> = matching.edges().to_vec();
+    for v in matching.exposed_vertices() {
+        let (_, e) = graph.incidence(v)[0];
+        cover.push(e);
+    }
+    cover.sort_unstable();
+    cover.dedup();
+    Some(cover)
+}
+
+/// The edge-cover number `ρ(G)`, when defined.
+#[must_use]
+pub fn edge_cover_number(graph: &Graph) -> Option<usize> {
+    minimum_edge_cover(graph).map(|c| c.len())
+}
+
+/// Extends a minimum edge cover to an edge cover of *exactly* `k` edges by
+/// adding arbitrary extra edges, when possible.
+///
+/// Used by the pure-NE construction of Theorem 3.1, which needs the
+/// defender's tuple (a set of `k` distinct edges) to cover all of `V`.
+/// Returns `None` when `k < ρ(G)` (no cover that small), `k > m` (not
+/// enough distinct edges), or no cover exists at all.
+#[must_use]
+pub fn edge_cover_of_size(graph: &Graph, k: usize) -> Option<EdgeSet> {
+    let mut cover = minimum_edge_cover(graph)?;
+    if cover.len() > k || k > graph.edge_count() {
+        return None;
+    }
+    let mut chosen = vec![false; graph.edge_count()];
+    for &e in &cover {
+        chosen[e.index()] = true;
+    }
+    for e in graph.edges() {
+        if cover.len() == k {
+            break;
+        }
+        if !chosen[e.index()] {
+            chosen[e.index()] = true;
+            cover.push(e);
+        }
+    }
+    cover.sort_unstable();
+    (cover.len() == k).then_some(cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defender_graph::{edge_cover, generators, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_edge_cover_numbers() {
+        assert_eq!(edge_cover_number(&generators::path(2)), Some(1));
+        assert_eq!(edge_cover_number(&generators::path(4)), Some(2));
+        assert_eq!(edge_cover_number(&generators::path(5)), Some(3));
+        assert_eq!(edge_cover_number(&generators::cycle(5)), Some(3));
+        assert_eq!(edge_cover_number(&generators::cycle(6)), Some(3));
+        assert_eq!(edge_cover_number(&generators::star(7)), Some(7));
+        assert_eq!(edge_cover_number(&generators::complete(6)), Some(3));
+        assert_eq!(edge_cover_number(&generators::petersen()), Some(5));
+    }
+
+    #[test]
+    fn gallai_identity_holds() {
+        let mut rng = StdRng::seed_from_u64(60);
+        for _ in 0..30 {
+            let g = generators::gnp_connected(13, 0.2, &mut rng);
+            let mu = crate::maximum_matching(&g).len();
+            let rho = edge_cover_number(&g).unwrap();
+            assert_eq!(rho, g.vertex_count() - mu, "ρ = n − μ");
+        }
+    }
+
+    #[test]
+    fn result_is_a_cover() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..30 {
+            let g = generators::gnp_connected(11, 0.25, &mut rng);
+            let cover = minimum_edge_cover(&g).unwrap();
+            assert!(edge_cover::is_edge_cover(&g, &cover));
+        }
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_minimum() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut tried = 0;
+        while tried < 15 {
+            let g = generators::gnp_connected(7, 0.2, &mut rng);
+            if g.edge_count() > 14 {
+                continue;
+            }
+            tried += 1;
+            let fast = edge_cover_number(&g).unwrap();
+            let slow = edge_cover::minimum_exact_small(&g).unwrap().len();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_has_no_cover() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        assert_eq!(minimum_edge_cover(&b.build()), None);
+        assert_eq!(edge_cover_of_size(&b.build(), 3), None);
+    }
+
+    #[test]
+    fn empty_graph_has_empty_cover() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(minimum_edge_cover(&g), Some(vec![]));
+    }
+
+    #[test]
+    fn sized_cover_pads_and_bounds() {
+        let g = generators::cycle(6); // ρ = 3, m = 6
+        assert_eq!(edge_cover_of_size(&g, 2), None, "below ρ");
+        for k in 3..=6 {
+            let cover = edge_cover_of_size(&g, k).unwrap();
+            assert_eq!(cover.len(), k);
+            assert!(edge_cover::is_edge_cover(&g, &cover));
+        }
+        assert_eq!(edge_cover_of_size(&g, 7), None, "beyond m");
+    }
+}

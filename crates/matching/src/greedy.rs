@@ -1,0 +1,76 @@
+//! Greedy maximal matching — a fast baseline and warm start.
+
+use defender_graph::Graph;
+
+use crate::Matching;
+
+/// Greedy maximal matching: scan edges in id order, take every edge whose
+/// endpoints are both free. Deterministic, `O(m)`, and at least half the
+/// size of a maximum matching.
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::generators;
+/// use defender_matching::greedy;
+///
+/// let m = greedy::maximal_matching(&generators::path(5));
+/// assert_eq!(m.len(), 2);
+/// assert!(m.is_maximal(&generators::path(5)));
+/// ```
+#[must_use]
+pub fn maximal_matching(graph: &Graph) -> Matching {
+    let mut partner = vec![None; graph.vertex_count()];
+    for e in graph.edges() {
+        let ep = graph.endpoints(e);
+        if partner[ep.u().index()].is_none() && partner[ep.v().index()].is_none() {
+            partner[ep.u().index()] = Some(ep.v());
+            partner[ep.v().index()] = Some(ep.u());
+        }
+    }
+    Matching::from_partner_map(graph, partner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defender_graph::generators;
+
+    #[test]
+    fn results_are_maximal_matchings() {
+        for g in [
+            generators::path(9),
+            generators::cycle(7),
+            generators::petersen(),
+            generators::complete(6),
+            generators::star(5),
+        ] {
+            let m = maximal_matching(&g);
+            assert!(m.is_maximal(&g), "greedy result must be maximal");
+            // Validity is enforced by Matching::from_partner_map panics.
+            assert!(m.len() <= g.vertex_count() / 2);
+        }
+    }
+
+    #[test]
+    fn half_approximation_on_paths() {
+        for n in 2..12 {
+            let g = generators::path(n);
+            let greedy = maximal_matching(&g).len();
+            let maximum = crate::maximum_matching(&g).len();
+            assert!(2 * greedy >= maximum, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn star_matches_one_edge() {
+        let m = maximal_matching(&generators::star(7));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn edgeless_graph_empty_matching() {
+        let g = defender_graph::GraphBuilder::new(4).build();
+        assert!(maximal_matching(&g).is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Hall-condition checks: the corrected expander condition of Theorem 2.2.
+//!
+//! DESIGN.md §5.1: the matching-NE characterization needs `VC` to expand
+//! *into* `IS = V \ VC`, i.e. `|X| ≤ |Neigh_G(X) ∩ IS|` for every
+//! `X ⊆ VC`. By Hall's theorem this holds iff `VC` can be matched into
+//! `IS`, which Hopcroft–Karp decides in `O(m√n)` — no subset enumeration.
+
+use std::collections::VecDeque;
+
+use defender_graph::{vertex_cover, Graph, VertexId, VertexSet};
+
+use crate::{hopcroft_karp, Matching};
+
+/// Result of [`matching_into_complement`].
+#[derive(Clone, Debug)]
+pub enum HallOutcome {
+    /// `set` can be matched into its complement; the matching saturates
+    /// `set`.
+    Saturated(Matching),
+    /// Hall's condition fails; the violator `X ⊆ set` satisfies
+    /// `|Neigh(X) \ set| < |X|`.
+    Deficient {
+        /// A maximum (unsaturating) matching.
+        matching: Matching,
+        /// A Hall violator, sorted.
+        violator: VertexSet,
+    },
+}
+
+impl HallOutcome {
+    /// The underlying matching, saturated or not.
+    #[must_use]
+    pub fn matching(&self) -> &Matching {
+        match self {
+            HallOutcome::Saturated(m) | HallOutcome::Deficient { matching: m, .. } => m,
+        }
+    }
+
+    /// Whether the set was fully matched into its complement.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        matches!(self, HallOutcome::Saturated(_))
+    }
+}
+
+/// Tries to match every vertex of `set` to a *distinct* neighbor outside
+/// `set`.
+///
+/// On failure, extracts a Hall violator: the `set`-side vertices reachable
+/// by alternating paths from an unmatched `set` vertex form an `X` whose
+/// outside neighborhood is smaller than `X`.
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::{generators, VertexId};
+/// use defender_matching::hall::{matching_into_complement, HallOutcome};
+///
+/// // K3 with set = {v1, v2}: only one outside vertex exists.
+/// let g = generators::complete(3);
+/// let set = vec![VertexId::new(1), VertexId::new(2)];
+/// let outcome = matching_into_complement(&g, &set);
+/// assert!(!outcome.is_saturated());
+/// ```
+#[must_use]
+pub fn matching_into_complement(graph: &Graph, set: &[VertexId]) -> HallOutcome {
+    let complement = vertex_cover::complement(graph, set);
+    let matching = hopcroft_karp(graph, set, &complement);
+    if matching.saturates(set) {
+        return HallOutcome::Saturated(matching);
+    }
+
+    // Alternating BFS from unmatched `set` vertices over cross edges:
+    // set -> outside via non-matching edges, outside -> set via matching.
+    let n = graph.vertex_count();
+    let mut in_set = vec![false; n];
+    for &v in set {
+        in_set[v.index()] = true;
+    }
+    let mut reached = vec![false; n];
+    let mut queue: VecDeque<VertexId> = set
+        .iter()
+        .copied()
+        .filter(|&v| !matching.is_matched(v))
+        .collect();
+    for &v in &queue {
+        reached[v.index()] = true;
+    }
+    while let Some(v) = queue.pop_front() {
+        if in_set[v.index()] {
+            for w in graph.neighbors(v) {
+                if !in_set[w.index()] && !reached[w.index()] && matching.partner(v) != Some(w) {
+                    reached[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        } else if let Some(w) = matching.partner(v) {
+            if !reached[w.index()] {
+                reached[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    let violator: VertexSet = set
+        .iter()
+        .copied()
+        .filter(|&v| reached[v.index()])
+        .collect();
+    HallOutcome::Deficient { matching, violator }
+}
+
+/// The corrected `S`-expander predicate: `S` expands into `V \ S`.
+///
+/// Equivalent to [`matching_into_complement`] saturating, by Hall.
+#[must_use]
+pub fn is_expander_into_complement(graph: &Graph, set: &[VertexId]) -> bool {
+    matching_into_complement(graph, set).is_saturated()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defender_graph::{expander, generators};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn k3_pin_from_design_md() {
+        let g = generators::complete(3);
+        let set = vec![VertexId::new(1), VertexId::new(2)];
+        let outcome = matching_into_complement(&g, &set);
+        let HallOutcome::Deficient { violator, matching } = outcome else {
+            panic!("K3 must be deficient");
+        };
+        assert_eq!(matching.len(), 1);
+        // The violator's outside neighborhood is strictly smaller.
+        let outside: Vec<VertexId> = g
+            .neighborhood(&violator)
+            .into_iter()
+            .filter(|w| !set.contains(w))
+            .collect();
+        assert!(outside.len() < violator.len());
+    }
+
+    #[test]
+    fn star_center_saturates() {
+        let g = generators::star(5);
+        assert!(is_expander_into_complement(&g, &[VertexId::new(0)]));
+    }
+
+    #[test]
+    fn star_leaves_do_not_saturate() {
+        let g = generators::star(5);
+        let leaves: Vec<VertexId> = (1..=5).map(VertexId::new).collect();
+        let outcome = matching_into_complement(&g, &leaves);
+        assert!(!outcome.is_saturated());
+        assert_eq!(outcome.matching().len(), 1, "only the hub is outside");
+    }
+
+    #[test]
+    fn agrees_with_exact_brute_force() {
+        let mut rng = StdRng::seed_from_u64(40);
+        for trial in 0..40 {
+            let g = generators::gnp_connected(10, 0.2, &mut rng);
+            // Take an arbitrary half of the vertices as the candidate set.
+            let set: Vec<VertexId> = g.vertices().filter(|v| v.index() % 2 == trial % 2).collect();
+            let fast = is_expander_into_complement(&g, &set);
+            let slow = expander::is_expander_into_complement_exact(&g, &set);
+            assert_eq!(fast, slow, "trial {trial}: {g:?}, set {set:?}");
+        }
+    }
+
+    #[test]
+    fn violator_is_certified(){
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut deficient_seen = 0;
+        for _ in 0..60 {
+            let g = generators::gnp_connected(12, 0.15, &mut rng);
+            let set: Vec<VertexId> = g.vertices().filter(|v| v.index() < 6).collect();
+            if let HallOutcome::Deficient { violator, .. } = matching_into_complement(&g, &set) {
+                deficient_seen += 1;
+                assert!(!violator.is_empty());
+                let in_set: Vec<bool> = {
+                    let mut m = vec![false; g.vertex_count()];
+                    for &v in &set {
+                        m[v.index()] = true;
+                    }
+                    m
+                };
+                let outside = g
+                    .neighborhood(&violator)
+                    .into_iter()
+                    .filter(|w| !in_set[w.index()])
+                    .count();
+                assert!(outside < violator.len(), "violator must certify deficiency");
+            }
+        }
+        assert!(deficient_seen > 0, "sparse graphs should produce deficient cases");
+    }
+
+    #[test]
+    fn empty_set_saturates_trivially() {
+        let g = generators::path(3);
+        assert!(is_expander_into_complement(&g, &[]));
+    }
+}

@@ -1,0 +1,245 @@
+//! Hopcroft–Karp maximum bipartite matching in `O(m√n)`.
+//!
+//! Operates on an arbitrary [`Graph`] with an explicit `(left, right)`
+//! split: only edges with one endpoint in each side are considered, so the
+//! caller can match any vertex set into any other (e.g. `VC` into `IS` for
+//! the matching-NE construction, where `G` itself need not be bipartite).
+
+use std::collections::VecDeque;
+
+use defender_graph::{Graph, VertexId};
+
+use crate::Matching;
+
+const NIL: usize = usize::MAX;
+
+/// Computes a maximum matching between `left` and `right` using only edges
+/// of `graph` that cross from one side to the other.
+///
+/// `left` and `right` must be disjoint; vertices outside both sides are
+/// ignored. Returns a [`Matching`] of `graph` (partner map indexed by the
+/// graph's own vertex ids).
+///
+/// # Panics
+///
+/// Panics if `left` and `right` intersect or contain out-of-range ids.
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::{generators, VertexId};
+/// use defender_matching::hopcroft_karp;
+///
+/// let g = generators::complete_bipartite(3, 3);
+/// let left: Vec<_> = (0..3).map(VertexId::new).collect();
+/// let right: Vec<_> = (3..6).map(VertexId::new).collect();
+/// let m = hopcroft_karp(&g, &left, &right);
+/// assert_eq!(m.len(), 3);
+/// ```
+#[must_use]
+pub fn hopcroft_karp(graph: &Graph, left: &[VertexId], right: &[VertexId]) -> Matching {
+    let n = graph.vertex_count();
+    // side[v]: 0 = left, 1 = right, 2 = absent.
+    let mut side = vec![2u8; n];
+    for &v in left {
+        side[v.index()] = 0;
+    }
+    for &v in right {
+        assert_ne!(side[v.index()], 0, "left and right sides must be disjoint ({v})");
+        side[v.index()] = 1;
+    }
+
+    // Local indices for the left side.
+    let left_index: Vec<usize> = {
+        let mut idx = vec![NIL; n];
+        for (i, &v) in left.iter().enumerate() {
+            idx[v.index()] = i;
+        }
+        idx
+    };
+
+    // Cross adjacency of each left vertex.
+    let cross: Vec<Vec<VertexId>> = left
+        .iter()
+        .map(|&v| graph.neighbors(v).filter(|w| side[w.index()] == 1).collect())
+        .collect();
+
+    let mut match_left: Vec<Option<VertexId>> = vec![None; left.len()];
+    let mut match_right: Vec<Option<usize>> = vec![None; n]; // right vertex -> left local idx
+    let mut dist = vec![usize::MAX; left.len()];
+
+    // BFS over free left vertices; layers of alternating paths.
+    let bfs = |match_left: &[Option<VertexId>],
+               match_right: &[Option<usize>],
+               dist: &mut [usize]|
+     -> bool {
+        let mut queue = VecDeque::new();
+        for (i, m) in match_left.iter().enumerate() {
+            if m.is_none() {
+                dist[i] = 0;
+                queue.push_back(i);
+            } else {
+                dist[i] = usize::MAX;
+            }
+        }
+        let mut found_free_right = false;
+        while let Some(i) = queue.pop_front() {
+            for &w in &cross[i] {
+                match match_right[w.index()] {
+                    None => found_free_right = true,
+                    Some(j) => {
+                        if dist[j] == usize::MAX {
+                            dist[j] = dist[i] + 1;
+                            queue.push_back(j);
+                        }
+                    }
+                }
+            }
+        }
+        found_free_right
+    };
+
+    // DFS along layered structure to find vertex-disjoint augmenting paths.
+    fn dfs(
+        i: usize,
+        cross: &[Vec<VertexId>],
+        match_left: &mut [Option<VertexId>],
+        match_right: &mut [Option<usize>],
+        dist: &mut [usize],
+    ) -> bool {
+        for idx in 0..cross[i].len() {
+            let w = cross[i][idx];
+            let advance = match match_right[w.index()] {
+                None => true,
+                Some(j) => {
+                    dist[j] == dist[i].wrapping_add(1)
+                        && dfs(j, cross, match_left, match_right, dist)
+                }
+            };
+            if advance {
+                match_left[i] = Some(w);
+                match_right[w.index()] = Some(i);
+                return true;
+            }
+        }
+        dist[i] = usize::MAX;
+        false
+    }
+
+    while bfs(&match_left, &match_right, &mut dist) {
+        for i in 0..left.len() {
+            if match_left[i].is_none() {
+                let _ = dfs(i, &cross, &mut match_left, &mut match_right, &mut dist);
+            }
+        }
+    }
+
+    let mut partner: Vec<Option<VertexId>> = vec![None; n];
+    for (i, m) in match_left.iter().enumerate() {
+        if let Some(w) = m {
+            partner[left[i].index()] = Some(*w);
+            partner[w.index()] = Some(left[i]);
+        }
+    }
+    let _ = left_index; // kept for readability; local indexing is positional
+    Matching::from_partner_map(graph, partner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defender_graph::{generators, GraphBuilder};
+
+    fn ids(range: std::ops::Range<usize>) -> Vec<VertexId> {
+        range.map(VertexId::new).collect()
+    }
+
+    #[test]
+    fn perfect_on_complete_bipartite() {
+        let g = generators::complete_bipartite(4, 4);
+        let m = hopcroft_karp(&g, &ids(0..4), &ids(4..8));
+        assert_eq!(m.len(), 4);
+        assert!(m.is_perfect(&g));
+    }
+
+    #[test]
+    fn unbalanced_sides() {
+        let g = generators::complete_bipartite(3, 7);
+        let m = hopcroft_karp(&g, &ids(0..3), &ids(3..10));
+        assert_eq!(m.len(), 3);
+        assert!(m.saturates(&ids(0..3)));
+    }
+
+    #[test]
+    fn respects_structure_not_just_counts() {
+        // Two left vertices forced onto one right vertex: max matching 2.
+        //   l0 - r0, l1 - r0, l1 - r1
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 2).add_edge(1, 2).add_edge(1, 3);
+        let g = b.build();
+        let m = hopcroft_karp(&g, &ids(0..2), &ids(2..4));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn hall_violation_limits_matching() {
+        // Three left vertices all adjacent only to one right vertex.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 3).add_edge(1, 3).add_edge(2, 3);
+        let g = b.build();
+        let m = hopcroft_karp(&g, &ids(0..3), &ids(3..4));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn ignores_non_cross_edges() {
+        // Left side has internal edges; they must not be used.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1); // internal to left
+        b.add_edge(0, 2).add_edge(1, 3);
+        let g = b.build();
+        let m = hopcroft_karp(&g, &ids(0..2), &ids(2..4));
+        assert_eq!(m.len(), 2);
+        for &e in m.edges() {
+            let ep = g.endpoints(e);
+            assert!(ep.u().index() < 2 && ep.v().index() >= 2);
+        }
+    }
+
+    #[test]
+    fn empty_sides() {
+        let g = generators::path(4);
+        assert!(hopcroft_karp(&g, &[], &ids(0..4)).is_empty());
+        assert!(hopcroft_karp(&g, &ids(0..4), &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_sides_rejected() {
+        let g = generators::path(3);
+        let _ = hopcroft_karp(&g, &ids(0..2), &ids(1..3));
+    }
+
+    #[test]
+    fn agrees_with_blossom_on_bipartite_graphs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let g = generators::random_bipartite(6, 8, 0.3, &mut rng);
+            let hk = hopcroft_karp(&g, &ids(0..6), &ids(6..14));
+            let general = crate::maximum_matching(&g);
+            assert_eq!(hk.len(), general.len());
+        }
+    }
+
+    #[test]
+    fn path_matching_is_maximum() {
+        // Path v0-v1-v2-v3-v4: bipartition {0,2,4} vs {1,3}, max matching 2.
+        let g = generators::path(5);
+        let left: Vec<VertexId> = [0, 2, 4].into_iter().map(VertexId::new).collect();
+        let right: Vec<VertexId> = [1, 3].into_iter().map(VertexId::new).collect();
+        let m = hopcroft_karp(&g, &left, &right);
+        assert_eq!(m.len(), 2);
+    }
+}

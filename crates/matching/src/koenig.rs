@@ -1,0 +1,205 @@
+//! König's theorem: minimum vertex cover of a bipartite graph from a
+//! maximum matching.
+//!
+//! Theorem 5.1 of the paper computes a k-matching NE on a bipartite graph
+//! by feeding `A_tuple` a *minimum vertex cover* `VC` and the complementary
+//! independent set `IS`; König's construction additionally matches every
+//! `VC` vertex to a private `IS` vertex, which is exactly what the
+//! matching-NE construction needs.
+
+use std::collections::VecDeque;
+
+use defender_graph::{Graph, VertexId, VertexSet};
+
+use crate::{hopcroft_karp, Matching};
+
+/// A minimum vertex cover of a bipartite graph, with the maximum matching
+/// certifying its optimality.
+#[derive(Clone, Debug)]
+pub struct KoenigCover {
+    /// The minimum vertex cover, sorted. `|cover| == matching.len()`.
+    pub cover: VertexSet,
+    /// A maximum matching of the same size (the duality witness).
+    pub matching: Matching,
+}
+
+/// Computes a minimum vertex cover of the bipartite graph split as
+/// `(left, right)` via König's construction.
+///
+/// Vertices reachable from unmatched left vertices by alternating paths
+/// (`Z`) yield the cover `(L \ Z) ∪ (R ∩ Z)`. Every cover vertex is matched
+/// by the returned maximum matching, and its partner lies outside the cover
+/// — the property the matching-NE construction relies on.
+///
+/// # Panics
+///
+/// Panics if `left`/`right` overlap (see
+/// [`hopcroft_karp()`](fn@crate::hopcroft_karp)).
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::{generators, VertexId};
+/// use defender_matching::koenig_vertex_cover;
+///
+/// let g = generators::complete_bipartite(2, 5);
+/// let left: Vec<_> = (0..2).map(VertexId::new).collect();
+/// let right: Vec<_> = (2..7).map(VertexId::new).collect();
+/// let k = koenig_vertex_cover(&g, &left, &right);
+/// assert_eq!(k.cover, left); // the small side covers K_{2,5}
+/// assert_eq!(k.matching.len(), 2);
+/// ```
+#[must_use]
+pub fn koenig_vertex_cover(graph: &Graph, left: &[VertexId], right: &[VertexId]) -> KoenigCover {
+    let matching = hopcroft_karp(graph, left, right);
+    let n = graph.vertex_count();
+    let mut is_left = vec![false; n];
+    for &v in left {
+        is_left[v.index()] = true;
+    }
+    let mut is_right = vec![false; n];
+    for &v in right {
+        is_right[v.index()] = true;
+    }
+
+    // Alternating BFS from unmatched left vertices:
+    // left -> right via NON-matching edges, right -> left via matching edges.
+    let mut in_z = vec![false; n];
+    let mut queue: VecDeque<VertexId> = left
+        .iter()
+        .copied()
+        .filter(|&v| !matching.is_matched(v))
+        .collect();
+    for &v in &queue {
+        in_z[v.index()] = true;
+    }
+    while let Some(v) = queue.pop_front() {
+        if is_left[v.index()] {
+            for w in graph.neighbors(v) {
+                if is_right[w.index()] && !in_z[w.index()] && matching.partner(v) != Some(w) {
+                    in_z[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        } else if let Some(w) = matching.partner(v) {
+            if !in_z[w.index()] {
+                in_z[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+
+    let mut cover: VertexSet = Vec::new();
+    for &v in left {
+        if !in_z[v.index()] {
+            cover.push(v);
+        }
+    }
+    for &v in right {
+        if in_z[v.index()] {
+            cover.push(v);
+        }
+    }
+    cover.sort_unstable();
+    KoenigCover { cover, matching }
+}
+
+/// Convenience wrapper: bipartition the graph first, then apply König.
+///
+/// # Errors
+///
+/// Returns [`defender_graph::GraphError::NotBipartite`] when no
+/// bipartition exists.
+pub fn koenig_auto(graph: &Graph) -> Result<KoenigCover, defender_graph::GraphError> {
+    let bp = defender_graph::properties::bipartition(graph)?;
+    Ok(koenig_vertex_cover(graph, &bp.left, &bp.right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defender_graph::{generators, vertex_cover, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ids(range: std::ops::Range<usize>) -> Vec<VertexId> {
+        range.map(VertexId::new).collect()
+    }
+
+    #[test]
+    fn cover_size_equals_matching_size() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..25 {
+            let g = generators::random_bipartite(7, 9, 0.25, &mut rng);
+            let k = koenig_vertex_cover(&g, &ids(0..7), &ids(7..16));
+            assert_eq!(k.cover.len(), k.matching.len(), "König duality");
+            assert!(vertex_cover::is_vertex_cover(&g, &k.cover));
+        }
+    }
+
+    #[test]
+    fn cover_is_minimum_against_exact() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for _ in 0..10 {
+            let g = generators::random_bipartite(5, 6, 0.3, &mut rng);
+            let k = koenig_vertex_cover(&g, &ids(0..5), &ids(5..11));
+            assert_eq!(k.cover.len(), vertex_cover::cover_number_exact(&g));
+        }
+    }
+
+    #[test]
+    fn every_cover_vertex_matched_outside_cover() {
+        let mut rng = StdRng::seed_from_u64(30);
+        for _ in 0..25 {
+            let g = generators::random_bipartite(6, 8, 0.3, &mut rng);
+            let k = koenig_vertex_cover(&g, &ids(0..6), &ids(6..14));
+            for &v in &k.cover {
+                let partner = k.matching.partner(v).expect("cover vertices are matched");
+                assert!(
+                    k.cover.binary_search(&partner).is_err(),
+                    "partner of {v} must lie in the independent side"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_cover() {
+        let g = generators::path(4);
+        let k = koenig_auto(&g).unwrap();
+        assert_eq!(k.cover.len(), 2);
+        assert!(vertex_cover::is_vertex_cover(&g, &k.cover));
+    }
+
+    #[test]
+    fn star_cover_is_center() {
+        let g = generators::star(6);
+        let k = koenig_auto(&g).unwrap();
+        assert_eq!(k.cover, vec![VertexId::new(0)]);
+    }
+
+    #[test]
+    fn auto_rejects_odd_cycle() {
+        assert!(koenig_auto(&generators::cycle(5)).is_err());
+    }
+
+    #[test]
+    fn asymmetric_structure() {
+        // l0-r0, l0-r1, l1-r1: VC = {l0, r1} or... τ = 2? Matching: l0-r0,
+        // l1-r1 → μ = 2, so τ = 2.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 2).add_edge(0, 3).add_edge(1, 3);
+        let g = b.build();
+        let k = koenig_vertex_cover(&g, &ids(0..2), &ids(2..4));
+        assert_eq!(k.cover.len(), 2);
+        assert!(vertex_cover::is_vertex_cover(&g, &k.cover));
+    }
+
+    #[test]
+    fn edgeless_graph_empty_cover() {
+        let g = GraphBuilder::new(4).build();
+        let k = koenig_vertex_cover(&g, &ids(0..2), &ids(2..4));
+        assert!(k.cover.is_empty());
+        assert!(k.matching.is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Linear-time matching machinery on trees (and forests).
+//!
+//! The companion paper \[8\] singles out trees as a family with specialized
+//! linear-time equilibrium computation. On a tree the generic
+//! Hopcroft–Karp/König route costs `O(m√n)`; here both the maximum
+//! matching and the minimum vertex cover come out of one `O(n)`
+//! leaf-to-root dynamic program, feeding `A_tuple` a partition without the
+//! bipartite machinery.
+
+use defender_graph::{properties, Graph, VertexId, VertexSet};
+
+use crate::Matching;
+
+/// Result of the tree DP: maximum matching + minimum vertex cover, which
+/// certify each other (`|cover| = |matching|` by König on bipartite trees).
+#[derive(Clone, Debug)]
+pub struct TreeCover {
+    /// A maximum matching of the forest.
+    pub matching: Matching,
+    /// A minimum vertex cover, sorted. Every cover vertex is matched and
+    /// its partner lies outside the cover.
+    pub cover: VertexSet,
+}
+
+/// Computes a maximum matching and minimum vertex cover of a forest in
+/// `O(n)` by greedy leaf matching.
+///
+/// Walking vertices in reverse BFS order from each root, an unmatched
+/// vertex whose parent is also unmatched grabs the parent edge; taking the
+/// *parent* of every matched-from-below vertex yields the cover. Greedy
+/// leaf matching is maximum on forests, and each matched edge contributes
+/// its parent endpoint to the cover, giving `|cover| = |matching|` — a
+/// König certificate of minimality.
+///
+/// Returns `None` if `graph` contains a cycle (not a forest).
+///
+/// # Examples
+///
+/// ```
+/// use defender_graph::generators;
+/// use defender_matching::tree::tree_cover;
+///
+/// let path = generators::path(5);
+/// let tc = tree_cover(&path).expect("paths are trees");
+/// assert_eq!(tc.matching.len(), 2);
+/// assert_eq!(tc.cover.len(), 2);
+/// ```
+#[must_use]
+pub fn tree_cover(graph: &Graph) -> Option<TreeCover> {
+    let n = graph.vertex_count();
+    let (_, component_count) = defender_graph::traversal::components(graph);
+    if graph.edge_count() + component_count != n {
+        return None; // |E| = n − c characterizes forests
+    }
+
+    // Parents via BFS from every root; process vertices children-first.
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for root in graph.vertices() {
+        if seen[root.index()] {
+            continue;
+        }
+        seen[root.index()] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for w in graph.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    parent[w.index()] = Some(v);
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+
+    let mut matched_to: Vec<Option<VertexId>> = vec![None; n];
+    let mut in_cover = vec![false; n];
+    for &v in order.iter().rev() {
+        if matched_to[v.index()].is_some() {
+            continue;
+        }
+        if let Some(p) = parent[v.index()] {
+            if matched_to[p.index()].is_none() {
+                matched_to[v.index()] = Some(p);
+                matched_to[p.index()] = Some(v);
+                in_cover[p.index()] = true;
+            }
+        }
+    }
+
+    let matching = Matching::from_partner_map(graph, matched_to);
+    let cover: VertexSet = graph.vertices().filter(|v| in_cover[v.index()]).collect();
+    debug_assert_eq!(cover.len(), matching.len(), "König certificate");
+    Some(TreeCover { matching, cover })
+}
+
+/// Whether `graph` is a forest (every component a tree).
+#[must_use]
+pub fn is_forest(graph: &Graph) -> bool {
+    let (_, c) = defender_graph::traversal::components(graph);
+    graph.edge_count() + c == graph.vertex_count()
+}
+
+/// Whether `graph` is a tree (connected forest).
+#[must_use]
+pub fn is_tree(graph: &Graph) -> bool {
+    is_forest(graph) && properties::is_connected(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defender_graph::{generators, vertex_cover, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classifications() {
+        assert!(is_tree(&generators::path(5)));
+        assert!(is_tree(&generators::star(4)));
+        assert!(!is_tree(&generators::cycle(4)));
+        assert!(!is_forest(&generators::cycle(4)));
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).add_edge(2, 3);
+        assert!(is_forest(&b.build()));
+        assert!(!is_tree(&b.build()));
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        assert!(tree_cover(&generators::cycle(6)).is_none());
+        assert!(tree_cover(&generators::petersen()).is_none());
+    }
+
+    #[test]
+    fn path_and_star_values() {
+        let tc = tree_cover(&generators::path(7)).unwrap();
+        assert_eq!(tc.matching.len(), 3);
+        assert_eq!(tc.cover.len(), 3);
+        let tc = tree_cover(&generators::star(6)).unwrap();
+        assert_eq!(tc.matching.len(), 1);
+        assert_eq!(tc.cover, vec![VertexId::new(0)], "the hub covers a star");
+    }
+
+    #[test]
+    fn agrees_with_general_machinery_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(88);
+        for n in [2usize, 3, 5, 10, 25, 60] {
+            let g = generators::random_tree(n, &mut rng);
+            let tc = tree_cover(&g).unwrap();
+            // Matching validity is enforced by construction; maximality vs
+            // blossom, cover minimality vs König duality.
+            assert_eq!(tc.matching.len(), crate::maximum_matching(&g).len(), "n = {n}");
+            assert!(vertex_cover::is_vertex_cover(&g, &tc.cover), "n = {n}");
+            assert_eq!(tc.cover.len(), tc.matching.len(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn cover_vertices_matched_outside_cover() {
+        let mut rng = StdRng::seed_from_u64(89);
+        for _ in 0..10 {
+            let g = generators::random_tree(20, &mut rng);
+            let tc = tree_cover(&g).unwrap();
+            for &v in &tc.cover {
+                let p = tc.matching.partner(v).expect("cover vertices are matched");
+                assert!(tc.cover.binary_search(&p).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn forest_with_isolated_vertices() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1).add_edge(2, 3);
+        let g = b.build();
+        let tc = tree_cover(&g).unwrap();
+        assert_eq!(tc.matching.len(), 2);
+        assert_eq!(tc.cover.len(), 2);
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let g = GraphBuilder::new(1).build();
+        let tc = tree_cover(&g).unwrap();
+        assert!(tc.matching.is_empty());
+        assert!(tc.cover.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the matching substrate.
+
+use defender_graph::{edge_cover, generators, vertex_cover, Graph, VertexId};
+use defender_matching::{
+    greedy, hall, hopcroft_karp, koenig, maximum_matching, minimum_edge_cover, tree,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=14, 0u64..2_000, 5u32..=60).prop_map(|(n, seed, pct)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::gnp(n, f64::from(pct) / 100.0, &mut rng)
+    })
+}
+
+fn random_connected() -> impl Strategy<Value = Graph> {
+    (2usize..=14, 0u64..2_000, 5u32..=40).prop_map(|(n, seed, pct)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::gnp_connected(n, f64::from(pct) / 100.0, &mut rng)
+    })
+}
+
+fn random_bipartite() -> impl Strategy<Value = (Graph, usize)> {
+    (2usize..=7, 2usize..=8, 0u64..2_000, 10u32..=60).prop_map(|(a, b, seed, pct)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (generators::random_bipartite(a, b, f64::from(pct) / 100.0, &mut rng), a)
+    })
+}
+
+fn random_tree() -> impl Strategy<Value = Graph> {
+    (1usize..=40, 0u64..2_000).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::random_tree(n, &mut rng)
+    })
+}
+
+proptest! {
+    #[test]
+    fn greedy_is_half_of_maximum(g in random_graph()) {
+        let greedy_len = greedy::maximal_matching(&g).len();
+        let max_len = maximum_matching(&g).len();
+        prop_assert!(greedy_len <= max_len);
+        prop_assert!(2 * greedy_len >= max_len);
+    }
+
+    #[test]
+    fn maximum_matching_admits_no_augmenting_structure(g in random_graph()) {
+        // Necessary conditions for maximality: valid (by construction) and
+        // maximal; full optimality is cross-checked elsewhere by brute
+        // force and here against König on bipartite instances.
+        let m = maximum_matching(&g);
+        prop_assert!(m.is_maximal(&g));
+        prop_assert!(2 * m.len() <= g.vertex_count());
+    }
+
+    #[test]
+    fn koenig_duality((g, a) in random_bipartite()) {
+        let left: Vec<VertexId> = (0..a).map(VertexId::new).collect();
+        let right: Vec<VertexId> = (a..g.vertex_count()).map(VertexId::new).collect();
+        let k = koenig::koenig_vertex_cover(&g, &left, &right);
+        prop_assert!(vertex_cover::is_vertex_cover(&g, &k.cover));
+        prop_assert_eq!(k.cover.len(), k.matching.len(), "König: τ = μ");
+        // Weak duality against the general matcher, strong via the cover.
+        prop_assert_eq!(k.matching.len(), maximum_matching(&g).len());
+    }
+
+    #[test]
+    fn hk_equals_blossom_on_bipartite((g, a) in random_bipartite()) {
+        let left: Vec<VertexId> = (0..a).map(VertexId::new).collect();
+        let right: Vec<VertexId> = (a..g.vertex_count()).map(VertexId::new).collect();
+        prop_assert_eq!(
+            hopcroft_karp(&g, &left, &right).len(),
+            maximum_matching(&g).len()
+        );
+    }
+
+    #[test]
+    fn gallai_identity(g in random_connected()) {
+        let mu = maximum_matching(&g).len();
+        let cover = minimum_edge_cover(&g).expect("connected graphs have covers");
+        prop_assert!(edge_cover::is_edge_cover(&g, &cover));
+        prop_assert_eq!(cover.len(), g.vertex_count() - mu);
+    }
+
+    #[test]
+    fn hall_outcome_is_consistent(g in random_connected()) {
+        let set: Vec<VertexId> = g.vertices().filter(|v| v.index() % 2 == 0).collect();
+        match hall::matching_into_complement(&g, &set) {
+            hall::HallOutcome::Saturated(m) => {
+                prop_assert!(m.saturates(&set));
+            }
+            hall::HallOutcome::Deficient { violator, matching } => {
+                prop_assert!(!matching.saturates(&set));
+                prop_assert!(!violator.is_empty());
+                // The violator certifies the deficiency.
+                let mut in_set = vec![false; g.vertex_count()];
+                for &v in &set {
+                    in_set[v.index()] = true;
+                }
+                let outside = g
+                    .neighborhood(&violator)
+                    .into_iter()
+                    .filter(|w| !in_set[w.index()])
+                    .count();
+                prop_assert!(outside < violator.len());
+            }
+        }
+    }
+
+    #[test]
+    fn tree_cover_agrees_with_general_machinery(g in random_tree()) {
+        let tc = tree::tree_cover(&g).expect("trees are forests");
+        prop_assert_eq!(tc.matching.len(), maximum_matching(&g).len());
+        prop_assert!(vertex_cover::is_vertex_cover(&g, &tc.cover));
+        prop_assert_eq!(tc.cover.len(), tc.matching.len());
+        // The complement is independent (König on trees).
+        let is = vertex_cover::complement(&g, &tc.cover);
+        prop_assert!(defender_graph::independent_set::is_independent_set(&g, &is));
+    }
+
+    #[test]
+    fn matched_edges_are_pairwise_disjoint(g in random_graph()) {
+        let m = maximum_matching(&g);
+        let mut seen = vec![false; g.vertex_count()];
+        for &e in m.edges() {
+            let ep = g.endpoints(e);
+            prop_assert!(!seen[ep.u().index()] && !seen[ep.v().index()]);
+            seen[ep.u().index()] = true;
+            seen[ep.v().index()] = true;
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests: `Ratio` behaves like the field of rationals.
+
+use defender_num::{gcd, Ratio};
+use proptest::prelude::*;
+
+/// Components small enough that no reduced intermediate can overflow,
+/// but large enough to exercise reduction paths thoroughly.
+fn ratio_strategy() -> impl Strategy<Value = Ratio> {
+    (-10_000i64..=10_000, 1i64..=10_000).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn invariants_hold(r in ratio_strategy()) {
+        prop_assert!(r.denom() > 0);
+        let g = gcd(r.numer().unsigned_abs() as u128, r.denom() as u128);
+        prop_assert!(g == 1 || (r.numer() == 0 && r.denom() == 1));
+    }
+
+    #[test]
+    fn addition_commutes(a in ratio_strategy(), b in ratio_strategy()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_associates(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_commutes(a in ratio_strategy(), b in ratio_strategy()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_associates(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributivity(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse(a in ratio_strategy()) {
+        prop_assert_eq!(a + (-a), Ratio::ZERO);
+        prop_assert_eq!(a - a, Ratio::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in ratio_strategy()) {
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.recip().unwrap(), Ratio::ONE);
+            prop_assert_eq!(a / a, Ratio::ONE);
+        }
+    }
+
+    #[test]
+    fn identities(a in ratio_strategy()) {
+        prop_assert_eq!(a + Ratio::ZERO, a);
+        prop_assert_eq!(a * Ratio::ONE, a);
+        prop_assert_eq!(a * Ratio::ZERO, Ratio::ZERO);
+    }
+
+    #[test]
+    fn order_total_and_consistent(a in ratio_strategy(), b in ratio_strategy()) {
+        // Exactly one of <, ==, > holds, and order agrees with subtraction sign.
+        let diff = a - b;
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(diff.numer() < 0),
+            std::cmp::Ordering::Equal => prop_assert!(diff.is_zero()),
+            std::cmp::Ordering::Greater => prop_assert!(diff.numer() > 0),
+        }
+    }
+
+    #[test]
+    fn order_respects_addition(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
+        if a <= b {
+            prop_assert!(a + c <= b + c);
+        }
+    }
+
+    #[test]
+    fn to_f64_is_close(a in ratio_strategy()) {
+        let approx = a.to_f64();
+        let exact = a.numer() as f64 / a.denom() as f64;
+        prop_assert_eq!(approx, exact);
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in ratio_strategy()) {
+        let back: Ratio = a.to_string().parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+}

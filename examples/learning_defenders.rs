@@ -1,0 +1,52 @@
+//! Do myopic players *learn* the equilibrium? Fictitious play in action.
+//!
+//! Neither player is told the Nash equilibrium. Each round the attacker
+//! targets the historically least-scanned host and the defender scans the
+//! links that would have caught the most of the attacker's past positions
+//! (the exact maximum-coverage oracle). Because the ν = 1 game is
+//! constant-sum, Robinson's theorem promises the time-averaged catch rate
+//! converges to the game's value — the same `k/|IS|` the paper's
+//! k-matching equilibrium prescribes.
+//!
+//! Run with: `cargo run --release --example learning_defenders`
+
+use power_of_the_defender::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A star: one gateway host (v0) linked to six workstations. The hub is
+    // a death trap for the attacker — every scanned link covers it.
+    let network = generators::star(6);
+    let game = TupleGame::new(&network, 2, 1)?;
+
+    // What the theory says the defender is worth.
+    let ne = a_tuple_bipartite(&game)?;
+    let value = ne.defender_gain().to_f64();
+    println!(
+        "star K_{{1,6}}, k = 2, one attacker: equilibrium value = {} = {:.4}",
+        ne.defender_gain(),
+        value
+    );
+
+    // What two myopic learners discover on their own.
+    let trace = fictitious_play(&game, 8_000, OracleMode::Exact { limit: 200_000 })?;
+    println!("\n{:>7} | {:>12} | {:>9}", "round", "avg caught", "gap");
+    println!("{}", "-".repeat(35));
+    for (round, avg) in &trace.checkpoints {
+        println!("{:>7} | {:>12.4} | {:>9.4}", round, avg, (avg - value).abs());
+    }
+
+    println!("\nwhere the attacker learned to hide (visit frequency):");
+    let total: usize = trace.attacker_frequency.iter().sum();
+    for v in network.vertices() {
+        let freq = trace.attacker_frequency[v.index()] as f64 / total as f64;
+        let bar = "#".repeat((freq * 40.0).round() as usize);
+        println!("  {v}: {freq:>6.3} {bar}");
+    }
+    println!(
+        "\nThe attacker's empirical mixture concentrates on the leaves — the \
+         independent set {:?} the paper derives analytically — and all but \
+         abandons the gateway v0.",
+        ne.supports().vp_support
+    );
+    Ok(())
+}

@@ -1,0 +1,186 @@
+//! Integration tests spanning every crate: generator → partition →
+//! `A_tuple` → characterization verifier → exhaustive cross-check →
+//! simulator.
+
+use power_of_the_defender::prelude::*;
+use defender_core::exhaustive::GameAdapter;
+use defender_core::gain::{predicted_k_matching_gain, quality_of_protection as qop};
+use defender_core::reduction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The full pipeline on one bipartite instance, all invariants checked.
+fn pipeline(graph: &Graph, k: usize, attackers: usize) {
+    let game = TupleGame::new(graph, k, attackers).unwrap();
+    let ne = match a_tuple_bipartite(&game) {
+        Ok(ne) => ne,
+        Err(CoreError::TupleWiderThanSupport { .. }) => return, // legal regime
+        Err(e) => panic!("unexpected error: {e}"),
+    };
+
+    // Theorem 3.4 verification (exact).
+    let report = verify_mixed_ne(&game, ne.config(), VerificationMode::Auto).unwrap();
+    assert!(report.is_equilibrium(), "k = {k}: {:?}", report.failures());
+
+    // Closed forms (Claim 4.3, Corollary 4.10).
+    let is_size = ne.supports().vp_support.len();
+    assert_eq!(ne.defender_gain(), predicted_k_matching_gain(k, attackers, is_size));
+    assert_eq!(
+        ne.hit_probability(),
+        Ratio::from(k) / Ratio::from(ne.supports().support_edges().len())
+    );
+    assert_eq!(qop(&game, ne.config()), ne.defender_gain() / Ratio::from(attackers));
+
+    // Support structure: |E(D(tp))| = |D(VP)| (the bijection of
+    // Corollary 4.11 / DESIGN.md §5.2).
+    assert_eq!(ne.supports().support_edges().len(), is_size);
+}
+
+#[test]
+fn pipeline_across_bipartite_families() {
+    for graph in [
+        generators::path(6),
+        generators::path(9),
+        generators::cycle(6),
+        generators::cycle(10),
+        generators::star(5),
+        generators::complete_bipartite(2, 5),
+        generators::complete_bipartite(4, 4),
+        generators::grid(3, 3),
+        generators::grid(2, 5),
+        generators::hypercube(3),
+        generators::ladder(4),
+    ] {
+        for k in 1..=3usize {
+            if k <= graph.edge_count() {
+                pipeline(&graph, k, 5);
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_on_random_bipartite_and_trees() {
+    let mut rng = StdRng::seed_from_u64(31_415);
+    for trial in 0..20 {
+        let graph = generators::random_bipartite(3 + trial % 4, 5 + trial % 5, 0.35, &mut rng);
+        pipeline(&graph, 1 + trial % 3, 4);
+        let tree = generators::random_tree(8 + trial % 6, &mut rng);
+        pipeline(&tree, 1 + trial % 2, 3);
+    }
+}
+
+#[test]
+fn structural_equilibria_survive_first_principles() {
+    // The polynomial construction agrees with exhaustive best-response
+    // checks on instances small enough to enumerate.
+    for (graph, k, nu) in [
+        (generators::path(4), 1usize, 2usize),
+        (generators::path(4), 2, 1),
+        (generators::cycle(4), 2, 2),
+        (generators::complete_bipartite(2, 3), 2, 2),
+        (generators::star(3), 2, 2),
+    ] {
+        let game = TupleGame::new(&graph, k, nu).unwrap();
+        let ne = a_tuple_bipartite(&game).unwrap();
+        let adapter = GameAdapter::new(&game, 50_000).unwrap();
+        let ground_truth = adapter.verify(ne.config());
+        assert!(
+            ground_truth.is_equilibrium(),
+            "k = {k}, ν = {nu}, {graph:?}: deviations {:?}",
+            ground_truth.deviations
+        );
+        assert_eq!(
+            ground_truth.expected_payoffs[adapter.defender_index()],
+            ne.defender_gain()
+        );
+    }
+}
+
+#[test]
+fn pure_frontier_agrees_with_gallai_across_families() {
+    // Theorem 3.1 existence ⟺ k ≥ ρ(G) = n − μ(G).
+    let mut rng = StdRng::seed_from_u64(999);
+    for _ in 0..15 {
+        let graph = generators::gnp_connected(10, 0.25, &mut rng);
+        let rho = minimum_edge_cover(&graph).unwrap().len();
+        assert_eq!(rho, graph.vertex_count() - maximum_matching(&graph).len());
+        for k in 1..=graph.edge_count() {
+            let game = TupleGame::new(&graph, k, 2).unwrap();
+            assert_eq!(pure_ne_existence(&game).exists(), k >= rho, "k = {k}, ρ = {rho}");
+        }
+    }
+}
+
+#[test]
+fn reduction_round_trip_preserves_everything() {
+    let graph = generators::cycle(12);
+    let nu = 7;
+    let edge_game = TupleGame::edge_model(&graph, nu).unwrap();
+    let base = a_tuple_bipartite(&edge_game).unwrap();
+    let base_matching = restrict_to_matching(&edge_game, &base).unwrap();
+    for k in 1..=6usize {
+        let game = TupleGame::new(&graph, k, nu).unwrap();
+        let expanded = expand_to_k_matching(&game, &base_matching).unwrap();
+        assert_eq!(
+            reduction::gain_ratio(&expanded, &base_matching),
+            Ratio::from(k),
+            "Theorem 4.5 gain factor"
+        );
+        let back = restrict_to_matching(&edge_game, &expanded).unwrap();
+        assert_eq!(back.supports(), base_matching.supports());
+        assert_eq!(back.defender_gain(), base_matching.defender_gain());
+    }
+}
+
+#[test]
+fn simulation_tracks_exact_payoffs() {
+    let graph = generators::complete_bipartite(3, 5);
+    let game = TupleGame::new(&graph, 2, 6).unwrap();
+    let ne = a_tuple_bipartite(&game).unwrap();
+    let outcome = Simulator::new(&game, ne.config())
+        .run(&SimulationConfig { rounds: 50_000, seed: 123 });
+    assert!(outcome.gain_error(ne.defender_gain()) < 0.06);
+    let exact_escape = (Ratio::ONE - ne.hit_probability()).to_f64();
+    for f in &outcome.escape_frequency {
+        assert!((f - exact_escape).abs() < 0.02);
+    }
+}
+
+#[test]
+fn non_bipartite_graphs_reject_gracefully() {
+    for graph in [generators::cycle(5), generators::petersen(), generators::complete(4)] {
+        let game = TupleGame::new(&graph, 1, 2).unwrap();
+        assert!(matches!(
+            a_tuple_bipartite(&game),
+            Err(CoreError::Graph(defender_graph::GraphError::NotBipartite))
+        ));
+    }
+}
+
+#[test]
+fn prelude_surface_is_usable() {
+    // Every name the README advertises resolves and interoperates.
+    let graph: Graph = GraphBuilder::new(4)
+        .add_edge(0, 1)
+        .add_edge(1, 2)
+        .add_edge(2, 3)
+        .build();
+    let v: VertexId = VertexId::new(0);
+    let e: EdgeId = EdgeId::new(0);
+    assert_eq!(graph.endpoints(e).u(), v);
+    let m: Matching = hopcroft_karp(
+        &graph,
+        &[VertexId::new(0), VertexId::new(2)],
+        &[VertexId::new(1), VertexId::new(3)],
+    );
+    assert_eq!(m.len(), 2);
+    let cover = koenig_vertex_cover(
+        &graph,
+        &[VertexId::new(0), VertexId::new(2)],
+        &[VertexId::new(1), VertexId::new(3)],
+    );
+    assert_eq!(cover.cover.len(), 2);
+    let t: Tuple = Tuple::single(e);
+    assert_eq!(t.k(), 1);
+}

@@ -1,0 +1,189 @@
+//! Integration tests for the extension modules: covering equilibria,
+//! tree specialization, best-response oracles, fictitious play, and the
+//! Path model — exercised together across crates.
+
+use defender_core::best_response::{
+    attacker_best_response, defender_best_response_exact, defender_best_response_greedy,
+};
+use defender_core::covering_ne::covering_ne;
+use defender_core::dynamics::{fictitious_play, known_value, OracleMode};
+use defender_core::exhaustive::GameAdapter;
+use defender_core::path_model::{
+    all_paths, cycle_path_ne, pure_ne_existence_path, verify_path_ne,
+};
+use defender_core::payoff;
+use power_of_the_defender::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn covering_ne_passes_every_verifier_level() {
+    // Characterization, exhaustive best-response, and simulation all agree.
+    let graph = generators::cycle(6);
+    let game = TupleGame::new(&graph, 2, 3).unwrap();
+    let ne = covering_ne(&game).unwrap();
+
+    let fast = verify_mixed_ne(&game, ne.config(), VerificationMode::Analytic).unwrap();
+    assert!(fast.is_equilibrium(), "{:?}", fast.failures());
+
+    let adapter = GameAdapter::new(&game, 50_000).unwrap();
+    let truth = adapter.verify(ne.config());
+    assert!(truth.is_equilibrium(), "deviations: {:?}", truth.deviations);
+
+    let outcome = Simulator::new(&game, ne.config())
+        .run(&SimulationConfig { rounds: 40_000, seed: 5 });
+    assert!(outcome.gain_error(ne.defender_gain()) < 0.05);
+}
+
+#[test]
+fn covering_and_matching_equilibria_coexist_with_equal_gain() {
+    // Bipartite + perfect matching: two structurally different equilibria,
+    // same defender payoff (as any two NE of a constant-sum game must for
+    // ν = 1, and here for any ν by the closed forms).
+    for graph in [generators::cycle(8), generators::grid(2, 4), generators::complete_bipartite(3, 3)] {
+        let game = TupleGame::new(&graph, 2, 5).unwrap();
+        let cov = covering_ne(&game).unwrap();
+        let mat = a_tuple_bipartite(&game).unwrap();
+        assert_eq!(cov.defender_gain(), mat.defender_gain(), "{graph:?}");
+        assert_ne!(
+            cov.config().vp_support_union(),
+            mat.config().vp_support_union(),
+            "different supports, same value"
+        );
+    }
+}
+
+#[test]
+fn tree_route_scales_and_verifies() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let graph = generators::random_tree(400, &mut rng);
+    let game = TupleGame::new(&graph, 3, 10).unwrap();
+    match a_tuple_tree(&game) {
+        Ok(ne) => {
+            let report = verify_mixed_ne(&game, ne.config(), VerificationMode::Analytic).unwrap();
+            assert!(report.is_equilibrium(), "{:?}", report.failures());
+        }
+        Err(CoreError::TupleWiderThanSupport { .. }) => unreachable!("|IS| ≥ 200 on a 400-tree"),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+#[test]
+fn best_response_oracles_certify_equilibria() {
+    // At an equilibrium neither oracle finds a strictly improving move.
+    let graph = generators::complete_bipartite(2, 4);
+    let game = TupleGame::new(&graph, 2, 3).unwrap();
+    let ne = a_tuple_bipartite(&game).unwrap();
+
+    let (_, escape) = attacker_best_response(&game, ne.config());
+    assert_eq!(escape, Ratio::ONE - ne.hit_probability());
+
+    let mass = payoff::vertex_mass(&game, ne.config());
+    let (_, exact) = defender_best_response_exact(&game, &mass, 100_000).unwrap();
+    assert_eq!(exact, ne.defender_gain());
+    let (_, greedy) = defender_best_response_greedy(&game, &mass);
+    assert!(greedy <= exact);
+}
+
+#[test]
+fn fictitious_play_matches_analytic_value_across_instances() {
+    for (graph, k, is_size) in [
+        (generators::path(6), 1usize, 3usize),
+        (generators::cycle(8), 2, 4),
+        (generators::star(5), 1, 5),
+    ] {
+        let game = TupleGame::new(&graph, k, 1).unwrap();
+        let trace = fictitious_play(&game, 3_000, OracleMode::Exact { limit: 100_000 }).unwrap();
+        let value = known_value(k, is_size);
+        assert!(
+            (trace.average_payoff - value).abs() < 0.05,
+            "{graph:?}: {} vs {value}",
+            trace.average_payoff
+        );
+    }
+}
+
+#[test]
+fn path_model_pure_frontier_is_hamiltonicity() {
+    // Tuple model: polynomial frontier at ρ(G). Path model: only k = n−1
+    // on traceable graphs. The Petersen graph separates widths maximally:
+    // tuple pure NE from k = 5, path pure NE only at k = 9.
+    let graph = generators::petersen();
+    for k in 1..=graph.edge_count() {
+        let game = TupleGame::new(&graph, k, 2).unwrap();
+        let tuple_exists = pure_ne_existence(&game).exists();
+        assert_eq!(tuple_exists, k >= 5, "tuple frontier at ρ = 5");
+        if k <= 9 {
+            let path_exists = pure_ne_existence_path(&game).unwrap().exists();
+            assert_eq!(path_exists, k == 9, "path frontier at n − 1 = 9");
+        }
+    }
+}
+
+#[test]
+fn path_rotation_ne_verified_and_dominated() {
+    let graph = generators::cycle(10);
+    let game = TupleGame::new(&graph, 3, 5).unwrap();
+    let path_ne = cycle_path_ne(&game).unwrap();
+    assert!(verify_path_ne(&game, &path_ne, 100_000).unwrap());
+    let tuple_ne = covering_ne(&game).unwrap();
+    // 2k/(k+1) = 6/4 advantage for the unconstrained defender.
+    assert_eq!(
+        tuple_ne.defender_gain() / path_ne.defender_gain,
+        Ratio::new(6, 4)
+    );
+}
+
+#[test]
+fn path_enumeration_matches_structure() {
+    // In C_n there are exactly n arcs of each feasible length.
+    for n in [5usize, 6, 8] {
+        let graph = generators::cycle(n);
+        for k in 1..n {
+            let paths = all_paths(&graph, k, 10_000).unwrap();
+            assert_eq!(paths.len(), n, "C{n}, k = {k}");
+        }
+    }
+}
+
+#[test]
+fn all_equilibria_of_tiny_instances_share_the_value() {
+    // Support enumeration lists *every* (equal-support) equilibrium of the
+    // bimatrix view; the game being constant-sum for ν = 1, all of them
+    // must carry the same defender payoff — the LP value — including the
+    // paper's structural equilibrium.
+    use defender_game::enumerate_equilibria;
+    for (graph, k) in [
+        (generators::path(3), 1usize),
+        (generators::path(4), 1),
+        (generators::cycle(4), 1),
+        (generators::star(3), 1),
+        (generators::cycle(5), 1),
+    ] {
+        let game = TupleGame::new(&graph, k, 1).unwrap();
+        let value = defender_core::solve::solve_exact(&game, 50_000).unwrap().value;
+        let adapter = GameAdapter::new(&game, 50_000).unwrap();
+        let (bimatrix, _tuples) = adapter.bimatrix().unwrap();
+        let equilibria = enumerate_equilibria(&bimatrix);
+        assert!(!equilibria.is_empty(), "{graph:?}: Nash guarantees existence");
+        for eq in &equilibria {
+            assert_eq!(eq.row_payoff, value, "{graph:?}: constant-sum uniqueness");
+            assert_eq!(eq.row_payoff + eq.col_payoff, Ratio::ONE, "catch + escape = 1");
+        }
+    }
+}
+
+#[test]
+fn cli_level_pipeline_via_public_api() {
+    // Mirrors `defender analyze` on a generated instance end-to-end.
+    let mut rng = StdRng::seed_from_u64(77);
+    let graph = generators::random_bipartite(5, 9, 0.3, &mut rng);
+    let game = TupleGame::new(&graph, 2, 6).unwrap();
+    let ne = a_tuple_bipartite(&game).unwrap();
+    let report = verify_mixed_ne(&game, ne.config(), VerificationMode::Auto).unwrap();
+    assert!(report.is_equilibrium());
+    assert_eq!(
+        quality_of_protection(&game, ne.config()),
+        ne.defender_gain() / Ratio::from(6)
+    );
+}
