@@ -1,9 +1,12 @@
-//! Criterion bench: Theorem 4.13 — `A_tuple` scaling in `n` and in `k`.
+//! Standalone bench (no external harness): Theorem 4.13 — `A_tuple`
+//! scaling in `n` and in `k`. Run with `cargo bench --bench a_tuple`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defender_bench::median_time;
 use defender_core::algorithm::a_tuple;
 use defender_core::model::TupleGame;
 use defender_graph::{generators, Graph, VertexId};
+
+const RUNS: usize = 5;
 
 fn partition(n: usize) -> (Vec<VertexId>, Vec<VertexId>) {
     (
@@ -12,32 +15,27 @@ fn partition(n: usize) -> (Vec<VertexId>, Vec<VertexId>) {
     )
 }
 
-fn bench_scaling_in_n(c: &mut Criterion) {
-    let mut group = c.benchmark_group("a_tuple_n");
+fn main() {
+    println!("a_tuple_n (k=4, nu=3, cycle)");
     for n in [1_000usize, 4_000, 16_000] {
         let graph: Graph = generators::cycle(n);
         let (is, vc) = partition(n);
         let game = TupleGame::new(&graph, 4, 3).expect("valid game");
-        group.bench_with_input(BenchmarkId::from_parameter(n), &game, |b, game| {
-            b.iter(|| std::hint::black_box(a_tuple(game, &is, &vc).expect("even cycle")));
+        let t = median_time(RUNS, || {
+            std::hint::black_box(a_tuple(&game, &is, &vc).expect("even cycle"));
         });
+        println!("  n={n:<8} median {t:>12?} ({RUNS} runs)");
     }
-    group.finish();
-}
 
-fn bench_scaling_in_k(c: &mut Criterion) {
-    let mut group = c.benchmark_group("a_tuple_k");
+    println!("a_tuple_k (n=8000, nu=3, cycle)");
     let n = 8_000usize;
     let graph: Graph = generators::cycle(n);
     let (is, vc) = partition(n);
     for k in [2usize, 16, 128] {
         let game = TupleGame::new(&graph, k, 3).expect("valid game");
-        group.bench_with_input(BenchmarkId::from_parameter(k), &game, |b, game| {
-            b.iter(|| std::hint::black_box(a_tuple(game, &is, &vc).expect("even cycle")));
+        let t = median_time(RUNS, || {
+            std::hint::black_box(a_tuple(&game, &is, &vc).expect("even cycle"));
         });
+        println!("  k={k:<8} median {t:>12?} ({RUNS} runs)");
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling_in_n, bench_scaling_in_k);
-criterion_main!(benches);

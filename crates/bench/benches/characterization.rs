@@ -1,66 +1,68 @@
-//! Criterion bench: the Theorem 3.4 verifier — analytic vs exhaustive
-//! modes — plus Monte-Carlo simulator throughput.
+//! Standalone bench (no external harness): the Theorem 3.4 verifier —
+//! analytic vs exhaustive modes — plus Monte-Carlo simulator throughput.
+//! Run with `cargo bench --bench characterization`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defender_bench::median_time;
 use defender_core::bipartite::a_tuple_bipartite;
 use defender_core::characterization::{verify_mixed_ne, VerificationMode};
 use defender_core::model::TupleGame;
 use defender_core::simulate::{SimulationConfig, Simulator};
 use defender_graph::generators;
 
-fn bench_verifier_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("verify_mixed_ne");
+const RUNS: usize = 5;
+
+fn bench_verifier_modes() {
+    println!("verify_mixed_ne");
     let graph = generators::cycle(12);
     let game = TupleGame::new(&graph, 2, 4).expect("valid game");
     let ne = a_tuple_bipartite(&game).expect("even cycle");
-    group.bench_function("analytic_c12_k2", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                verify_mixed_ne(&game, ne.config(), VerificationMode::Analytic)
-                    .expect("analytic applies"),
-            )
-        });
+    let t = median_time(RUNS, || {
+        std::hint::black_box(
+            verify_mixed_ne(&game, ne.config(), VerificationMode::Analytic)
+                .expect("analytic applies"),
+        );
     });
-    group.bench_function("exhaustive_c12_k2", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                verify_mixed_ne(&game, ne.config(), VerificationMode::Exhaustive { limit: 100_000 })
-                    .expect("within limit"),
+    println!("  analytic_c12_k2    median {t:>12?} ({RUNS} runs)");
+    let t = median_time(RUNS, || {
+        std::hint::black_box(
+            verify_mixed_ne(
+                &game,
+                ne.config(),
+                VerificationMode::Exhaustive { limit: 100_000 },
             )
-        });
+            .expect("within limit"),
+        );
     });
+    println!("  exhaustive_c12_k2  median {t:>12?} ({RUNS} runs)");
     // Analytic mode on a much larger instance (exhaustive is impossible).
     let big = generators::cycle(2_000);
     let big_game = TupleGame::new(&big, 8, 10).expect("valid game");
     let big_ne = a_tuple_bipartite(&big_game).expect("even cycle");
-    group.bench_function("analytic_c2000_k8", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                verify_mixed_ne(&big_game, big_ne.config(), VerificationMode::Analytic)
-                    .expect("analytic applies"),
-            )
-        });
+    let t = median_time(RUNS, || {
+        std::hint::black_box(
+            verify_mixed_ne(&big_game, big_ne.config(), VerificationMode::Analytic)
+                .expect("analytic applies"),
+        );
     });
-    group.finish();
+    println!("  analytic_c2000_k8  median {t:>12?} ({RUNS} runs)");
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
+fn bench_simulator() {
+    println!("simulator (K_4,8, k=3, nu=6)");
     let graph = generators::complete_bipartite(4, 8);
     let game = TupleGame::new(&graph, 3, 6).expect("valid game");
     let ne = a_tuple_bipartite(&game).expect("bipartite");
     for rounds in [1_000u64, 10_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
-            b.iter(|| {
-                std::hint::black_box(
-                    Simulator::new(&game, ne.config())
-                        .run(&SimulationConfig { rounds, seed: 31 }),
-                )
-            });
+        let t = median_time(RUNS, || {
+            std::hint::black_box(
+                Simulator::new(&game, ne.config()).run(&SimulationConfig { rounds, seed: 31 }),
+            );
         });
+        println!("  rounds={rounds:<8} median {t:>12?} ({RUNS} runs)");
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_verifier_modes, bench_simulator);
-criterion_main!(benches);
+fn main() {
+    bench_verifier_modes();
+    bench_simulator();
+}

@@ -1,15 +1,18 @@
-//! Criterion bench: the exact LP solver — raw simplex throughput and the
-//! end-to-end game-value pipeline of `defender-core::solve`.
+//! Standalone bench (no external harness): the exact LP solver — raw
+//! simplex throughput and the end-to-end game-value pipeline of
+//! `defender-core::solve`. Run with `cargo bench --bench lp_solver`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defender_bench::median_time;
 use defender_core::model::TupleGame;
 use defender_core::solve::solve_exact;
 use defender_graph::generators;
 use defender_lp::solve_zero_sum;
 use defender_num::Ratio;
 
-fn bench_zero_sum_matrices(c: &mut Criterion) {
-    let mut group = c.benchmark_group("zero_sum_lp");
+const RUNS: usize = 5;
+
+fn bench_zero_sum_matrices() {
+    println!("zero_sum_lp (shifted cyclic distance payoffs)");
     for size in [4usize, 8, 16] {
         // A structured matrix with a fully mixed optimum: shifted cyclic
         // distance payoffs.
@@ -20,25 +23,26 @@ fn bench_zero_sum_matrices(c: &mut Criterion) {
                     .collect()
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(size), &m, |b, m| {
-            b.iter(|| std::hint::black_box(solve_zero_sum(m).expect("solvable")));
+        let t = median_time(RUNS, || {
+            std::hint::black_box(solve_zero_sum(&m).expect("solvable"));
         });
+        println!("  size={size:<4} median {t:>12?} ({RUNS} runs)");
     }
-    group.finish();
 }
 
-fn bench_game_value(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solve_exact");
-    group.sample_size(10);
+fn bench_game_value() {
+    println!("solve_exact (odd cycles, k=2, nu=1)");
     for n in [7usize, 9, 11] {
         let graph = generators::cycle(n);
         let game = TupleGame::new(&graph, 2, 1).expect("valid game");
-        group.bench_with_input(BenchmarkId::new("odd_cycle", n), &game, |b, game| {
-            b.iter(|| std::hint::black_box(solve_exact(game, 300_000).expect("within limit")));
+        let t = median_time(3, || {
+            std::hint::black_box(solve_exact(&game, 300_000).expect("within limit"));
         });
+        println!("  n={n:<4} median {t:>12?} (3 runs)");
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_zero_sum_matrices, bench_game_value);
-criterion_main!(benches);
+fn main() {
+    bench_zero_sum_matrices();
+    bench_game_value();
+}

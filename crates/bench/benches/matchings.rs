@@ -1,46 +1,51 @@
-//! Criterion bench: the matching substrates — Hopcroft–Karp (`O(m√n)`,
-//! Theorem 5.1's bottleneck) and Edmonds blossom (Corollary 3.2's
-//! bottleneck).
+//! Standalone bench (no external harness): the matching substrates —
+//! Hopcroft–Karp (`O(m√n)`, Theorem 5.1's bottleneck) and Edmonds blossom
+//! (Corollary 3.2's bottleneck). Run with `cargo bench --bench matchings`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use defender_bench::experiments::common::{random_bipartite, random_connected};
+use defender_bench::median_time;
 use defender_graph::VertexId;
 use defender_matching::{hopcroft_karp, maximum_matching, minimum_edge_cover};
 
-fn bench_hopcroft_karp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hopcroft_karp");
+const RUNS: usize = 5;
+
+fn bench_hopcroft_karp() {
+    println!("hopcroft_karp (random bipartite, avg degree 4)");
     for side in [200usize, 800, 3_200] {
         let graph = random_bipartite(side, side, 4.0 / side as f64, 21);
         let left: Vec<VertexId> = (0..side).map(VertexId::new).collect();
         let right: Vec<VertexId> = (side..2 * side).map(VertexId::new).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(2 * side), &graph, |b, g| {
-            b.iter(|| std::hint::black_box(hopcroft_karp(g, &left, &right)));
+        let t = median_time(RUNS, || {
+            std::hint::black_box(hopcroft_karp(&graph, &left, &right));
         });
+        println!("  n={:<6} median {t:>12?} ({RUNS} runs)", 2 * side);
     }
-    group.finish();
 }
 
-fn bench_blossom(c: &mut Criterion) {
-    let mut group = c.benchmark_group("blossom");
+fn bench_blossom() {
+    println!("blossom maximum_matching (random connected, avg degree 4)");
     for n in [100usize, 400, 1_600] {
         let graph = random_connected(n, 4.0 / n as f64, 23);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
-            b.iter(|| std::hint::black_box(maximum_matching(g)));
+        let t = median_time(RUNS, || {
+            std::hint::black_box(maximum_matching(&graph));
         });
+        println!("  n={n:<6} median {t:>12?} ({RUNS} runs)");
     }
-    group.finish();
 }
 
-fn bench_min_edge_cover(c: &mut Criterion) {
-    let mut group = c.benchmark_group("minimum_edge_cover");
+fn bench_min_edge_cover() {
+    println!("minimum_edge_cover (random connected, avg degree 4)");
     for n in [100usize, 400, 1_600] {
         let graph = random_connected(n, 4.0 / n as f64, 25);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
-            b.iter(|| std::hint::black_box(minimum_edge_cover(g)));
+        let t = median_time(RUNS, || {
+            std::hint::black_box(minimum_edge_cover(&graph));
         });
+        println!("  n={n:<6} median {t:>12?} ({RUNS} runs)");
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_hopcroft_karp, bench_blossom, bench_min_edge_cover);
-criterion_main!(benches);
+fn main() {
+    bench_hopcroft_karp();
+    bench_blossom();
+    bench_min_edge_cover();
+}

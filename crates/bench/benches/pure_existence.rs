@@ -1,29 +1,31 @@
-//! Criterion bench: Corollary 3.2 — pure-NE existence (minimum edge cover
-//! via blossom matching) across graph sizes and densities.
+//! Standalone bench (no external harness): Corollary 3.2 — pure-NE
+//! existence (minimum edge cover via blossom matching) across graph sizes
+//! and densities. Run with `cargo bench --bench pure_existence`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use defender_bench::experiments::common::random_connected;
+use defender_bench::median_time;
 use defender_core::model::TupleGame;
 use defender_core::pure::pure_ne_existence;
 
-fn bench_pure_existence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pure_ne_existence");
+const RUNS: usize = 5;
+
+fn main() {
+    println!("pure_ne_existence (sparse: avg degree 4)");
     for n in [64usize, 256, 1024] {
         let graph = random_connected(n, 4.0 / n as f64, 11);
         let game = TupleGame::new(&graph, 1, 2).expect("valid game");
-        group.bench_with_input(BenchmarkId::new("sparse", n), &game, |b, game| {
-            b.iter(|| std::hint::black_box(pure_ne_existence(game)));
+        let t = median_time(RUNS, || {
+            std::hint::black_box(pure_ne_existence(&game));
         });
+        println!("  n={n:<6} median {t:>12?} ({RUNS} runs)");
     }
+    println!("pure_ne_existence (dense: p=0.3)");
     for n in [64usize, 128, 256] {
         let graph = random_connected(n, 0.3, 13);
         let game = TupleGame::new(&graph, 1, 2).expect("valid game");
-        group.bench_with_input(BenchmarkId::new("dense", n), &game, |b, game| {
-            b.iter(|| std::hint::black_box(pure_ne_existence(game)));
+        let t = median_time(RUNS, || {
+            std::hint::black_box(pure_ne_existence(&game));
         });
+        println!("  n={n:<6} median {t:>12?} ({RUNS} runs)");
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pure_existence);
-criterion_main!(benches);

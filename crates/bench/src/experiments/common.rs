@@ -1,8 +1,7 @@
 //! Shared workload definitions for the experiments.
 
 use defender_graph::{generators, Graph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use defender_num::rng::StdRng;
 
 /// The standard deterministic family zoo: `(name, graph)`.
 #[must_use]

@@ -34,7 +34,11 @@ pub fn run() {
     ];
     let k = 2usize;
     let mut table = Table::new(vec![
-        "family", "bipartite", "covering gain 2kν/n", "k-matching gain kν/|IS|", "relation",
+        "family",
+        "bipartite",
+        "covering gain 2kν/n",
+        "k-matching gain kν/|IS|",
+        "relation",
     ]);
     for (name, graph) in families {
         let game = TupleGame::new(&graph, k, ATTACKERS).expect("valid game");

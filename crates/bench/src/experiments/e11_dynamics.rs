@@ -27,12 +27,12 @@ pub fn run() {
         let trace = fictitious_play(&game, 4_000, OracleMode::Exact { limit: 200_000 })
             .expect("small tuple spaces");
         println!("{name}: value k/|IS| = {value:.4}");
-        let mut table = Table::new(vec!["round", "time-averaged defender payoff", "|avg - value|"]);
-        for &(round, avg) in trace
-            .checkpoints
-            .iter()
-            .filter(|(r, _)| *r >= 16)
-        {
+        let mut table = Table::new(vec![
+            "round",
+            "time-averaged defender payoff",
+            "|avg - value|",
+        ]);
+        for &(round, avg) in trace.checkpoints.iter().filter(|(r, _)| *r >= 16) {
             table.row(vec![
                 round.to_string(),
                 format!("{avg:.4}"),

@@ -13,7 +13,9 @@
 
 use defender_core::covering_ne::covering_ne;
 use defender_core::model::TupleGame;
-use defender_core::path_model::{cycle_path_ne, pure_ne_existence_path, verify_path_ne, PathPureOutcome};
+use defender_core::path_model::{
+    cycle_path_ne, pure_ne_existence_path, verify_path_ne, PathPureOutcome,
+};
 use defender_core::pure::pure_ne_existence;
 use defender_graph::generators;
 use defender_num::Ratio;
@@ -26,7 +28,11 @@ pub fn run() {
 
     println!("pure-NE frontiers (tuple: k ≥ ρ(G); path: k = n−1 AND Hamiltonian path):");
     let mut table = Table::new(vec![
-        "family", "n", "tuple frontier", "path frontier", "traceable",
+        "family",
+        "n",
+        "tuple frontier",
+        "path frontier",
+        "traceable",
     ]);
     for (name, graph) in [
         ("path P6", generators::path(6)),
@@ -39,9 +45,7 @@ pub fn run() {
     ] {
         let n = graph.vertex_count();
         let tuple_frontier = (1..=graph.edge_count())
-            .find(|&k| {
-                pure_ne_existence(&TupleGame::new(&graph, k, 2).expect("valid")).exists()
-            })
+            .find(|&k| pure_ne_existence(&TupleGame::new(&graph, k, 2).expect("valid")).exists())
             .map_or("none".to_string(), |k| k.to_string());
         let (path_frontier, traceable) = if n - 1 <= graph.edge_count() {
             let game = TupleGame::new(&graph, n - 1, 2).expect("valid");
@@ -73,16 +77,29 @@ pub fn run() {
     println!("\nmixed gain on cycles (ν = 6): rotation path NE vs covering tuple NE:");
     let nu = 6usize;
     let mut table = Table::new(vec![
-        "n", "k", "path gain (k+1)ν/n", "tuple gain 2kν/n", "tuple/path",
+        "n",
+        "k",
+        "path gain (k+1)ν/n",
+        "tuple gain 2kν/n",
+        "tuple/path",
     ]);
     for (n, k) in [(8usize, 1usize), (8, 2), (8, 3), (12, 2), (12, 4), (16, 5)] {
         let graph = generators::cycle(n);
         let game = TupleGame::new(&graph, k, nu).expect("valid");
         let path_ne = cycle_path_ne(&game).expect("cycles");
-        assert!(verify_path_ne(&game, &path_ne, 100_000).expect("small"), "n={n}, k={k}");
+        assert!(
+            verify_path_ne(&game, &path_ne, 100_000).expect("small"),
+            "n={n}, k={k}"
+        );
         let tuple_ne = covering_ne(&game).expect("even cycles have PMs");
-        assert_eq!(path_ne.defender_gain, Ratio::from((k + 1) * nu) / Ratio::from(n));
-        assert!(tuple_ne.defender_gain() >= path_ne.defender_gain, "tuples dominate");
+        assert_eq!(
+            path_ne.defender_gain,
+            Ratio::from((k + 1) * nu) / Ratio::from(n)
+        );
+        assert!(
+            tuple_ne.defender_gain() >= path_ne.defender_gain,
+            "tuples dominate"
+        );
         let ratio = tuple_ne.defender_gain() / path_ne.defender_gain;
         assert_eq!(ratio, Ratio::from(2 * k) / Ratio::from(k + 1));
         table.row(vec![

@@ -29,9 +29,16 @@ fn tadpole() -> Graph {
 
 /// Runs the experiment; panics on any value disagreement.
 pub fn run() {
-    println!("== E13: exact game values by rational LP, on and beyond the constructive families ==\n");
+    println!(
+        "== E13: exact game values by rational LP, on and beyond the constructive families ==\n"
+    );
     let mut table = Table::new(vec![
-        "instance", "k", "LP value", "k-matching k/|IS|", "covering 2k/n", "agreement",
+        "instance",
+        "k",
+        "LP value",
+        "k-matching k/|IS|",
+        "covering 2k/n",
+        "agreement",
     ]);
     let instances: Vec<(&str, Graph, usize)> = vec![
         ("path P4", generators::path(4), 1),
@@ -53,19 +60,30 @@ pub fn run() {
         // First-principles certificate.
         let adapter = GameAdapter::new(&game, LIMIT).expect("within limit");
         let truth = adapter.verify(&exact.config);
-        assert!(truth.is_equilibrium(), "{name}: LP output fails best-response check");
+        assert!(
+            truth.is_equilibrium(),
+            "{name}: LP output fails best-response check"
+        );
 
         // Family cross-checks (constant-sum ⇒ unique value).
         let matching_cell = match a_tuple_bipartite(&game) {
             Ok(ne) => {
-                assert_eq!(ne.defender_gain(), exact.value, "{name}: k-matching disagrees");
+                assert_eq!(
+                    ne.defender_gain(),
+                    exact.value,
+                    "{name}: k-matching disagrees"
+                );
                 ne.defender_gain().to_string()
             }
             Err(_) => "-".to_string(),
         };
         let covering_cell = match covering_ne(&game) {
             Ok(ne) => {
-                assert_eq!(ne.defender_gain(), exact.value, "{name}: covering disagrees");
+                assert_eq!(
+                    ne.defender_gain(),
+                    exact.value,
+                    "{name}: covering disagrees"
+                );
                 ne.defender_gain().to_string()
             }
             Err(_) => "-".to_string(),

@@ -20,7 +20,12 @@ const ATTACKERS: usize = 6;
 pub fn run() {
     println!("== E14: defense ratio and the Price of Defense (extension) ==\n");
     let mut table = Table::new(vec![
-        "family", "k", "bound n/2k", "k-matching |IS|/k", "covering n/2k", "optimal family",
+        "family",
+        "k",
+        "bound n/2k",
+        "k-matching |IS|/k",
+        "covering n/2k",
+        "optimal family",
     ]);
     let instances = [
         ("cycle C8", generators::cycle(8), 2usize),

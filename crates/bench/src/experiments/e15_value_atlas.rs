@@ -61,7 +61,11 @@ pub fn run() {
 
     let min = *histogram.keys().next().expect("non-empty atlas");
     let max = *histogram.keys().next_back().expect("non-empty atlas");
-    assert_eq!(min, Ratio::new(1, 4), "minimum value is the star's 1/|IS| = 1/4");
+    assert_eq!(
+        min,
+        Ratio::new(1, 4),
+        "minimum value is the star's 1/|IS| = 1/4"
+    );
     assert_eq!(max, Ratio::new(2, 5), "maximum value is the 2k/n bound");
     println!(
         "extremes: min = {min} (attacker hides in a size-4 independent set), \

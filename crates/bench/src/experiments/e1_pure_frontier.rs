@@ -16,7 +16,13 @@ use crate::Table;
 pub fn run() {
     println!("== E1: pure Nash equilibrium existence frontier (Theorem 3.1, Cor 3.3) ==\n");
     let mut table = Table::new(vec![
-        "family", "n", "m", "rho(G)", "ceil(n/2)", "frontier k*", "sweep",
+        "family",
+        "n",
+        "m",
+        "rho(G)",
+        "ceil(n/2)",
+        "frontier k*",
+        "sweep",
     ]);
     for (name, graph) in deterministic_families() {
         let rho = edge_cover_number(&graph).expect("zoo graphs are game-ready");

@@ -39,5 +39,7 @@ pub fn run() {
         exponent < 3.5,
         "growth exponent {exponent:.2} is not polynomial-looking for this range"
     );
-    println!("Paper prediction: polynomial — confirmed (blossom matching dominates, O(n³) worst case).");
+    println!(
+        "Paper prediction: polynomial — confirmed (blossom matching dominates, O(n³) worst case)."
+    );
 }

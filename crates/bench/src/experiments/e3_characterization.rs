@@ -21,8 +21,8 @@ fn verdict(game: &TupleGame<'_>, config: Option<MixedConfig>) -> &'static str {
     match config {
         None => "n/a",
         Some(c) => {
-            let report = verify_mixed_ne(game, &c, VerificationMode::Auto)
-                .expect("verification applies");
+            let report =
+                verify_mixed_ne(game, &c, VerificationMode::Auto).expect("verification applies");
             if report.is_equilibrium() {
                 "ACCEPT"
             } else {
@@ -43,7 +43,11 @@ fn bias<S: Clone + Ord>(strategy: &MixedStrategy<S>) -> Option<MixedStrategy<S>>
         .iter()
         .enumerate()
         .map(|(i, (s, _))| {
-            let w = if i == 0 { Ratio::new(2, denom) } else { Ratio::new(1, denom) };
+            let w = if i == 0 {
+                Ratio::new(2, denom)
+            } else {
+                Ratio::new(1, denom)
+            };
             (s.clone(), w)
         })
         .collect();
@@ -56,7 +60,11 @@ fn shrink<S: Clone + Ord>(strategy: &MixedStrategy<S>) -> Option<MixedStrategy<S
     if n < 2 {
         return None;
     }
-    let kept: Vec<S> = strategy.iter().take(n - 1).map(|(s, _)| s.clone()).collect();
+    let kept: Vec<S> = strategy
+        .iter()
+        .take(n - 1)
+        .map(|(s, _)| s.clone())
+        .collect();
     Some(MixedStrategy::uniform(kept))
 }
 
@@ -66,7 +74,13 @@ pub fn run() {
     let k = 2usize;
     let nu = 4usize;
     let mut table = Table::new(vec![
-        "family", "NE", "biased tp", "biased vp", "tp support-1", "vp onto VC", "vp dependent",
+        "family",
+        "NE",
+        "biased tp",
+        "biased vp",
+        "tp support-1",
+        "vp onto VC",
+        "vp dependent",
     ]);
     for (name, graph) in bipartite_families() {
         if k > graph.edge_count() {
@@ -93,7 +107,10 @@ pub fn run() {
         // VC vertex (breaks 3(a): some support tuple outweighs others).
         let onto_vc = {
             let is = ne.supports().vp_support.clone();
-            let vc: Vec<VertexId> = graph.vertices().filter(|v| is.binary_search(v).is_err()).collect();
+            let vc: Vec<VertexId> = graph
+                .vertices()
+                .filter(|v| is.binary_search(v).is_err())
+                .collect();
             vc.first().map(|&u| {
                 let mut moved = is.clone();
                 moved.pop();

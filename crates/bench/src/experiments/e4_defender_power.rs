@@ -31,17 +31,30 @@ pub fn run() {
             graph.vertex_count(),
             graph.edge_count()
         );
-        let mut table = Table::new(vec!["k", "gain", "k·ν/|IS|", "gain/base", "simulated", "err"]);
+        let mut table = Table::new(vec![
+            "k",
+            "gain",
+            "k·ν/|IS|",
+            "gain/base",
+            "simulated",
+            "err",
+        ]);
         let k_max = is_size.min(graph.edge_count());
         for k in 1..=k_max {
             let game = TupleGame::new(&graph, k, ATTACKERS).expect("valid game");
             let ne = a_tuple_bipartite(&game).expect("k ≤ |IS| succeeds");
             let predicted = predicted_k_matching_gain(k, ATTACKERS, is_size);
-            assert_eq!(ne.defender_gain(), predicted, "{name}, k = {k}: closed form");
+            assert_eq!(
+                ne.defender_gain(),
+                predicted,
+                "{name}, k = {k}: closed form"
+            );
             let ratio = ne.defender_gain() / base.defender_gain();
             assert_eq!(ratio, Ratio::from(k), "{name}, k = {k}: linearity");
-            let sim = Simulator::new(&game, ne.config())
-                .run(&SimulationConfig { rounds: ROUNDS, seed: 2006 + k as u64 });
+            let sim = Simulator::new(&game, ne.config()).run(&SimulationConfig {
+                rounds: ROUNDS,
+                seed: 2006 + k as u64,
+            });
             let err = sim.gain_error(predicted);
             assert!(
                 err < 0.15,

@@ -34,7 +34,12 @@ pub fn run() {
         let report = a_tuple_bipartite_report(&game).expect("bipartite + k ≤ |IS|");
         let check = verify_mixed_ne(&game, report.ne.config(), VerificationMode::Analytic)
             .expect("analytic preconditions hold for k-matching NE");
-        assert!(check.is_equilibrium(), "n = {}: {:?}", graph.vertex_count(), check.failures());
+        assert!(
+            check.is_equilibrium(),
+            "n = {}: {:?}",
+            graph.vertex_count(),
+            check.failures()
+        );
         xs.push((graph.vertex_count() as f64).ln());
         ys.push(t.as_secs_f64().max(1e-9).ln());
         table.row(vec![
@@ -49,6 +54,9 @@ pub fn run() {
     table.print();
     let (exponent, _, r2) = linear_fit(&xs, &ys);
     println!("\nlog-log fit: time ~ n^{exponent:.2} (r² = {r2:.3})");
-    assert!(exponent < 2.2, "scaling exponent {exponent:.2} exceeds the m√n regime");
+    assert!(
+        exponent < 2.2,
+        "scaling exponent {exponent:.2} exceeds the m√n regime"
+    );
     println!("Paper prediction: max{{O(k·n), O(m√n)}} — confirmed for sparse m = Θ(n).");
 }

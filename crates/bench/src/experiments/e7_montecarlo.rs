@@ -16,21 +16,34 @@ use crate::Table;
 pub fn run() {
     println!("== E7: Monte-Carlo play matches equations (1)-(2) ==\n");
     let scenarios = [
-        ("grid 3x4, k=2, nu=6", generators::grid(3, 4), 2usize, 6usize),
+        (
+            "grid 3x4, k=2, nu=6",
+            generators::grid(3, 4),
+            2usize,
+            6usize,
+        ),
         ("cycle C10, k=3, nu=4", generators::cycle(10), 3, 4),
-        ("K_{3,5}, k=4, nu=8", generators::complete_bipartite(3, 5), 4, 8),
+        (
+            "K_{3,5}, k=4, nu=8",
+            generators::complete_bipartite(3, 5),
+            4,
+            8,
+        ),
     ];
     for (name, graph, k, nu) in scenarios {
         let game = TupleGame::new(&graph, k, nu).expect("valid game");
         let ne = a_tuple_bipartite(&game).expect("bipartite with k ≤ |IS|");
         let exact_gain = ne.defender_gain();
         let exact_escape = (Ratio::ONE - ne.hit_probability()).to_f64();
-        println!("{name}: exact IP_tp = {exact_gain}, exact escape = {:.4}", exact_escape);
+        println!(
+            "{name}: exact IP_tp = {exact_gain}, exact escape = {:.4}",
+            exact_escape
+        );
         let mut table = Table::new(vec!["rounds", "mean caught", "gain err", "escape err"]);
         let mut final_err = f64::MAX;
         for rounds in [100u64, 1_000, 10_000, 100_000] {
-            let outcome = Simulator::new(&game, ne.config())
-                .run(&SimulationConfig { rounds, seed: 0xE7 });
+            let outcome =
+                Simulator::new(&game, ne.config()).run(&SimulationConfig { rounds, seed: 0xE7 });
             let mean_escape: f64 = outcome.escape_frequency.iter().sum::<f64>()
                 / outcome.escape_frequency.len() as f64;
             let gain_err = outcome.gain_error(exact_gain);
@@ -43,7 +56,10 @@ pub fn run() {
             ]);
         }
         table.print();
-        assert!(final_err < 0.05, "{name}: residual error {final_err:.4} too large");
+        assert!(
+            final_err < 0.05,
+            "{name}: residual error {final_err:.4} too large"
+        );
         println!();
     }
     println!("Paper prediction: empirical means converge to the exact rationals — confirmed.");

@@ -24,10 +24,24 @@ pub fn run() {
     println!("== E8: cyclic-construction ablation (Lemma 4.8 / Claim 4.9) ==\n");
     let nu = 5usize;
     let mut table = Table::new(vec![
-        "E_num", "k", "gcd", "paper delta", "naive (all offsets)", "ratio", "both verify",
+        "E_num",
+        "k",
+        "gcd",
+        "paper delta",
+        "naive (all offsets)",
+        "ratio",
+        "both verify",
     ]);
     // Even cycles give E_num = n/2 support edges for any even n.
-    for (n, k) in [(12usize, 2usize), (12, 3), (12, 4), (12, 6), (16, 6), (20, 4), (24, 9)] {
+    for (n, k) in [
+        (12usize, 2usize),
+        (12, 3),
+        (12, 4),
+        (12, 6),
+        (16, 6),
+        (20, 4),
+        (24, 9),
+    ] {
         let graph = generators::cycle(n);
         let game = TupleGame::new(&graph, k, nu).expect("valid game");
         let report = a_tuple_bipartite_report(&game).expect("even cycles admit k-matching NE");
@@ -65,11 +79,18 @@ pub fn run() {
             .expect("analytic applies")
             .is_equilibrium();
         assert!(paper_ok && naive_ok, "E = {e_num}, k = {k}");
-        assert!(report.delta <= naive_count, "paper construction must be minimal");
+        assert!(
+            report.delta <= naive_count,
+            "paper construction must be minimal"
+        );
         // An arc of length k on a cycle of E positions is determined by its
         // start unless k = E, where all offsets give the same full set.
         let expected_ratio = if k == e_num { 1 } else { gcd };
-        assert_eq!(naive_count / report.delta, expected_ratio, "size ratio (E = {e_num}, k = {k})");
+        assert_eq!(
+            naive_count / report.delta,
+            expected_ratio,
+            "size ratio (E = {e_num}, k = {k})"
+        );
         // Same equilibrium payoffs from both supports.
         assert_eq!(report.ne.defender_gain(), naive.defender_gain());
 

@@ -16,7 +16,11 @@ const ATTACKERS: usize = 6;
 pub fn run() {
     println!("== E9: reduction round-trips (Theorem 4.5, Lemmas 4.6/4.8) ==\n");
     let mut table = Table::new(vec![
-        "family", "E_num", "k range", "gain ratios", "supports preserved",
+        "family",
+        "E_num",
+        "k range",
+        "gain ratios",
+        "supports preserved",
     ]);
     for (name, graph) in bipartite_families() {
         let edge_game = TupleGame::edge_model(&graph, ATTACKERS).expect("valid game");
@@ -44,7 +48,11 @@ pub fn run() {
                 Err(e) => panic!("{name}, k = {k}: {e}"),
             }
         }
-        assert_eq!(k_used.len(), e_num.min(graph.edge_count()), "{name}: feasible range is 1..=E_num");
+        assert_eq!(
+            k_used.len(),
+            e_num.min(graph.edge_count()),
+            "{name}: feasible range is 1..=E_num"
+        );
         table.row(vec![
             name.to_string(),
             e_num.to_string(),

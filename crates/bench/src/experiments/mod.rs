@@ -3,6 +3,12 @@
 //! shape fails (so `run_all_experiments` doubles as a reproduction gate).
 
 pub mod common;
+pub mod e10_covering;
+pub mod e11_dynamics;
+pub mod e12_path_model;
+pub mod e13_exact_value;
+pub mod e14_defense_ratio;
+pub mod e15_value_atlas;
 pub mod e1_pure_frontier;
 pub mod e2_pure_runtime;
 pub mod e3_characterization;
@@ -12,9 +18,3 @@ pub mod e6_bipartite;
 pub mod e7_montecarlo;
 pub mod e8_support_ablation;
 pub mod e9_roundtrip;
-pub mod e10_covering;
-pub mod e11_dynamics;
-pub mod e12_path_model;
-pub mod e13_exact_value;
-pub mod e14_defense_ratio;
-pub mod e15_value_atlas;

@@ -10,5 +10,5 @@ pub mod experiments;
 pub mod report;
 pub mod timing;
 
-pub use report::Table;
+pub use report::{RunReport, Table};
 pub use timing::{linear_fit, median_time};

@@ -1,4 +1,10 @@
-//! Plain-text table rendering for experiment output.
+//! Plain-text table rendering and machine-readable run reports for
+//! experiment output.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use defender_obs::json::{JsonArray, JsonObject};
 
 /// A right-aligned text table printed in GitHub-markdown style, so
 /// experiment output can be pasted straight into EXPERIMENTS.md.
@@ -12,7 +18,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (must match the header arity).
@@ -61,6 +70,93 @@ impl Table {
     /// Prints the rendered table to stdout.
     pub fn print(&self) {
         print!("{}", self.render());
+    }
+}
+
+/// A machine-readable record of one experiment run: named phases with
+/// wall-clock time plus algorithm counters harvested from `defender-obs`.
+///
+/// Experiment binaries call [`RunReport::write_sidecar`] at the end of a
+/// run to drop a `BENCH_<experiment>.json` file next to the working
+/// directory, so successive runs can be diffed mechanically (the JSON is
+/// emitted by the same stable writer the obs registry uses).
+#[derive(Debug)]
+pub struct RunReport {
+    experiment: String,
+    phases: Vec<(String, Duration)>,
+    counters: Vec<(String, u64)>,
+}
+
+impl RunReport {
+    /// Starts an empty report for `experiment` (e.g. `"e5_atuple_runtime"`).
+    #[must_use]
+    pub fn new(experiment: &str) -> RunReport {
+        RunReport {
+            experiment: experiment.to_string(),
+            phases: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Records a completed phase with its wall-clock duration.
+    pub fn phase(&mut self, name: &str, elapsed: Duration) -> &mut RunReport {
+        self.phases.push((name.to_string(), elapsed));
+        self
+    }
+
+    /// Runs `body` as a named phase, recording its wall-clock time.
+    pub fn timed_phase<T>(&mut self, name: &str, body: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = body();
+        self.phase(name, start.elapsed());
+        out
+    }
+
+    /// Records one algorithm counter.
+    pub fn counter(&mut self, name: &str, value: u64) -> &mut RunReport {
+        self.counters.push((name.to_string(), value));
+        self
+    }
+
+    /// Copies every counter from an obs snapshot into the report.
+    pub fn counters_from(&mut self, snapshot: &defender_obs::Snapshot) -> &mut RunReport {
+        for (name, value) in &snapshot.counters {
+            self.counters.push((name.clone(), *value));
+        }
+        self
+    }
+
+    /// The report as a stable JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut phases = JsonArray::new();
+        for (name, elapsed) in &self.phases {
+            let mut p = JsonObject::new();
+            p.field_str("name", name);
+            p.field_f64("wall_seconds", elapsed.as_secs_f64());
+            phases.push_raw(&p.finish());
+        }
+        let mut counters = JsonObject::new();
+        for (name, value) in &self.counters {
+            counters.field_u64(name, *value);
+        }
+        let mut root = JsonObject::new();
+        root.field_str("experiment", &self.experiment);
+        root.field_raw("phases", &phases.finish());
+        root.field_raw("counters", &counters.finish());
+        root.finish()
+    }
+
+    /// Writes `BENCH_<experiment>.json` in the current directory and
+    /// returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the write.
+    pub fn write_sidecar(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(format!("BENCH_{}.json", self.experiment));
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
     }
 }
 

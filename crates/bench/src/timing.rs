@@ -1,6 +1,7 @@
 //! Light-weight timing and curve-fitting used by the runtime experiments
-//! (Criterion handles the rigorous benchmarks; these helpers feed the
-//! printed scaling tables).
+//! and the standalone `benches/` binaries (the build is offline-only, so
+//! there is no external benchmark harness; these helpers feed the printed
+//! scaling tables).
 
 use std::time::{Duration, Instant};
 
@@ -38,9 +39,19 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
     let syy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if sxx == 0.0 {
+        // All x equal: the data is a vertical line, no finite slope exists
+        // and x explains none of y's variance. Report a flat fit through
+        // the mean rather than dividing by zero.
+        return (0.0, my, if syy == 0.0 { 1.0 } else { 0.0 });
+    }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     (slope, intercept, r2)
 }
 
@@ -72,5 +83,52 @@ mod tests {
             std::hint::black_box(1 + 1);
         });
         assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn median_time_single_run() {
+        let mut calls = 0;
+        let d = median_time(1, || {
+            calls += 1;
+        });
+        assert_eq!(calls, 1);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn median_time_zero_runs_rejected() {
+        median_time(0, || {});
+    }
+
+    #[test]
+    fn fit_two_points_is_exact() {
+        let (slope, intercept, r2) = linear_fit(&[0.0, 2.0], &[1.0, 5.0]);
+        assert!((slope - 2.0).abs() < 1e-12);
+        assert!((intercept - 1.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_degenerate_all_equal_x() {
+        // Vertical data: no finite slope; the fit falls back to the mean
+        // and every value stays finite (this used to divide by zero).
+        let (slope, intercept, r2) = linear_fit(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(slope, 0.0);
+        assert!((intercept - 2.0).abs() < 1e-12);
+        assert_eq!(r2, 0.0);
+        // Fully constant data is a perfect (flat) fit.
+        let (slope, intercept, r2) = linear_fit(&[3.0, 3.0], &[4.0, 4.0]);
+        assert_eq!(slope, 0.0);
+        assert!((intercept - 4.0).abs() < 1e-12);
+        assert_eq!(r2, 1.0);
+    }
+
+    #[test]
+    fn fit_constant_y_is_flat_and_perfect() {
+        let (slope, intercept, r2) = linear_fit(&[1.0, 2.0, 3.0], &[7.0, 7.0, 7.0]);
+        assert!(slope.abs() < 1e-12);
+        assert!((intercept - 7.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
     }
 }

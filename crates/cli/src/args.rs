@@ -43,7 +43,8 @@ impl Options {
     ///
     /// Returns a usage error naming the missing option.
     pub fn required(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option `--{key}`"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option `--{key}`"))
     }
 
     /// A required parsed option.
@@ -108,7 +109,10 @@ mod tests {
     fn reports_missing_and_malformed() {
         let options = Options::parse(&argv(&["--n", "twelve"])).unwrap();
         assert!(options.required("family").unwrap_err().contains("--family"));
-        assert!(options.required_parse::<usize>("n").unwrap_err().contains("--n"));
+        assert!(options
+            .required_parse::<usize>("n")
+            .unwrap_err()
+            .contains("--n"));
         assert!(options.parse_or::<usize>("n", 1).is_err());
     }
 }

@@ -1,12 +1,12 @@
 //! `defender analyze` — full equilibrium report for one instance.
 
-use defender_core::bipartite::a_tuple_bipartite;
-use defender_core::covering_ne::covering_ne;
+use defender_core::bipartite::a_tuple_bipartite_report;
 use defender_core::characterization::{verify_mixed_ne, VerificationMode};
+use defender_core::covering_ne::covering_ne;
 use defender_core::gain::quality_of_protection;
 use defender_core::model::TupleGame;
 use defender_core::pure::{pure_ne_existence, PureNeOutcome};
-use defender_core::tree::a_tuple_tree;
+use defender_core::tree::a_tuple_tree_report;
 use defender_core::CoreError;
 use defender_graph::{properties, Graph};
 use defender_num::Ratio;
@@ -32,7 +32,11 @@ pub fn report(graph: &Graph, k: usize, nu: usize) -> Result<String, String> {
     // Pure equilibria (Theorem 3.1).
     match pure_ne_existence(&game) {
         PureNeOutcome::Exists { cover, .. } => {
-            let _ = writeln!(out, "pure NE: EXISTS (defender plays the {}-edge cover {cover:?})", cover.len());
+            let _ = writeln!(
+                out,
+                "pure NE: EXISTS (defender plays the {}-edge cover {cover:?})",
+                cover.len()
+            );
         }
         PureNeOutcome::None { min_cover_size } => {
             let _ = writeln!(
@@ -43,21 +47,23 @@ pub fn report(graph: &Graph, k: usize, nu: usize) -> Result<String, String> {
     }
 
     // Mixed structural equilibria.
-    let mixed = if tree { a_tuple_tree(&game) } else { a_tuple_bipartite(&game) };
+    let mixed = if tree {
+        a_tuple_tree_report(&game)
+    } else {
+        a_tuple_bipartite_report(&game)
+    };
     match mixed {
-        Ok(ne) => {
+        Ok(report) => {
+            let ne = &report.ne;
             let check = verify_mixed_ne(&game, ne.config(), VerificationMode::Auto)
                 .map_err(|e| e.to_string())?;
             let _ = writeln!(
                 out,
-                "k-matching NE: |IS| = {}, {} tuples, defender gain = {} \
-                 (quality of protection {}), verified = {}",
-                ne.supports().vp_support.len(),
-                ne.tuple_count(),
-                ne.defender_gain(),
+                "k-matching NE: verified = {}, quality of protection {}",
+                check.is_equilibrium(),
                 quality_of_protection(&game, ne.config()),
-                check.is_equilibrium()
             );
+            let _ = writeln!(out, "{report}");
             let _ = writeln!(
                 out,
                 "attacker view: escape probability {}",
@@ -112,8 +118,9 @@ mod tests {
         let g = generators::cycle(8);
         let text = report(&g, 2, 4).unwrap();
         assert!(text.contains("pure NE: none"));
-        assert!(text.contains("k-matching NE: |IS| = 4"));
+        assert!(text.contains("A_tuple: |IS| = 4"));
         assert!(text.contains("verified = true"));
+        assert!(text.contains("step 1: matching NE"));
         assert!(text.contains("covering NE (perfect matching)"));
     }
 
@@ -122,7 +129,10 @@ mod tests {
         let g = generators::petersen();
         let text = report(&g, 2, 4).unwrap();
         assert!(text.contains("not bipartite"));
-        assert!(text.contains("covering NE (perfect matching)"), "Petersen has a PM");
+        assert!(
+            text.contains("covering NE (perfect matching)"),
+            "Petersen has a PM"
+        );
     }
 
     #[test]
@@ -130,7 +140,7 @@ mod tests {
         let g = generators::star(5);
         let text = report(&g, 2, 3).unwrap();
         assert!(text.contains("forest = true"));
-        assert!(text.contains("k-matching NE: |IS| = 5"));
+        assert!(text.contains("A_tuple: |IS| = 5"));
         assert!(text.contains("covering NE: not available"));
     }
 

@@ -7,10 +7,7 @@ use crate::edgelist;
 pub fn run(options: &Options) -> Result<(), String> {
     let input = options.required("in")?;
     let output = options.required("out")?;
-    let graph = edgelist::read_format(
-        std::path::Path::new(input),
-        options.get("from"),
-    )?;
+    let graph = edgelist::read_format(std::path::Path::new(input), options.get("from"))?;
     edgelist::write_format(std::path::Path::new(output), &graph, options.get("to"))?;
     println!(
         "converted {input} -> {output} ({} vertices, {} edges)",
@@ -35,9 +32,12 @@ mod tests {
 
         let options = Options::parse(
             &[
-                "--in", edges.to_str().unwrap(),
-                "--out", g6.to_str().unwrap(),
-                "--to", "graph6",
+                "--in",
+                edges.to_str().unwrap(),
+                "--out",
+                g6.to_str().unwrap(),
+                "--to",
+                "graph6",
             ]
             .iter()
             .map(ToString::to_string)
@@ -58,10 +58,17 @@ mod tests {
         let edges = dir.join("defender_convert_bad.edges");
         edgelist::write(&edges, &generators::path(2)).unwrap();
         let options = Options::parse(
-            &["--in", edges.to_str().unwrap(), "--out", "/dev/null", "--to", "gml"]
-                .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>(),
+            &[
+                "--in",
+                edges.to_str().unwrap(),
+                "--out",
+                "/dev/null",
+                "--to",
+                "gml",
+            ]
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>(),
         )
         .unwrap();
         assert!(run(&options).is_err());

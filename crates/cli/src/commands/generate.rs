@@ -1,7 +1,6 @@
 //! `defender generate` — write a graph family to an edge-list file.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use defender_num::rng::StdRng;
 
 use defender_graph::{generators, Graph};
 
@@ -84,7 +83,16 @@ mod tests {
             vec!["--family", "ladder", "--n", "3"],
             vec!["--family", "tree", "--n", "9"],
             vec!["--family", "gnp", "--n", "9", "--p", "0.2"],
-            vec!["--family", "bipartite", "--a", "3", "--b", "4", "--p", "0.5"],
+            vec![
+                "--family",
+                "bipartite",
+                "--a",
+                "3",
+                "--b",
+                "4",
+                "--p",
+                "0.5",
+            ],
         ] {
             let g = build(&options(&parts)).unwrap_or_else(|e| panic!("{parts:?}: {e}"));
             assert!(g.vertex_count() > 0);
@@ -93,8 +101,14 @@ mod tests {
 
     #[test]
     fn seeded_generation_is_deterministic() {
-        let a = build(&options(&["--family", "gnp", "--n", "12", "--p", "0.3", "--seed", "5"])).unwrap();
-        let b = build(&options(&["--family", "gnp", "--n", "12", "--p", "0.3", "--seed", "5"])).unwrap();
+        let a = build(&options(&[
+            "--family", "gnp", "--n", "12", "--p", "0.3", "--seed", "5",
+        ]))
+        .unwrap();
+        let b = build(&options(&[
+            "--family", "gnp", "--n", "12", "--p", "0.3", "--seed", "5",
+        ]))
+        .unwrap();
         assert_eq!(a, b);
     }
 

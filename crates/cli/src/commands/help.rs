@@ -13,6 +13,9 @@ USAGE:
   defender convert  --in <file> --out <file> [--from <fmt>] [--to <fmt>]
   defender help
 
+Every command also accepts `--metrics json|table`: run with internal
+instrumentation enabled and dump the counter/span registry afterwards.
+
 FORMATS: edges (default; `u v` per line) and graph6.
 
 GENERATE FAMILIES (params):

@@ -28,13 +28,22 @@ pub fn pick_equilibrium(
 }
 
 /// The simulation report as a string (pure function, testable without IO).
-pub fn report(graph: &Graph, k: usize, nu: usize, rounds: u64, seed: u64) -> Result<String, String> {
+pub fn report(
+    graph: &Graph,
+    k: usize,
+    nu: usize,
+    rounds: u64,
+    seed: u64,
+) -> Result<String, String> {
     use std::fmt::Write as _;
     let game = TupleGame::new(graph, k, nu).map_err(|e| e.to_string())?;
     let (config, exact_gain, family) = pick_equilibrium(&game)?;
     let outcome = Simulator::new(&game, &config).run(&SimulationConfig { rounds, seed });
     let mut out = String::new();
-    let _ = writeln!(out, "equilibrium family: {family}, exact defender gain = {exact_gain}");
+    let _ = writeln!(
+        out,
+        "equilibrium family: {family}, exact defender gain = {exact_gain}"
+    );
     let _ = writeln!(
         out,
         "simulated {rounds} rounds: mean arrests = {:.4} (error {:.4})",

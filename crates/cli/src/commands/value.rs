@@ -1,7 +1,8 @@
 //! `defender value` — exact game value on an arbitrary graph via the
 //! rational LP (single-attacker zero-sum reduction).
 
-use defender_core::defense::{defense_ratio_lower_bound};
+use defender_core::bipartite::a_tuple_bipartite_report;
+use defender_core::defense::defense_ratio_lower_bound;
 use defender_core::model::TupleGame;
 use defender_core::solve::solve_exact;
 use defender_graph::Graph;
@@ -35,9 +36,20 @@ pub fn report(graph: &Graph, k: usize, limit: usize) -> Result<String, String> {
     let _ = writeln!(
         out,
         "defense ratio 1/value = {}; universal lower bound n/(2k) = {}",
-        exact.value.recip().map(|r| r.to_string()).unwrap_or_else(|_| "∞".into()),
+        exact
+            .value
+            .recip()
+            .map(|r| r.to_string())
+            .unwrap_or_else(|_| "∞".into()),
         defense_ratio_lower_bound(&game)
     );
+    // Structural cross-check: on bipartite instances the constructive
+    // A_tuple equilibrium must reproduce the LP's hit probability.
+    if let Ok(structural) = a_tuple_bipartite_report(&game) {
+        let _ = writeln!(out, "structural cross-check — {}", structural.summary());
+        let agrees = structural.ne.hit_probability() == exact.value;
+        let _ = writeln!(out, "structural hit probability matches LP value: {agrees}");
+    }
     Ok(out)
 }
 
@@ -61,6 +73,22 @@ mod tests {
         let text = report(&g, 1, 100_000).unwrap();
         assert!(text.contains("2/5"), "{text}");
         assert!(text.contains("lower bound n/(2k) = 5/2"));
+        // Odd cycle: no bipartite structural route, so no cross-check line.
+        assert!(!text.contains("structural cross-check"));
+    }
+
+    #[test]
+    fn bipartite_value_cross_checks_structural_route() {
+        let g = generators::cycle(6);
+        let text = report(&g, 1, 100_000).unwrap();
+        assert!(
+            text.contains("structural cross-check — A_tuple: |IS| = 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("structural hit probability matches LP value: true"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -60,7 +60,12 @@ pub fn parse(text: &str) -> Result<Graph, String> {
 /// Renders a graph as edge-list text (with an `n` header).
 #[must_use]
 pub fn render(graph: &Graph) -> String {
-    let mut out = format!("# {} vertices, {} edges\nn {}\n", graph.vertex_count(), graph.edge_count(), graph.vertex_count());
+    let mut out = format!(
+        "# {} vertices, {} edges\nn {}\n",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.vertex_count()
+    );
     for e in graph.edges() {
         let ep = graph.endpoints(e);
         out.push_str(&format!("{} {}\n", ep.u().index(), ep.v().index()));

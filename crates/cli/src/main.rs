@@ -34,7 +34,11 @@ fn run(argv: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let options = args::Options::parse(rest)?;
-    match command.as_str() {
+    let metrics = metrics_format(&options)?;
+    if metrics.is_some() {
+        defender_obs::enable();
+    }
+    let result = match command.as_str() {
         "generate" => commands::generate::run(&options),
         "analyze" => commands::analyze::run(&options),
         "simulate" => commands::simulate::run(&options),
@@ -45,5 +49,40 @@ fn run(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
+    };
+    if result.is_ok() {
+        if let Some(format) = metrics {
+            dump_metrics(format);
+        }
+    }
+    result
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Table,
+}
+
+/// Parses `--metrics json|table` (any command accepts it).
+fn metrics_format(options: &args::Options) -> Result<Option<MetricsFormat>, String> {
+    match options.get("metrics") {
+        None => Ok(None),
+        Some("json") => Ok(Some(MetricsFormat::Json)),
+        Some("table") => Ok(Some(MetricsFormat::Table)),
+        Some(other) => Err(format!(
+            "option `--metrics` must be `json` or `table`, got `{other}`"
+        )),
+    }
+}
+
+fn dump_metrics(format: MetricsFormat) {
+    let snapshot = defender_obs::snapshot();
+    match format {
+        MetricsFormat::Json => println!("{}", snapshot.to_json()),
+        MetricsFormat::Table => {
+            println!("-- metrics --");
+            print!("{}", snapshot.to_table());
+        }
     }
 }

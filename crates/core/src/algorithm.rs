@@ -41,6 +41,47 @@ impl ATupleReport {
     pub fn gain_ratio(&self) -> defender_num::Ratio {
         crate::reduction::gain_ratio(&self.ne, &self.base)
     }
+
+    /// A one-line human summary of the run: support sizes, tuple count,
+    /// gain, and the Theorem 4.5 amplification.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "A_tuple: |IS| = {}, E_num = {}, delta = {} tuples, \
+             defender gain = {} ({}x the Edge-model base {})",
+            self.ne.supports().vp_support.len(),
+            self.e_num,
+            self.delta,
+            self.ne.defender_gain(),
+            self.gain_ratio(),
+            self.base.defender_gain(),
+        )
+    }
+}
+
+impl std::fmt::Display for ATupleReport {
+    /// Formats as the multi-line diagnostic block the CLI prints: the
+    /// [`ATupleReport::summary`] line followed by the per-step artifacts.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        writeln!(
+            f,
+            "  step 1: matching NE with {} support edges, base gain {}",
+            self.base.supports().tp_support.len(),
+            self.base.defender_gain()
+        )?;
+        writeln!(
+            f,
+            "  steps 2-5: labeled E_num = {} edges, cyclic window built {} tuples",
+            self.e_num, self.delta
+        )?;
+        write!(
+            f,
+            "  equilibrium: hit probability {}, {} tuples in defender support",
+            self.ne.hit_probability(),
+            self.ne.tuple_count()
+        )
+    }
 }
 
 /// Algorithm `A_tuple(Π_k(G), IS, VC)` — Figure 1 of the paper.
@@ -73,15 +114,34 @@ pub fn a_tuple(
     is: &[VertexId],
     vc: &[VertexId],
 ) -> Result<ATupleReport, CoreError> {
+    let _span = defender_obs::span!("a_tuple");
+    defender_obs::counter!("core.a_tuple.calls").incr();
     // Step 1: matching NE of Π_1(G) on the same graph and ν.
-    let edge_game = TupleGame::edge_model(game.graph(), game.attacker_count())?;
-    let base = algorithm_a(&edge_game, is, vc)?;
-    // Steps 2–5: cyclic expansion (shared with Lemma 4.8) and uniform play.
-    let e_num = base.supports().tp_support.len();
-    let ne = expand_to_k_matching(game, &base)?;
+    let base = {
+        let _step1 = defender_obs::span!("step1_matching_ne");
+        let edge_game = TupleGame::edge_model(game.graph(), game.attacker_count())?;
+        algorithm_a(&edge_game, is, vc)?
+    };
+    // Step 2: label the support edges e_0 … e_{E_num−1}.
+    let e_num = {
+        let _step2 = defender_obs::span!("step2_label_support");
+        base.supports().tp_support.len()
+    };
+    // Steps 3–5: cyclic window expansion (shared with Lemma 4.8), support
+    // assembly, and uniform probabilities per Lemma 4.1.
+    let ne = {
+        let _steps35 = defender_obs::span!("step3_5_cyclic_expansion");
+        expand_to_k_matching(game, &base)?
+    };
     let delta = support_tuple_count(e_num, game.k());
+    defender_obs::counter!("core.a_tuple.tuples_built").add(delta as u64);
     debug_assert_eq!(ne.tuple_count(), delta);
-    Ok(ATupleReport { ne, base, e_num, delta })
+    Ok(ATupleReport {
+        ne,
+        base,
+        e_num,
+        delta,
+    })
 }
 
 #[cfg(test)]
@@ -126,7 +186,13 @@ mod tests {
         let g = generators::cycle(4); // |IS| = 2, m = 4
         let game = TupleGame::new(&g, 3, 2).unwrap();
         let err = a_tuple(&game, &ids(&[0, 2]), &ids(&[1, 3])).unwrap_err();
-        assert!(matches!(err, CoreError::TupleWiderThanSupport { k: 3, support_size: 2 }));
+        assert!(matches!(
+            err,
+            CoreError::TupleWiderThanSupport {
+                k: 3,
+                support_size: 2
+            }
+        ));
     }
 
     #[test]

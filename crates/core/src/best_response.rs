@@ -90,7 +90,10 @@ pub fn defender_best_response_greedy(game: &TupleGame<'_>, mass: &[Ratio]) -> (T
         chosen.push(e);
         total += marginal;
     }
-    (Tuple::new(chosen).expect("greedy picks distinct edges"), total)
+    (
+        Tuple::new(chosen).expect("greedy picks distinct edges"),
+        total,
+    )
 }
 
 /// Convenience: the defender's best response against a full configuration
@@ -117,8 +120,7 @@ mod tests {
     use crate::bipartite::a_tuple_bipartite;
     use defender_game::MixedStrategy;
     use defender_graph::generators;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use defender_num::rng::{Rng, StdRng};
 
     #[test]
     fn attacker_picks_least_hit_vertex() {
@@ -152,7 +154,11 @@ mod tests {
         let ne = a_tuple_bipartite(&game).unwrap();
         let mass = payoff::vertex_mass(&game, ne.config());
         let (_, value) = defender_best_response_exact(&game, &mass, 100_000).unwrap();
-        assert_eq!(value, ne.defender_gain(), "no tuple beats the equilibrium gain");
+        assert_eq!(
+            value,
+            ne.defender_gain(),
+            "no tuple beats the equilibrium gain"
+        );
     }
 
     #[test]
@@ -168,7 +174,7 @@ mod tests {
             // Random attacker mass.
             let mass: Vec<Ratio> = g
                 .vertices()
-                .map(|_| Ratio::new(i64::from(rng.gen_range(0u32..5)), 1))
+                .map(|_| Ratio::new(rng.gen_range(0..5) as i64, 1))
                 .collect();
             let (_, exact) = defender_best_response_exact(&game, &mass, 100_000).unwrap();
             let (_, greedy) = defender_best_response_greedy(&game, &mass);

@@ -60,9 +60,8 @@ mod tests {
     use super::*;
     use crate::characterization::{verify_mixed_ne, VerificationMode};
     use defender_graph::generators;
+    use defender_num::rng::StdRng;
     use defender_num::Ratio;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn complete_bipartite_families() {
@@ -75,7 +74,11 @@ mod tests {
             let is_size = a.max(b);
             assert_eq!(ne.defender_gain(), Ratio::new(nu as i64, is_size as i64));
             let report = verify_mixed_ne(&game, ne.config(), VerificationMode::Auto).unwrap();
-            assert!(report.is_equilibrium(), "K_{{{a},{b}}}: {:?}", report.failures());
+            assert!(
+                report.is_equilibrium(),
+                "K_{{{a},{b}}}: {:?}",
+                report.failures()
+            );
         }
     }
 
@@ -89,7 +92,11 @@ mod tests {
                 Ok(ne) => {
                     let report =
                         verify_mixed_ne(&game, ne.config(), VerificationMode::Auto).unwrap();
-                    assert!(report.is_equilibrium(), "trial {trial}: {:?}", report.failures());
+                    assert!(
+                        report.is_equilibrium(),
+                        "trial {trial}: {:?}",
+                        report.failures()
+                    );
                 }
                 Err(CoreError::TupleWiderThanSupport { .. }) => {
                     // Legal outcome when the maximum independent set is

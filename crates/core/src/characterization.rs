@@ -143,6 +143,8 @@ pub fn verify_mixed_ne(
             reason: "Theorem 3.4 presumes ν ≥ 1 vertex players".into(),
         });
     }
+    let _span = defender_obs::span!("verify_mixed_ne");
+    defender_obs::counter!("core.characterization.checks").incr();
     let graph = game.graph();
     let vp_support = config.vp_support_union();
     let support_edges = config.support_edges();
@@ -180,7 +182,7 @@ pub fn verify_mixed_ne(
     let covered_mass: Ratio = covered.iter().map(|v| mass[v.index()]).sum();
     let mass_conserved = covered_mass == Ratio::from(game.attacker_count());
 
-    Ok(MixedNeReport {
+    let report = MixedNeReport {
         support_is_edge_cover,
         vp_covers_support_graph,
         hit_uniform_on_vp_support,
@@ -191,7 +193,10 @@ pub fn verify_mixed_ne(
         support_hit,
         support_mass,
         mode_used,
-    })
+    };
+    defender_obs::counter!("core.characterization.conditions_failed")
+        .add(report.failures().len() as u64);
+    Ok(report)
 }
 
 /// Computes `max_{t ∈ E^k} m(t)` exactly, choosing a strategy per `mode`.
@@ -200,7 +205,7 @@ fn maximum_tuple_mass(
     mass: &[Ratio],
     mode: VerificationMode,
 ) -> Result<(Ratio, ModeUsed), CoreError> {
-    match mode {
+    let result = match mode {
         VerificationMode::Analytic => Ok((analytic_max(game, mass)?, ModeUsed::Analytic)),
         VerificationMode::Exhaustive { limit } => {
             Ok((exhaustive_max(game, mass, limit)?, ModeUsed::Exhaustive))
@@ -212,7 +217,18 @@ fn maximum_tuple_mass(
                 ModeUsed::Exhaustive,
             )),
         },
+    };
+    if let Ok((_, used)) = &result {
+        match used {
+            ModeUsed::Analytic => {
+                defender_obs::counter!("core.characterization.analytic_evals").incr();
+            }
+            ModeUsed::Exhaustive => {
+                defender_obs::counter!("core.characterization.exhaustive_evals").incr();
+            }
+        }
     }
+    result
 }
 
 /// Closed forms for the two uniform-mass cases (DESIGN.md §5.3):
@@ -252,7 +268,11 @@ fn analytic_max(game: &TupleGame<'_>, mass: &[Ratio]) -> Result<Ratio, CoreError
     if positive.len() == graph.vertex_count() {
         let mu = defender_matching::matching_number(graph);
         let k = game.k();
-        let coverable = if k <= mu { 2 * k } else { (mu + k).min(graph.vertex_count()) };
+        let coverable = if k <= mu {
+            2 * k
+        } else {
+            (mu + k).min(graph.vertex_count())
+        };
         return Ok(c * Ratio::from(coverable));
     }
     Err(CoreError::ConfigMismatch {
@@ -261,11 +281,7 @@ fn analytic_max(game: &TupleGame<'_>, mass: &[Ratio]) -> Result<Ratio, CoreError
 }
 
 /// Exhaustive maximum over all `C(m, k)` tuples.
-fn exhaustive_max(
-    game: &TupleGame<'_>,
-    mass: &[Ratio],
-    limit: usize,
-) -> Result<Ratio, CoreError> {
+fn exhaustive_max(game: &TupleGame<'_>, mass: &[Ratio], limit: usize) -> Result<Ratio, CoreError> {
     let tuples = all_tuples(game.graph(), game.k(), limit)?;
     Ok(tuples
         .iter()
@@ -295,9 +311,9 @@ pub fn support_subgraph(game: &TupleGame<'_>, config: &MixedConfig) -> subgraph:
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tuple::Tuple;
     use defender_game::MixedStrategy;
     use defender_graph::{generators, EdgeId, VertexId};
-    use crate::tuple::Tuple;
 
     /// The P4 matching NE: attackers uniform on {v0, v3}, defender uniform
     /// on {(0,1), (2,3)}.
@@ -325,7 +341,11 @@ mod tests {
             VerificationMode::Exhaustive { limit: 1000 },
         ] {
             let report = verify_mixed_ne(&game, &config, mode).unwrap();
-            assert!(report.is_equilibrium(), "mode {mode:?}: {:?}", report.failures());
+            assert!(
+                report.is_equilibrium(),
+                "mode {mode:?}: {:?}",
+                report.failures()
+            );
             assert_eq!(report.support_hit, Some(Ratio::new(1, 2)));
             assert_eq!(report.support_mass, Some(Ratio::ONE));
         }
@@ -336,7 +356,8 @@ mod tests {
         let g = generators::path(4);
         let (game, config) = p4_equilibrium(&g);
         let a = verify_mixed_ne(&game, &config, VerificationMode::Analytic).unwrap();
-        let e = verify_mixed_ne(&game, &config, VerificationMode::Exhaustive { limit: 100 }).unwrap();
+        let e =
+            verify_mixed_ne(&game, &config, VerificationMode::Exhaustive { limit: 100 }).unwrap();
         assert_eq!(a.mode_used, ModeUsed::Analytic);
         assert_eq!(e.mode_used, ModeUsed::Exhaustive);
         assert_eq!(a.is_equilibrium(), e.is_equilibrium());

@@ -95,7 +95,10 @@ pub fn covering_ne(game: &TupleGame<'_>) -> Result<CoveringNe, CoreError> {
     let edges: EdgeSet = matching.edges().to_vec();
     let k = game.k();
     if k > edges.len() {
-        return Err(CoreError::TupleWiderThanSupport { k, support_size: edges.len() });
+        return Err(CoreError::TupleWiderThanSupport {
+            k,
+            support_size: edges.len(),
+        });
     }
     let tuples: Vec<Tuple> = cyclic_tuples(edges.len(), k)
         .into_iter()
@@ -117,7 +120,12 @@ pub fn covering_ne(game: &TupleGame<'_>) -> Result<CoveringNe, CoreError> {
     debug_assert_eq!(defender_gain, expected, "covering gain closed form");
     let hit_probability = Ratio::from(2 * k) / Ratio::from(n);
 
-    Ok(CoveringNe { config, matching_edges: edges, defender_gain, hit_probability })
+    Ok(CoveringNe {
+        config,
+        matching_edges: edges,
+        defender_gain,
+        hit_probability,
+    })
 }
 
 #[cfg(test)]
@@ -145,7 +153,11 @@ mod tests {
                 let ne = covering_ne(&game).unwrap();
                 let report =
                     verify_mixed_ne(&game, ne.config(), VerificationMode::Analytic).unwrap();
-                assert!(report.is_equilibrium(), "{name}, k = {k}: {:?}", report.failures());
+                assert!(
+                    report.is_equilibrium(),
+                    "{name}, k = {k}: {:?}",
+                    report.failures()
+                );
                 assert_eq!(report.mode_used, ModeUsed::Analytic);
                 assert_eq!(
                     ne.defender_gain(),
@@ -195,7 +207,13 @@ mod tests {
         let graph = generators::cycle(6); // n/2 = 3, m = 6
         let game = TupleGame::new(&graph, 4, 2).unwrap();
         let err = covering_ne(&game).unwrap_err();
-        assert_eq!(err, CoreError::TupleWiderThanSupport { k: 4, support_size: 3 });
+        assert_eq!(
+            err,
+            CoreError::TupleWiderThanSupport {
+                k: 4,
+                support_size: 3
+            }
+        );
     }
 
     #[test]
@@ -215,7 +233,11 @@ mod tests {
         // double star: PM exists? Take P4 ∪ pendant? Simplest strict case:
         // C6 with a chord making IS larger is non-trivial — assert the
         // general inequality on a sweep instead.
-        for graph in [generators::cycle(8), generators::grid(2, 4), generators::ladder(3)] {
+        for graph in [
+            generators::cycle(8),
+            generators::grid(2, 4),
+            generators::ladder(3),
+        ] {
             let game = TupleGame::new(&graph, 2, 4).unwrap();
             let cov = covering_ne(&game).unwrap();
             let mat = a_tuple_bipartite(&game).unwrap();

@@ -146,14 +146,15 @@ mod tests {
         // Any configuration passing the Theorem 3.4 verifier obeys the
         // bound (sanity for the proof in the module docs).
         let mut b = GraphBuilder::new(4);
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(0, 3);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(0, 3);
         let graph = b.build(); // C4
         let game = TupleGame::new(&graph, 1, 2).unwrap();
         let ne = a_tuple_bipartite(&game).unwrap();
         let report = verify_mixed_ne(&game, ne.config(), VerificationMode::Auto).unwrap();
         assert!(report.is_equilibrium());
-        assert!(
-            defense_ratio(&game, ne.config()).unwrap() >= defense_ratio_lower_bound(&game)
-        );
+        assert!(defense_ratio(&game, ne.config()).unwrap() >= defense_ratio_lower_bound(&game));
     }
 }

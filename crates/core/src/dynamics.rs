@@ -67,6 +67,7 @@ pub fn fictitious_play(
             reason: "fictitious play is implemented for ν = 1 (constant-sum)".into(),
         });
     }
+    let _span = defender_obs::span!("fictitious_play");
     let graph = game.graph();
     let n = graph.vertex_count();
 
@@ -101,7 +102,11 @@ pub fn fictitious_play(
                 }
             }
             OracleMode::Greedy => {
-                let effective = if round == 1 { vec![Ratio::ONE; n] } else { mass };
+                let effective = if round == 1 {
+                    vec![Ratio::ONE; n]
+                } else {
+                    mass
+                };
                 defender_best_response_greedy(game, &effective).0
             }
         };
@@ -120,6 +125,8 @@ pub fn fictitious_play(
         }
     }
 
+    defender_obs::counter!("core.dynamics.rounds").add(rounds as u64);
+    defender_obs::counter!("core.dynamics.catches").add(caught_total);
     Ok(PlayTrace {
         rounds,
         average_payoff: caught_total as f64 / rounds as f64,
@@ -191,7 +198,10 @@ mod tests {
         let is = &ne.supports().vp_support;
         let hub_picks = trace.attacker_frequency[0];
         let leaf_picks: usize = is.iter().map(|v| trace.attacker_frequency[v.index()]).sum();
-        assert!(hub_picks * 10 < leaf_picks, "hub {hub_picks} vs leaves {leaf_picks}");
+        assert!(
+            hub_picks * 10 < leaf_picks,
+            "hub {hub_picks} vs leaves {leaf_picks}"
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl fmt::Display for CoreError {
                 write!(f, "not a k-matching configuration: {reason}")
             }
             CoreError::TooLarge { what, limit } => {
-                write!(f, "exhaustive enumeration of {what} exceeds the limit {limit}")
+                write!(
+                    f,
+                    "exhaustive enumeration of {what} exceeds the limit {limit}"
+                )
             }
         }
     }
@@ -108,9 +111,15 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = CoreError::InvalidWidth { k: 9, edge_count: 3 };
+        let e = CoreError::InvalidWidth {
+            k: 9,
+            edge_count: 3,
+        };
         assert!(e.to_string().contains("k = 9"));
-        let e = CoreError::TupleWiderThanSupport { k: 5, support_size: 3 };
+        let e = CoreError::TupleWiderThanSupport {
+            k: 5,
+            support_size: 3,
+        };
         assert!(e.to_string().contains("support size 3"));
         let e = CoreError::NotEdgeModel { k: 4 };
         assert!(e.to_string().contains("k = 1"));

@@ -40,7 +40,10 @@ impl<'a, 'g> GameAdapter<'a, 'g> {
     /// # Errors
     ///
     /// Returns [`CoreError::TooLarge`] when `C(m, k) > tuple_limit`.
-    pub fn new(game: &'a TupleGame<'g>, tuple_limit: usize) -> Result<GameAdapter<'a, 'g>, CoreError> {
+    pub fn new(
+        game: &'a TupleGame<'g>,
+        tuple_limit: usize,
+    ) -> Result<GameAdapter<'a, 'g>, CoreError> {
         let tuples = all_tuples(game.graph(), game.k(), tuple_limit)?;
         Ok(GameAdapter { game, tuples })
     }
@@ -58,10 +61,8 @@ impl<'a, 'g> GameAdapter<'a, 'g> {
             .attackers()
             .iter()
             .map(|s| {
-                MixedStrategy::from_entries(
-                    s.iter().map(|(v, p)| (Move::Vertex(*v), p)).collect(),
-                )
-                .expect("valid distribution lifts to a valid distribution")
+                MixedStrategy::from_entries(s.iter().map(|(v, p)| (Move::Vertex(*v), p)).collect())
+                    .expect("valid distribution lifts to a valid distribution")
             })
             .collect();
         profile.push(

@@ -204,7 +204,12 @@ pub fn k_matching_ne_from_config(
         }
     }
 
-    Ok(KMatchingNe { config, supports, defender_gain, hit_probability })
+    Ok(KMatchingNe {
+        config,
+        supports,
+        defender_gain,
+        hit_probability,
+    })
 }
 
 #[cfg(test)]
@@ -313,7 +318,10 @@ mod tests {
     #[test]
     fn empty_support_rejected() {
         let g = generators::path(2);
-        let config = KMatchingConfig { vp_support: vec![VertexId::new(0)], tuples: vec![] };
+        let config = KMatchingConfig {
+            vp_support: vec![VertexId::new(0)],
+            tuples: vec![],
+        };
         assert!(config.check(&g, 1).is_err());
     }
 

@@ -112,11 +112,19 @@ pub fn matching_ne_from_config(
     }
     let vp = MixedStrategy::uniform(supports.vp_support.clone());
     let tp = MixedStrategy::uniform(
-        supports.tp_support.iter().map(|&e| Tuple::single(e)).collect(),
+        supports
+            .tp_support
+            .iter()
+            .map(|&e| Tuple::single(e))
+            .collect(),
     );
     let config = MixedConfig::symmetric(game, vp, tp)?;
     let defender_gain = payoff::expected_ip_tuple_player(game, &config);
-    Ok(MatchingNe { config, supports, defender_gain })
+    Ok(MatchingNe {
+        config,
+        supports,
+        defender_gain,
+    })
 }
 
 /// Theorem 2.2 (corrected): whether the partition `(IS, V \ IS)` admits a
@@ -193,7 +201,14 @@ pub fn algorithm_a(
 
     matching_ne_from_config(
         game,
-        MatchingConfig { vp_support: { let mut s = is.to_vec(); s.sort_unstable(); s }, tp_support: support },
+        MatchingConfig {
+            vp_support: {
+                let mut s = is.to_vec();
+                s.sort_unstable();
+                s
+            },
+            tp_support: support,
+        },
     )
 }
 
@@ -231,7 +246,10 @@ fn check_partition(graph: &Graph, is: &[VertexId], vc: &[VertexId]) -> Result<()
 #[must_use]
 pub fn find_partition_small(graph: &Graph) -> Option<VertexSet> {
     let n = graph.vertex_count();
-    assert!(n <= 20, "brute-force partition search limited to 20 vertices, got {n}");
+    assert!(
+        n <= 20,
+        "brute-force partition search limited to 20 vertices, got {n}"
+    );
     for mask in 0u32..(1u32 << n) {
         let is: VertexSet = (0..n)
             .filter(|&i| mask & (1 << i) != 0)

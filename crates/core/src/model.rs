@@ -52,9 +52,16 @@ impl<'g> TupleGame<'g> {
     pub fn new(graph: &'g Graph, k: usize, attackers: usize) -> Result<TupleGame<'g>, CoreError> {
         properties::check_game_ready(graph)?;
         if k == 0 || k > graph.edge_count() {
-            return Err(CoreError::InvalidWidth { k, edge_count: graph.edge_count() });
+            return Err(CoreError::InvalidWidth {
+                k,
+                edge_count: graph.edge_count(),
+            });
         }
-        Ok(TupleGame { graph, k, attackers })
+        Ok(TupleGame {
+            graph,
+            k,
+            attackers,
+        })
     }
 
     /// Creates the Edge-model instance `Π_1(G)`.
@@ -130,7 +137,9 @@ impl PureConfig {
             .iter()
             .find(|v| v.index() >= game.graph().vertex_count())
         {
-            return Err(CoreError::ConfigMismatch { reason: format!("unknown vertex {v}") });
+            return Err(CoreError::ConfigMismatch {
+                reason: format!("unknown vertex {v}"),
+            });
         }
         self.defender.check_for(game.graph(), game.k())
     }
@@ -195,13 +204,18 @@ impl MixedConfig {
                 .into_iter()
                 .find(|v| v.index() >= game.graph().vertex_count())
             {
-                return Err(CoreError::ConfigMismatch { reason: format!("unknown vertex {v}") });
+                return Err(CoreError::ConfigMismatch {
+                    reason: format!("unknown vertex {v}"),
+                });
             }
         }
         for t in defender.support() {
             t.check_for(game.graph(), game.k())?;
         }
-        Ok(MixedConfig { attacker_strategies, defender })
+        Ok(MixedConfig {
+            attacker_strategies,
+            defender,
+        })
     }
 
     /// Builds the symmetric configuration where every attacker plays
@@ -321,11 +335,17 @@ mod tests {
     #[test]
     fn game_rejects_degenerate_graphs() {
         let empty = GraphBuilder::new(0).build();
-        assert!(matches!(TupleGame::new(&empty, 1, 1), Err(CoreError::Graph(_))));
+        assert!(matches!(
+            TupleGame::new(&empty, 1, 1),
+            Err(CoreError::Graph(_))
+        ));
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1);
         let isolated = b.build();
-        assert!(matches!(TupleGame::new(&isolated, 1, 1), Err(CoreError::Graph(_))));
+        assert!(matches!(
+            TupleGame::new(&isolated, 1, 1),
+            Err(CoreError::Graph(_))
+        ));
     }
 
     #[test]
@@ -380,7 +400,10 @@ mod tests {
             Tuple::single(EdgeId::new(2)),
         ]);
         let config = MixedConfig::symmetric(&game, vp, tp).unwrap();
-        assert_eq!(config.vp_support_union(), vec![VertexId::new(0), VertexId::new(3)]);
+        assert_eq!(
+            config.vp_support_union(),
+            vec![VertexId::new(0), VertexId::new(3)]
+        );
         assert_eq!(config.support_edges(), vec![EdgeId::new(0), EdgeId::new(2)]);
         assert_eq!(config.tp_support().len(), 2);
         assert_eq!(config.tuples_hitting(&g, VertexId::new(1)).len(), 1);

@@ -232,16 +232,23 @@ pub fn pure_ne_existence_path(game: &TupleGame<'_>) -> Result<PathPureOutcome, C
     let graph = game.graph();
     let n = graph.vertex_count();
     if n > 20 {
-        return Err(CoreError::TooLarge { what: "Hamiltonian-path decision".into(), limit: 20 });
+        return Err(CoreError::TooLarge {
+            what: "Hamiltonian-path decision".into(),
+            limit: 20,
+        });
     }
     if game.k() + 1 != n {
-        return Ok(PathPureOutcome::None { width_mismatch: true });
+        return Ok(PathPureOutcome::None {
+            width_mismatch: true,
+        });
     }
     match hamiltonian_path_small(graph) {
         Some(vertices) => Ok(PathPureOutcome::Exists {
             path: PathStrategy::new(graph, vertices).expect("DP emits a valid path"),
         }),
-        None => Ok(PathPureOutcome::None { width_mismatch: false }),
+        None => Ok(PathPureOutcome::None {
+            width_mismatch: false,
+        }),
     }
 }
 
@@ -295,7 +302,11 @@ pub fn cycle_path_ne(game: &TupleGame<'_>) -> Result<PathModelNe, CoreError> {
     let attacker = MixedStrategy::uniform(graph.vertices().collect());
     let defender = MixedStrategy::uniform(arcs);
     let defender_gain = Ratio::from(k + 1) * Ratio::from(game.attacker_count()) / Ratio::from(n);
-    Ok(PathModelNe { attacker, defender, defender_gain })
+    Ok(PathModelNe {
+        attacker,
+        defender,
+        defender_gain,
+    })
 }
 
 /// The vertices of a cycle in traversal order.
@@ -348,9 +359,8 @@ pub fn verify_path_ne(
         .vertices()
         .map(|v| ne.attacker.probability(&v) * nu)
         .collect();
-    let path_mass = |p: &PathStrategy| -> Ratio {
-        p.vertices().iter().map(|v| mass[v.index()]).sum()
-    };
+    let path_mass =
+        |p: &PathStrategy| -> Ratio { p.vertices().iter().map(|v| mass[v.index()]).sum() };
     let max_mass = all_paths(graph, game.k(), limit)?
         .iter()
         .map(path_mass)
@@ -380,8 +390,10 @@ mod tests {
 
         let not_adjacent = PathStrategy::new(&g, vec![VertexId::new(0), VertexId::new(2)]);
         assert!(not_adjacent.is_err());
-        let repeated =
-            PathStrategy::new(&g, vec![VertexId::new(0), VertexId::new(1), VertexId::new(0)]);
+        let repeated = PathStrategy::new(
+            &g,
+            vec![VertexId::new(0), VertexId::new(1), VertexId::new(0)],
+        );
         assert!(repeated.is_err());
         let short = PathStrategy::new(&g, vec![VertexId::new(0)]);
         assert!(short.is_err());
@@ -390,10 +402,16 @@ mod tests {
     #[test]
     fn canonical_orientation() {
         let g = generators::path(3);
-        let forward =
-            PathStrategy::new(&g, vec![VertexId::new(0), VertexId::new(1), VertexId::new(2)]).unwrap();
-        let backward =
-            PathStrategy::new(&g, vec![VertexId::new(2), VertexId::new(1), VertexId::new(0)]).unwrap();
+        let forward = PathStrategy::new(
+            &g,
+            vec![VertexId::new(0), VertexId::new(1), VertexId::new(2)],
+        )
+        .unwrap();
+        let backward = PathStrategy::new(
+            &g,
+            vec![VertexId::new(2), VertexId::new(1), VertexId::new(0)],
+        )
+        .unwrap();
         assert_eq!(forward, backward);
     }
 
@@ -414,7 +432,10 @@ mod tests {
     #[test]
     fn all_paths_guard_fires() {
         let g = generators::complete(8);
-        assert!(matches!(all_paths(&g, 5, 100), Err(CoreError::TooLarge { .. })));
+        assert!(matches!(
+            all_paths(&g, 5, 100),
+            Err(CoreError::TooLarge { .. })
+        ));
     }
 
     #[test]
@@ -451,14 +472,22 @@ mod tests {
         let game = TupleGame::new(&star, 4, 2).unwrap();
         let outcome = pure_ne_existence_path(&game).unwrap();
         assert!(!outcome.exists());
-        assert!(matches!(outcome, PathPureOutcome::None { width_mismatch: false }));
+        assert!(matches!(
+            outcome,
+            PathPureOutcome::None {
+                width_mismatch: false
+            }
+        ));
     }
 
     #[test]
     fn large_instances_rejected() {
         let g = generators::cycle(30);
         let game = TupleGame::new(&g, 2, 1).unwrap();
-        assert!(matches!(pure_ne_existence_path(&game), Err(CoreError::TooLarge { .. })));
+        assert!(matches!(
+            pure_ne_existence_path(&game),
+            Err(CoreError::TooLarge { .. })
+        ));
     }
 
     #[test]

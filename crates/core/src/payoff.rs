@@ -188,8 +188,14 @@ mod tests {
         let (game, config) = sample(&g);
         // Every vertex has hit probability 1/2, so each attacker escapes
         // with probability 1/2.
-        assert_eq!(expected_ip_vertex_player(&game, &config, 0), Ratio::new(1, 2));
-        assert_eq!(expected_ip_vertex_player(&game, &config, 1), Ratio::new(1, 2));
+        assert_eq!(
+            expected_ip_vertex_player(&game, &config, 0),
+            Ratio::new(1, 2)
+        );
+        assert_eq!(
+            expected_ip_vertex_player(&game, &config, 1),
+            Ratio::new(1, 2)
+        );
         // Defender: each support edge carries expected mass 1.
         assert_eq!(expected_ip_tuple_player(&game, &config), Ratio::ONE);
     }

@@ -63,8 +63,8 @@ pub fn pure_ne_existence(game: &TupleGame<'_>) -> PureNeOutcome {
     let graph = game.graph();
     match edge_cover_of_size(graph, game.k()) {
         Some(cover) => {
-            let defender = Tuple::new(cover.clone())
-                .expect("edge_cover_of_size returns k distinct edges");
+            let defender =
+                Tuple::new(cover.clone()).expect("edge_cover_of_size returns k distinct edges");
             let equilibrium = PureConfig {
                 attacker_choices: vec![VertexId::new(0); game.attacker_count()],
                 defender,
@@ -102,10 +102,7 @@ pub fn no_pure_ne_by_size(game: &TupleGame<'_>) -> bool {
 ///
 /// Returns [`crate::CoreError::ConfigMismatch`] when the configuration
 /// does not fit the game.
-pub fn verify_pure_ne(
-    game: &TupleGame<'_>,
-    config: &PureConfig,
-) -> Result<bool, crate::CoreError> {
+pub fn verify_pure_ne(game: &TupleGame<'_>, config: &PureConfig) -> Result<bool, crate::CoreError> {
     config.check_for(game)?;
     if game.attacker_count() == 0 {
         return Ok(true);
@@ -139,7 +136,11 @@ mod tests {
         assert_eq!(cover.len(), 6);
         assert!(edge_cover::is_edge_cover(&g, &cover));
         assert!(verify_pure_ne(&game, &equilibrium).unwrap());
-        assert_eq!(equilibrium.ip_tuple_player(&game), 4, "all attackers caught");
+        assert_eq!(
+            equilibrium.ip_tuple_player(&game),
+            4,
+            "all attackers caught"
+        );
     }
 
     #[test]
@@ -155,7 +156,11 @@ mod tests {
     #[test]
     fn corollary_3_3_is_sound() {
         // Whenever the size test fires, existence must indeed fail.
-        for g in [generators::cycle(9), generators::path(8), generators::petersen()] {
+        for g in [
+            generators::cycle(9),
+            generators::path(8),
+            generators::petersen(),
+        ] {
             for k in 1..=3 {
                 let game = TupleGame::new(&g, k, 2).unwrap();
                 if no_pure_ne_by_size(&game) {

@@ -60,7 +60,10 @@ pub fn expand_to_k_matching(
     let labeled = &ne.supports().tp_support;
     let e_num = labeled.len();
     if k > e_num {
-        return Err(CoreError::TupleWiderThanSupport { k, support_size: e_num });
+        return Err(CoreError::TupleWiderThanSupport {
+            k,
+            support_size: e_num,
+        });
     }
     let tuples = cyclic_tuples(e_num, k)
         .into_iter()
@@ -69,7 +72,10 @@ pub fn expand_to_k_matching(
                 .expect("cyclic windows with k ≤ E_num have distinct edges")
         })
         .collect();
-    let supports = KMatchingConfig { vp_support: ne.supports().vp_support.clone(), tuples };
+    let supports = KMatchingConfig {
+        vp_support: ne.supports().vp_support.clone(),
+        tuples,
+    };
     k_matching_ne_from_config(tuple_game, supports)
 }
 
@@ -82,7 +88,10 @@ pub fn expand_to_k_matching(
 /// Panics if `k == 0` or `k > e_num`.
 #[must_use]
 pub fn cyclic_tuples(e_num: usize, k: usize) -> Vec<Vec<usize>> {
-    assert!(k >= 1 && k <= e_num, "cyclic construction needs 1 ≤ k ≤ E_num");
+    assert!(
+        k >= 1 && k <= e_num,
+        "cyclic construction needs 1 ≤ k ≤ E_num"
+    );
     let delta = support_tuple_count(e_num, k);
     (0..delta)
         .map(|i| (0..k).map(|j| (i * k + j) % e_num).collect())
@@ -118,10 +127,7 @@ mod tests {
     use crate::matching_ne::algorithm_a;
     use defender_graph::{generators, VertexId};
 
-    fn even_cycle_matching_ne(
-        game: &TupleGame<'_>,
-        n: usize,
-    ) -> MatchingNe {
+    fn even_cycle_matching_ne(game: &TupleGame<'_>, n: usize) -> MatchingNe {
         let is: Vec<VertexId> = (0..n).step_by(2).map(VertexId::new).collect();
         let vc: Vec<VertexId> = (0..n).skip(1).step_by(2).map(VertexId::new).collect();
         algorithm_a(game, &is, &vc).unwrap()
@@ -176,7 +182,11 @@ mod tests {
             let kne = expand_to_k_matching(&game_k, &edge_ne).unwrap();
             let report = verify_mixed_ne(&game_k, kne.config(), VerificationMode::Auto).unwrap();
             assert!(report.is_equilibrium(), "k = {k}: {:?}", report.failures());
-            assert_eq!(gain_ratio(&kne, &edge_ne), Ratio::from(k), "Theorem 4.5 gain");
+            assert_eq!(
+                gain_ratio(&kne, &edge_ne),
+                Ratio::from(k),
+                "Theorem 4.5 gain"
+            );
             assert_eq!(kne.tuple_count(), support_tuple_count(4, k));
         }
     }
@@ -190,7 +200,13 @@ mod tests {
         let edge_ne = even_cycle_matching_ne(&edge_game, 4);
         let game_k = TupleGame::new(&g, 3, 2).unwrap();
         let err = expand_to_k_matching(&game_k, &edge_ne).unwrap_err();
-        assert_eq!(err, CoreError::TupleWiderThanSupport { k: 3, support_size: 2 });
+        assert_eq!(
+            err,
+            CoreError::TupleWiderThanSupport {
+                k: 3,
+                support_size: 2
+            }
+        );
     }
 
     #[test]
@@ -204,7 +220,11 @@ mod tests {
 
         // Lemma 4.6 back to the Edge model.
         let back = restrict_to_matching(&edge_game, &kne).unwrap();
-        assert_eq!(back.supports(), edge_ne.supports(), "supports are preserved");
+        assert_eq!(
+            back.supports(),
+            edge_ne.supports(),
+            "supports are preserved"
+        );
         assert_eq!(back.defender_gain(), edge_ne.defender_gain());
 
         // And forward again: identical k-matching supports.

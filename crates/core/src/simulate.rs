@@ -7,8 +7,7 @@
 //! empirical means against the exact expectations of equations (1)–(2).
 //! Experiment E7 drives this module.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use defender_num::rng::{Rng, StdRng};
 
 use defender_game::MixedStrategy;
 use defender_num::Ratio;
@@ -26,7 +25,10 @@ pub struct SimulationConfig {
 
 impl Default for SimulationConfig {
     fn default() -> SimulationConfig {
-        SimulationConfig { rounds: 10_000, seed: 0xDEFE17DE5 }
+        SimulationConfig {
+            rounds: 10_000,
+            seed: 0xDEFE17DE5,
+        }
     }
 }
 
@@ -106,9 +108,12 @@ impl<'a, 'g> Simulator<'a, 'g> {
 /// `f64` once per entry; the resulting per-sample bias is below 2⁻⁵²,
 /// orders of magnitude under the 1/√rounds Monte-Carlo noise this module
 /// exists to measure (exactness lives in `payoff`, not here).
-fn sample<'s, S: Clone + Ord, R: Rng + ?Sized>(strategy: &'s MixedStrategy<S>, rng: &mut R) -> &'s S {
+fn sample<'s, S: Clone + Ord, R: Rng + ?Sized>(
+    strategy: &'s MixedStrategy<S>,
+    rng: &mut R,
+) -> &'s S {
     // Draw u uniform in [0, 1) as a rational with 2^53 granularity.
-    let u = rng.gen::<f64>();
+    let u = rng.gen_f64();
     let mut acc = 0.0f64;
     let mut last = None;
     for (s, p) in strategy.iter() {
@@ -141,7 +146,10 @@ mod tests {
             MixedStrategy::pure(Tuple::new(vec![EdgeId::new(0), EdgeId::new(2)]).unwrap()),
         )
         .unwrap();
-        let outcome = Simulator::new(&game, &config).run(&SimulationConfig { rounds: 500, seed: 1 });
+        let outcome = Simulator::new(&game, &config).run(&SimulationConfig {
+            rounds: 500,
+            seed: 1,
+        });
         assert_eq!(outcome.total_caught, 3 * 500, "v0 is always covered");
         assert!(outcome.escape_frequency.iter().all(|&f| f == 0.0));
     }
@@ -152,8 +160,10 @@ mod tests {
         let game = TupleGame::new(&g, 2, 5).unwrap();
         let ne = a_tuple_bipartite(&game).unwrap();
         let exact = defender_gain(&game, ne.config());
-        let outcome = Simulator::new(&game, ne.config())
-            .run(&SimulationConfig { rounds: 60_000, seed: 42 });
+        let outcome = Simulator::new(&game, ne.config()).run(&SimulationConfig {
+            rounds: 60_000,
+            seed: 42,
+        });
         // Per-round catches are bounded by ν = 5; 60k rounds give a tight CI.
         assert!(
             outcome.gain_error(exact) < 0.05,
@@ -175,8 +185,10 @@ mod tests {
             ]),
         )
         .unwrap();
-        let outcome = Simulator::new(&game, &config)
-            .run(&SimulationConfig { rounds: 40_000, seed: 7 });
+        let outcome = Simulator::new(&game, &config).run(&SimulationConfig {
+            rounds: 40_000,
+            seed: 7,
+        });
         // Equation (1): every attacker escapes with probability 1/2.
         for (i, f) in outcome.escape_frequency.iter().enumerate() {
             assert!((f - 0.5).abs() < 0.02, "attacker {i}: {f}");
@@ -188,7 +200,10 @@ mod tests {
         let g = generators::complete_bipartite(2, 3);
         let game = TupleGame::new(&g, 1, 2).unwrap();
         let ne = a_tuple_bipartite(&game).unwrap();
-        let sim = SimulationConfig { rounds: 1_000, seed: 9 };
+        let sim = SimulationConfig {
+            rounds: 1_000,
+            seed: 9,
+        };
         let a = Simulator::new(&game, ne.config()).run(&sim);
         let b = Simulator::new(&game, ne.config()).run(&sim);
         assert_eq!(a.total_caught, b.total_caught);

@@ -44,7 +44,10 @@ pub struct ExactEquilibrium {
 /// - [`CoreError::TooLarge`] when `C(m, k) > tuple_limit`;
 /// - shape errors from the LP layer are converted to
 ///   [`CoreError::TooLarge`] (they cannot occur for valid games).
-pub fn solve_exact(game: &TupleGame<'_>, tuple_limit: usize) -> Result<ExactEquilibrium, CoreError> {
+pub fn solve_exact(
+    game: &TupleGame<'_>,
+    tuple_limit: usize,
+) -> Result<ExactEquilibrium, CoreError> {
     let graph = game.graph();
     let tuples = all_tuples(graph, game.k(), tuple_limit)?;
     // Rows: defender tuples (maximizer). Columns: attacker vertices.
@@ -73,13 +76,17 @@ pub fn solve_exact(game: &TupleGame<'_>, tuple_limit: usize) -> Result<ExactEqui
         .zip(solution.col_strategy.iter().copied())
         .filter(|(_, p)| !p.is_zero())
         .collect();
-    let defender = MixedStrategy::from_entries(defender_entries)
-        .expect("LP strategies are distributions");
-    let attacker = MixedStrategy::from_entries(attacker_entries)
-        .expect("LP strategies are distributions");
+    let defender =
+        MixedStrategy::from_entries(defender_entries).expect("LP strategies are distributions");
+    let attacker =
+        MixedStrategy::from_entries(attacker_entries).expect("LP strategies are distributions");
     let config = MixedConfig::symmetric(game, attacker, defender)?;
     let defender_gain = solution.value * Ratio::from(game.attacker_count());
-    Ok(ExactEquilibrium { value: solution.value, config, defender_gain })
+    Ok(ExactEquilibrium {
+        value: solution.value,
+        config,
+        defender_gain,
+    })
 }
 
 #[cfg(test)]
@@ -125,7 +132,11 @@ mod tests {
             let game = TupleGame::new(&graph, k, 1).unwrap();
             let exact = solve_exact(&game, LIMIT).unwrap();
             let cov = covering_ne(&game).unwrap();
-            assert_eq!(exact.defender_gain, cov.defender_gain(), "{graph:?}, k = {k}");
+            assert_eq!(
+                exact.defender_gain,
+                cov.defender_gain(),
+                "{graph:?}, k = {k}"
+            );
         }
     }
 
@@ -174,7 +185,10 @@ mod tests {
     fn guard_fires() {
         let graph = generators::complete(9); // m = 36
         let game = TupleGame::new(&graph, 9, 1).unwrap();
-        assert!(matches!(solve_exact(&game, 1_000), Err(CoreError::TooLarge { .. })));
+        assert!(matches!(
+            solve_exact(&game, 1_000),
+            Err(CoreError::TooLarge { .. })
+        ));
     }
 
     #[test]

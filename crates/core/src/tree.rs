@@ -43,8 +43,7 @@ mod tests {
     use crate::bipartite::a_tuple_bipartite;
     use crate::characterization::{verify_mixed_ne, VerificationMode};
     use defender_graph::generators;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use defender_num::rng::StdRng;
 
     #[test]
     fn matches_the_general_bipartite_route() {

@@ -28,7 +28,6 @@ use crate::CoreError;
 /// # Ok::<(), defender_core::CoreError>(())
 /// ```
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Tuple {
     edges: Vec<EdgeId>,
 }
@@ -155,12 +154,21 @@ pub fn all_tuples(graph: &Graph, k: usize, limit: usize) -> Result<Vec<Tuple>, C
     }
     let count = binomial(m, k);
     if count.map_or(true, |c| c > limit as u128) {
-        return Err(CoreError::TooLarge { what: format!("C({m}, {k}) tuples"), limit });
+        defender_obs::counter!("core.exhaustive.enumerations_rejected").incr();
+        return Err(CoreError::TooLarge {
+            what: format!("C({m}, {k}) tuples"),
+            limit,
+        });
     }
+    let _span = defender_obs::span!("all_tuples");
+    defender_obs::counter!("core.exhaustive.tuples_enumerated")
+        .add(count.unwrap_or(0).min(u128::from(u64::MAX)) as u64);
     let mut out = Vec::with_capacity(count.unwrap_or(0) as usize);
     let mut indices: Vec<usize> = (0..k).collect();
     loop {
-        out.push(Tuple { edges: indices.iter().map(|&i| EdgeId::new(i)).collect() });
+        out.push(Tuple {
+            edges: indices.iter().map(|&i| EdgeId::new(i)).collect(),
+        });
         // Advance the combination.
         let mut i = k;
         loop {
@@ -230,7 +238,12 @@ mod tests {
         let t = Tuple::new(vec![EdgeId::new(0), EdgeId::new(2)]).unwrap();
         assert_eq!(
             t.vertices(&g),
-            vec![VertexId::new(0), VertexId::new(1), VertexId::new(2), VertexId::new(3)]
+            vec![
+                VertexId::new(0),
+                VertexId::new(1),
+                VertexId::new(2),
+                VertexId::new(3)
+            ]
         );
         assert!(t.covers(&g, VertexId::new(0)));
         let t0 = Tuple::single(EdgeId::new(0));

@@ -23,13 +23,29 @@ impl TwoPlayerMatrixGame {
     /// Panics if the matrices are empty, ragged or differently shaped.
     #[must_use]
     pub fn new(row_payoff: Vec<Vec<Ratio>>, col_payoff: Vec<Vec<Ratio>>) -> TwoPlayerMatrixGame {
-        assert!(!row_payoff.is_empty(), "row player needs at least one strategy");
+        assert!(
+            !row_payoff.is_empty(),
+            "row player needs at least one strategy"
+        );
         let cols = row_payoff[0].len();
         assert!(cols > 0, "column player needs at least one strategy");
-        assert!(row_payoff.iter().all(|r| r.len() == cols), "row matrix is ragged");
-        assert_eq!(row_payoff.len(), col_payoff.len(), "matrices differ in rows");
-        assert!(col_payoff.iter().all(|r| r.len() == cols), "column matrix shape mismatch");
-        TwoPlayerMatrixGame { row_payoff, col_payoff }
+        assert!(
+            row_payoff.iter().all(|r| r.len() == cols),
+            "row matrix is ragged"
+        );
+        assert_eq!(
+            row_payoff.len(),
+            col_payoff.len(),
+            "matrices differ in rows"
+        );
+        assert!(
+            col_payoff.iter().all(|r| r.len() == cols),
+            "column matrix shape mismatch"
+        );
+        TwoPlayerMatrixGame {
+            row_payoff,
+            col_payoff,
+        }
     }
 
     /// Builds a zero-sum game from the row player's payoff matrix.

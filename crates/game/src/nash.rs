@@ -142,11 +142,18 @@ pub fn verify<G: StrategicGame>(
         for s in game.strategies(player) {
             let value = deviation_payoff(game, player, profile, &s);
             if value > expected {
-                deviations.push(Deviation { player, strategy: s, gain: value - expected });
+                deviations.push(Deviation {
+                    player,
+                    strategy: s,
+                    gain: value - expected,
+                });
             }
         }
     }
-    NashReport { expected_payoffs, deviations }
+    NashReport {
+        expected_payoffs,
+        deviations,
+    }
 }
 
 /// Two-player convenience wrapper around [`verify`].
@@ -260,11 +267,9 @@ mod tests {
     #[test]
     fn biased_mixing_detected_as_non_ne() {
         let g = matching_pennies();
-        let biased = MixedStrategy::from_entries(vec![
-            (0usize, Ratio::new(2, 3)),
-            (1, Ratio::new(1, 3)),
-        ])
-        .unwrap();
+        let biased =
+            MixedStrategy::from_entries(vec![(0usize, Ratio::new(2, 3)), (1, Ratio::new(1, 3))])
+                .unwrap();
         let uniform = MixedStrategy::uniform(vec![0usize, 1]);
         // Row biased, column uniform: row is indifferent, column can exploit.
         let report = verify_two_player(&g, &biased, &uniform);
@@ -283,11 +288,9 @@ mod tests {
     #[test]
     fn expected_payoff_mixes_exactly() {
         let g = matching_pennies();
-        let p = MixedStrategy::from_entries(vec![
-            (0usize, Ratio::new(1, 4)),
-            (1, Ratio::new(3, 4)),
-        ])
-        .unwrap();
+        let p =
+            MixedStrategy::from_entries(vec![(0usize, Ratio::new(1, 4)), (1, Ratio::new(3, 4))])
+                .unwrap();
         let q = MixedStrategy::uniform(vec![0usize, 1]);
         // Row payoff: sum p_i q_j a_ij = 0 for uniform column.
         assert_eq!(expected_payoff(&g, 0, &[p, q]), Ratio::ZERO);

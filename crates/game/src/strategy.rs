@@ -53,7 +53,6 @@ impl std::error::Error for StrategyError {}
 /// assert_eq!(uniform.probability(&"z"), Ratio::ZERO);
 /// ```
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct MixedStrategy<S> {
     entries: Vec<(S, Ratio)>,
 }
@@ -62,7 +61,9 @@ impl<S: Clone + Ord> MixedStrategy<S> {
     /// The pure strategy `s` played with probability one.
     #[must_use]
     pub fn pure(s: S) -> MixedStrategy<S> {
-        MixedStrategy { entries: vec![(s, Ratio::ONE)] }
+        MixedStrategy {
+            entries: vec![(s, Ratio::ONE)],
+        }
     }
 
     /// The uniform distribution over the given strategies (deduplicated).
@@ -74,9 +75,17 @@ impl<S: Clone + Ord> MixedStrategy<S> {
     pub fn uniform(mut support: Vec<S>) -> MixedStrategy<S> {
         support.sort();
         support.dedup();
-        assert!(!support.is_empty(), "uniform distribution needs a non-empty support");
-        let p = Ratio::new(1, i64::try_from(support.len()).expect("support fits in i64"));
-        MixedStrategy { entries: support.into_iter().map(|s| (s, p)).collect() }
+        assert!(
+            !support.is_empty(),
+            "uniform distribution needs a non-empty support"
+        );
+        let p = Ratio::new(
+            1,
+            i64::try_from(support.len()).expect("support fits in i64"),
+        );
+        MixedStrategy {
+            entries: support.into_iter().map(|s| (s, p)).collect(),
+        }
     }
 
     /// Builds from explicit (strategy, probability) pairs.
@@ -203,21 +212,20 @@ mod tests {
         assert_eq!(ok.support_size(), 2);
 
         let bad_total = MixedStrategy::from_entries(vec![(1u8, Ratio::new(1, 2))]);
-        assert_eq!(bad_total.unwrap_err(), StrategyError::BadTotal(Ratio::new(1, 2)));
+        assert_eq!(
+            bad_total.unwrap_err(),
+            StrategyError::BadTotal(Ratio::new(1, 2))
+        );
 
-        let negative = MixedStrategy::from_entries(vec![
-            (1u8, Ratio::new(3, 2)),
-            (2, Ratio::new(-1, 2)),
-        ]);
+        let negative =
+            MixedStrategy::from_entries(vec![(1u8, Ratio::new(3, 2)), (2, Ratio::new(-1, 2))]);
         assert_eq!(
             negative.unwrap_err(),
             StrategyError::NegativeProbability(Ratio::new(-1, 2))
         );
 
-        let duplicate = MixedStrategy::from_entries(vec![
-            (1u8, Ratio::new(1, 2)),
-            (1, Ratio::new(1, 2)),
-        ]);
+        let duplicate =
+            MixedStrategy::from_entries(vec![(1u8, Ratio::new(1, 2)), (1, Ratio::new(1, 2))]);
         assert_eq!(duplicate.unwrap_err(), StrategyError::DuplicateStrategy);
 
         let empty = MixedStrategy::<u8>::from_entries(vec![]);
@@ -226,22 +234,17 @@ mod tests {
 
     #[test]
     fn expectation() {
-        let s = MixedStrategy::from_entries(vec![
-            (0usize, Ratio::new(1, 3)),
-            (10, Ratio::new(2, 3)),
-        ])
-        .unwrap();
+        let s =
+            MixedStrategy::from_entries(vec![(0usize, Ratio::new(1, 3)), (10, Ratio::new(2, 3))])
+                .unwrap();
         let mean = s.expect(|&v| Ratio::from(v));
         assert_eq!(mean, Ratio::new(20, 3));
     }
 
     #[test]
     fn non_uniform_detected() {
-        let s = MixedStrategy::from_entries(vec![
-            (0u8, Ratio::new(1, 3)),
-            (1, Ratio::new(2, 3)),
-        ])
-        .unwrap();
+        let s = MixedStrategy::from_entries(vec![(0u8, Ratio::new(1, 3)), (1, Ratio::new(2, 3))])
+            .unwrap();
         assert!(!s.is_uniform());
         assert!(!s.is_pure());
     }

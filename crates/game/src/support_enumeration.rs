@@ -49,15 +49,19 @@ pub fn enumerate_equilibria(game: &TwoPlayerMatrixGame) -> Vec<BimatrixEquilibri
         rows <= MAX_STRATEGIES && cols <= MAX_STRATEGIES,
         "support enumeration limited to {MAX_STRATEGIES} strategies per player"
     );
+    let _span = defender_obs::span!("enumerate_equilibria");
     let mut out: Vec<BimatrixEquilibrium> = Vec::new();
     for row_mask in 1u32..(1 << rows) {
         let support_r: Vec<usize> = (0..rows).filter(|&i| row_mask & (1 << i) != 0).collect();
         for col_mask in 1u32..(1 << cols) {
             let support_c: Vec<usize> = (0..cols).filter(|&j| col_mask & (1 << j) != 0).collect();
             if support_r.len() != support_c.len() {
+                defender_obs::counter!("game.support_enum.pruned_size_mismatch").incr();
                 continue;
             }
+            defender_obs::counter!("game.support_enum.supports_tested").incr();
             if let Some(eq) = try_supports(game, &support_r, &support_c) {
+                defender_obs::counter!("game.support_enum.equilibria_found").incr();
                 out.push(eq);
             }
         }
@@ -78,10 +82,7 @@ fn try_supports(
     let y_system: Vec<Vec<Ratio>> = support_r
         .iter()
         .map(|&i| {
-            let mut row: Vec<Ratio> = support_c
-                .iter()
-                .map(|&j| game.payoff(0, &[i, j]))
-                .collect();
+            let mut row: Vec<Ratio> = support_c.iter().map(|&j| game.payoff(0, &[i, j])).collect();
             row.push(-Ratio::ONE);
             row
         })
@@ -100,10 +101,7 @@ fn try_supports(
     let x_system: Vec<Vec<Ratio>> = support_c
         .iter()
         .map(|&j| {
-            let mut row: Vec<Ratio> = support_r
-                .iter()
-                .map(|&i| game.payoff(1, &[i, j]))
-                .collect();
+            let mut row: Vec<Ratio> = support_r.iter().map(|&i| game.payoff(1, &[i, j])).collect();
             row.push(-Ratio::ONE);
             row
         })
@@ -152,16 +150,17 @@ fn try_supports(
         }
     }
 
-    let row = MixedStrategy::from_entries(
-        support_r.iter().zip(x).map(|(&i, &p)| (i, p)).collect(),
-    )
-    .expect("positive probabilities summing to one");
-    let col = MixedStrategy::from_entries(
-        support_c.iter().zip(y).map(|(&j, &p)| (j, p)).collect(),
-    )
-    .expect("positive probabilities summing to one");
+    let row = MixedStrategy::from_entries(support_r.iter().zip(x).map(|(&i, &p)| (i, p)).collect())
+        .expect("positive probabilities summing to one");
+    let col = MixedStrategy::from_entries(support_c.iter().zip(y).map(|(&j, &p)| (j, p)).collect())
+        .expect("positive probabilities summing to one");
     debug_assert!(nash::verify_two_player(game, &row, &col).is_equilibrium());
-    Some(BimatrixEquilibrium { row, col, row_payoff: v, col_payoff: w })
+    Some(BimatrixEquilibrium {
+        row,
+        col,
+        row_payoff: v,
+        col_payoff: w,
+    })
 }
 
 #[cfg(test)]
@@ -174,10 +173,8 @@ mod tests {
 
     #[test]
     fn matching_pennies_unique_mixed() {
-        let game = TwoPlayerMatrixGame::zero_sum(vec![
-            vec![int(1), int(-1)],
-            vec![int(-1), int(1)],
-        ]);
+        let game =
+            TwoPlayerMatrixGame::zero_sum(vec![vec![int(1), int(-1)], vec![int(-1), int(1)]]);
         let eqs = enumerate_equilibria(&game);
         assert_eq!(eqs.len(), 1);
         let eq = &eqs[0];
@@ -206,7 +203,10 @@ mod tests {
         );
         let eqs = enumerate_equilibria(&game);
         assert_eq!(eqs.len(), 3, "two pure + one mixed");
-        let mixed = eqs.iter().find(|e| !e.row.is_pure()).expect("mixed equilibrium");
+        let mixed = eqs
+            .iter()
+            .find(|e| !e.row.is_pure())
+            .expect("mixed equilibrium");
         assert_eq!(mixed.row.probability(&0), Ratio::new(2, 3));
         assert_eq!(mixed.col.probability(&0), Ratio::new(1, 3));
         assert_eq!(mixed.row_payoff, Ratio::new(2, 3));
@@ -215,8 +215,16 @@ mod tests {
     #[test]
     fn every_found_equilibrium_verifies() {
         let game = TwoPlayerMatrixGame::new(
-            vec![vec![int(4), int(1), int(0)], vec![int(2), int(3), int(1)], vec![int(0), int(1), int(2)]],
-            vec![vec![int(1), int(2), int(0)], vec![int(0), int(3), int(2)], vec![int(3), int(0), int(4)]],
+            vec![
+                vec![int(4), int(1), int(0)],
+                vec![int(2), int(3), int(1)],
+                vec![int(0), int(1), int(2)],
+            ],
+            vec![
+                vec![int(1), int(2), int(0)],
+                vec![int(0), int(3), int(2)],
+                vec![int(3), int(0), int(4)],
+            ],
         );
         let eqs = enumerate_equilibria(&game);
         assert!(!eqs.is_empty(), "finite games have equilibria (Nash)");
@@ -231,10 +239,7 @@ mod tests {
     #[test]
     fn zero_sum_equilibria_share_the_value() {
         // Multiple equilibria of a zero-sum game all have the same payoff.
-        let game = TwoPlayerMatrixGame::zero_sum(vec![
-            vec![int(1), int(1)],
-            vec![int(1), int(1)],
-        ]);
+        let game = TwoPlayerMatrixGame::zero_sum(vec![vec![int(1), int(1)], vec![int(1), int(1)]]);
         let eqs = enumerate_equilibria(&game);
         assert!(!eqs.is_empty());
         assert!(eqs.iter().all(|e| e.row_payoff == int(1)));

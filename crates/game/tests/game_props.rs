@@ -1,104 +1,132 @@
-//! Property-based tests for the strategic-game substrate.
+//! Property-based tests for the strategic-game substrate, driven by the
+//! vendored seeded PRNG (offline build: no external frameworks).
 
 use defender_game::{nash, MixedStrategy, TwoPlayerMatrixGame};
+use defender_num::rng::{Rng, StdRng};
 use defender_num::Ratio;
-use proptest::prelude::*;
 
-fn small_ratio() -> impl Strategy<Value = Ratio> {
-    (-6i64..=6, 1i64..=4).prop_map(|(n, d)| Ratio::new(n, d))
+const CASES: usize = 150;
+
+fn small_ratio<R: Rng + ?Sized>(rng: &mut R) -> Ratio {
+    let n = rng.gen_range(0..13) as i64 - 6;
+    let d = rng.gen_range(1..5) as i64;
+    Ratio::new(n, d)
 }
 
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<Ratio>>> {
-    proptest::collection::vec(proptest::collection::vec(small_ratio(), cols), rows)
+fn matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Vec<Vec<Ratio>> {
+    (0..rows)
+        .map(|_| (0..cols).map(|_| small_ratio(rng)).collect())
+        .collect()
 }
 
-fn mixed(over: usize) -> impl Strategy<Value = MixedStrategy<usize>> {
-    proptest::collection::vec(1u32..=5, over).prop_map(|weights| {
-        let total: i64 = weights.iter().map(|&w| i64::from(w)).sum();
-        MixedStrategy::from_entries(
-            weights
-                .into_iter()
-                .enumerate()
-                .map(|(i, w)| (i, Ratio::new(i64::from(w), total)))
-                .collect(),
-        )
-        .expect("positive weights normalize")
-    })
+fn mixed<R: Rng + ?Sized>(rng: &mut R, over: usize) -> MixedStrategy<usize> {
+    let weights: Vec<u32> = (0..over).map(|_| rng.gen_range(1..6) as u32).collect();
+    let total: i64 = weights.iter().map(|&w| i64::from(w)).sum();
+    MixedStrategy::from_entries(
+        weights
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| (i, Ratio::new(i64::from(w), total)))
+            .collect(),
+    )
+    .expect("positive weights normalize")
 }
 
-proptest! {
-    /// Expected payoff is bilinear: mixing commutes with expectation.
-    #[test]
-    fn expected_payoff_is_convex_combination(
-        m in matrix(3, 3),
-        row in mixed(3),
-        col in mixed(3),
-    ) {
+fn for_each_case(seed: u64, mut body: impl FnMut(&mut StdRng)) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..CASES {
+        body(&mut rng);
+    }
+}
+
+/// Expected payoff is bilinear: mixing commutes with expectation.
+#[test]
+fn expected_payoff_is_convex_combination() {
+    for_each_case(0xC1, |rng| {
+        let m = matrix(rng, 3, 3);
+        let row = mixed(rng, 3);
+        let col = mixed(rng, 3);
         let game = TwoPlayerMatrixGame::zero_sum(m);
         let by_definition = nash::expected_payoff(&game, 0, &[row.clone(), col.clone()]);
         // Recompute by expanding the row mixture manually.
         let manual: Ratio = row
             .iter()
             .map(|(&i, p)| {
-                p * nash::expected_payoff(
-                    &game,
-                    0,
-                    &[MixedStrategy::pure(i), col.clone()],
-                )
+                p * nash::expected_payoff(&game, 0, &[MixedStrategy::pure(i), col.clone()])
             })
             .sum();
-        prop_assert_eq!(by_definition, manual);
-    }
+        assert_eq!(by_definition, manual);
+    });
+}
 
-    /// In zero-sum games the two expected payoffs negate each other.
-    #[test]
-    fn zero_sum_payoffs_negate(m in matrix(3, 2), row in mixed(3), col in mixed(2)) {
+/// In zero-sum games the two expected payoffs negate each other.
+#[test]
+fn zero_sum_payoffs_negate() {
+    for_each_case(0xC2, |rng| {
+        let m = matrix(rng, 3, 2);
+        let row = mixed(rng, 3);
+        let col = mixed(rng, 2);
         let game = TwoPlayerMatrixGame::zero_sum(m);
         let profile = [row, col];
         let a = nash::expected_payoff(&game, 0, &profile);
         let b = nash::expected_payoff(&game, 1, &profile);
-        prop_assert_eq!(a + b, Ratio::ZERO);
-    }
+        assert_eq!(a + b, Ratio::ZERO);
+    });
+}
 
-    /// Best response weakly dominates every pure alternative.
-    #[test]
-    fn best_response_is_optimal(m in matrix(3, 3), row in mixed(3), col in mixed(3)) {
+/// Best response weakly dominates every pure alternative.
+#[test]
+fn best_response_is_optimal() {
+    for_each_case(0xC3, |rng| {
+        let m = matrix(rng, 3, 3);
+        let row = mixed(rng, 3);
+        let col = mixed(rng, 3);
         let game = TwoPlayerMatrixGame::zero_sum(m);
         let profile = [row, col];
         for player in 0..2 {
             let (_, value) = nash::best_response(&game, player, &profile);
             for s in game_strategies(player) {
                 let dev = nash::deviation_payoff(&game, player, &profile, &s);
-                prop_assert!(dev <= value);
+                assert!(dev <= value);
             }
             // And the profile itself never beats its best response.
-            prop_assert!(nash::expected_payoff(&game, player, &profile) <= value);
+            assert!(nash::expected_payoff(&game, player, &profile) <= value);
         }
-    }
+    });
+}
 
-    /// Every pure equilibrium found by enumeration passes `verify` as a
-    /// degenerate mixed profile, and a profile passing verify has no
-    /// profitable pure deviation by definition.
-    #[test]
-    fn pure_equilibria_verify(m in matrix(3, 3)) {
+/// Every pure equilibrium found by enumeration passes `verify` as a
+/// degenerate mixed profile, and a profile passing verify has no
+/// profitable pure deviation by definition.
+#[test]
+fn pure_equilibria_verify() {
+    for_each_case(0xC4, |rng| {
+        let m = matrix(rng, 3, 3);
         let game = TwoPlayerMatrixGame::zero_sum(m);
         for profile in nash::pure_equilibria(&game) {
             let mixed: Vec<MixedStrategy<usize>> =
                 profile.iter().map(|&s| MixedStrategy::pure(s)).collect();
             let report = nash::verify(&game, &mixed);
-            prop_assert!(report.is_equilibrium(), "deviations: {:?}", report.deviations);
+            assert!(
+                report.is_equilibrium(),
+                "deviations: {:?}",
+                report.deviations
+            );
         }
-    }
+    });
+}
 
-    /// Support invariants of mixed strategies.
-    #[test]
-    fn mixed_strategy_invariants(s in mixed(4)) {
+/// Support invariants of mixed strategies.
+#[test]
+fn mixed_strategy_invariants() {
+    for_each_case(0xC5, |rng| {
+        let s = mixed(rng, 4);
         let total: Ratio = s.iter().map(|(_, p)| p).sum();
-        prop_assert_eq!(total, Ratio::ONE);
-        prop_assert!(s.iter().all(|(_, p)| p > Ratio::ZERO));
+        assert_eq!(total, Ratio::ONE);
+        assert!(s.iter().all(|(_, p)| p > Ratio::ZERO));
         let support = s.support();
-        prop_assert!(support.windows(2).all(|w| w[0] < w[1]), "sorted support");
-    }
+        assert!(support.windows(2).all(|w| w[0] < w[1]), "sorted support");
+    });
 }
 
 fn game_strategies(player: usize) -> Vec<usize> {

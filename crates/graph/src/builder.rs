@@ -33,7 +33,10 @@ impl GraphBuilder {
     /// edges yet.
     #[must_use]
     pub fn new(vertex_count: usize) -> GraphBuilder {
-        GraphBuilder { vertex_count, edges: BTreeSet::new() }
+        GraphBuilder {
+            vertex_count,
+            edges: BTreeSet::new(),
+        }
     }
 
     /// Adds a new vertex and returns its id.
@@ -63,13 +66,17 @@ impl GraphBuilder {
     ///
     /// Panics if `a == b` (self-loop) or either endpoint is out of range.
     pub fn add_edge(&mut self, a: usize, b: usize) -> &mut GraphBuilder {
-        assert!(a != b, "self-loop ({a}, {a}) is not allowed in a simple graph");
+        assert!(
+            a != b,
+            "self-loop ({a}, {a}) is not allowed in a simple graph"
+        );
         assert!(
             a < self.vertex_count && b < self.vertex_count,
             "edge ({a}, {b}) has an endpoint outside 0..{}",
             self.vertex_count
         );
-        self.edges.insert(Endpoints::new(VertexId::new(a), VertexId::new(b)));
+        self.edges
+            .insert(Endpoints::new(VertexId::new(a), VertexId::new(b)));
         self
     }
 
@@ -95,6 +102,8 @@ impl GraphBuilder {
     /// sets always produce identical graphs regardless of insertion order.
     #[must_use]
     pub fn build(&self) -> Graph {
+        defender_obs::counter!("graph.build.vertices").add(self.vertex_count as u64);
+        defender_obs::counter!("graph.build.edges").add(self.edges.len() as u64);
         Graph::from_parts(self.vertex_count, self.edges.iter().copied().collect())
     }
 }
@@ -104,11 +113,7 @@ impl FromIterator<(usize, usize)> for GraphBuilder {
     /// endpoint mentioned.
     fn from_iter<I: IntoIterator<Item = (usize, usize)>>(iter: I) -> GraphBuilder {
         let pairs: Vec<(usize, usize)> = iter.into_iter().collect();
-        let n = pairs
-            .iter()
-            .map(|&(a, b)| a.max(b) + 1)
-            .max()
-            .unwrap_or(0);
+        let n = pairs.iter().map(|&(a, b)| a.max(b) + 1).max().unwrap_or(0);
         let mut b = GraphBuilder::new(n);
         for (x, y) in pairs {
             b.add_edge(x, y);

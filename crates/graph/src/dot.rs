@@ -31,7 +31,11 @@ pub struct DotOptions {
 /// ```
 #[must_use]
 pub fn to_dot(graph: &Graph, options: &DotOptions) -> String {
-    let name = if options.name.is_empty() { "G" } else { &options.name };
+    let name = if options.name.is_empty() {
+        "G"
+    } else {
+        &options.name
+    };
     let mut out = String::new();
     let _ = writeln!(out, "graph {name} {{");
     let mut vertex_hl = vec![false; graph.vertex_count()];
@@ -93,6 +97,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let g = generators::cycle(4);
-        assert_eq!(to_dot(&g, &DotOptions::default()), to_dot(&g, &DotOptions::default()));
+        assert_eq!(
+            to_dot(&g, &DotOptions::default()),
+            to_dot(&g, &DotOptions::default())
+        );
     }
 }

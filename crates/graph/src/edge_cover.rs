@@ -85,7 +85,10 @@ pub fn greedy(graph: &Graph) -> Option<EdgeSet> {
 #[must_use]
 pub fn minimum_exact_small(graph: &Graph) -> Option<EdgeSet> {
     let m = graph.edge_count();
-    assert!(m <= 20, "exhaustive edge-cover search is limited to 20 edges, got {m}");
+    assert!(
+        m <= 20,
+        "exhaustive edge-cover search is limited to 20 edges, got {m}"
+    );
     if graph.has_isolated_vertex() {
         return None;
     }
@@ -152,7 +155,10 @@ mod tests {
         let e01 = g.find_edge(VertexId::new(0), VertexId::new(1)).unwrap();
         let e23 = g.find_edge(VertexId::new(2), VertexId::new(3)).unwrap();
         assert!(is_edge_cover(&g, &[e01, e23]));
-        assert_eq!(uncovered_vertices(&g, &[e01]), vec![VertexId::new(2), VertexId::new(3)]);
+        assert_eq!(
+            uncovered_vertices(&g, &[e01]),
+            vec![VertexId::new(2), VertexId::new(3)]
+        );
     }
 
     #[test]
@@ -183,7 +189,10 @@ mod tests {
         // ρ(P4) = 2, ρ(C5) = 3, ρ(K4) = 2, ρ(star_4) = 4.
         assert_eq!(minimum_exact_small(&generators::path(4)).unwrap().len(), 2);
         assert_eq!(minimum_exact_small(&generators::cycle(5)).unwrap().len(), 3);
-        assert_eq!(minimum_exact_small(&generators::complete(4)).unwrap().len(), 2);
+        assert_eq!(
+            minimum_exact_small(&generators::complete(4)).unwrap().len(),
+            2
+        );
         assert_eq!(minimum_exact_small(&generators::star(4)).unwrap().len(), 4);
     }
 

@@ -39,11 +39,20 @@ impl fmt::Display for GraphError {
             }
             GraphError::EmptyGraph => write!(f, "graph has no vertices"),
             GraphError::NotBipartite => write!(f, "graph contains an odd cycle"),
-            GraphError::UnknownVertex { index, vertex_count } => {
-                write!(f, "vertex index {index} out of range for graph with {vertex_count} vertices")
+            GraphError::UnknownVertex {
+                index,
+                vertex_count,
+            } => {
+                write!(
+                    f,
+                    "vertex index {index} out of range for graph with {vertex_count} vertices"
+                )
             }
             GraphError::UnknownEdge { index, edge_count } => {
-                write!(f, "edge index {index} out of range for graph with {edge_count} edges")
+                write!(
+                    f,
+                    "edge index {index} out of range for graph with {edge_count} edges"
+                )
             }
         }
     }
@@ -58,12 +67,20 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = GraphError::IsolatedVertex { vertex: VertexId::new(3) };
+        let e = GraphError::IsolatedVertex {
+            vertex: VertexId::new(3),
+        };
         assert!(e.to_string().contains("v3"));
         assert!(GraphError::NotBipartite.to_string().contains("odd cycle"));
-        let e = GraphError::UnknownVertex { index: 9, vertex_count: 4 };
+        let e = GraphError::UnknownVertex {
+            index: 9,
+            vertex_count: 4,
+        };
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));
-        let e = GraphError::UnknownEdge { index: 2, edge_count: 1 };
+        let e = GraphError::UnknownEdge {
+            index: 2,
+            edge_count: 1,
+        };
         assert!(e.to_string().contains("edge index 2"));
         assert!(GraphError::EmptyGraph.to_string().contains("no vertices"));
     }

@@ -118,7 +118,10 @@ mod tests {
     fn k3_separates_literal_from_into_complement() {
         let g = generators::complete(3);
         let vc = vec![VertexId::new(1), VertexId::new(2)]; // IS = {v0}
-        assert!(is_expander_literal_exact(&g, &vc), "paper's literal condition holds");
+        assert!(
+            is_expander_literal_exact(&g, &vc),
+            "paper's literal condition holds"
+        );
         assert!(
             !is_expander_into_complement_exact(&g, &vc),
             "but VC cannot be matched into IS = {{v0}}"

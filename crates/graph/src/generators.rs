@@ -3,11 +3,10 @@
 //! Deterministic families (paths, cycles, stars, wheels, complete and
 //! complete bipartite graphs, grids, hypercubes, circulants, ladders, the
 //! Petersen graph) plus seeded random families (`G(n, p)`, random bipartite,
-//! random trees). Random generators take an explicit [`rand::Rng`] so every
+//! random trees). Random generators take an explicit [`Rng`] so every
 //! experiment is reproducible from a seed.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use defender_num::rng::Rng;
 
 use crate::{Graph, GraphBuilder};
 
@@ -66,7 +65,10 @@ pub fn star(leaves: usize) -> Graph {
 /// Panics if `n < 3`.
 #[must_use]
 pub fn wheel(n: usize) -> Graph {
-    assert!(n >= 3, "a wheel needs a rim of at least 3 vertices, got {n}");
+    assert!(
+        n >= 3,
+        "a wheel needs a rim of at least 3 vertices, got {n}"
+    );
     let mut b = GraphBuilder::new(n + 1);
     for i in 1..=n {
         b.add_edge(0, i);
@@ -292,7 +294,10 @@ pub fn gnp_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// Panics if `a == 0`, `b == 0`, or `p` is not in `[0, 1]`.
 #[must_use]
 pub fn random_bipartite<R: Rng + ?Sized>(a: usize, b: usize, p: f64, rng: &mut R) -> Graph {
-    assert!(a > 0 && b > 0, "both sides must be non-empty (got {a}, {b})");
+    assert!(
+        a > 0 && b > 0,
+        "both sides must be non-empty (got {a}, {b})"
+    );
     assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
     let mut builder = GraphBuilder::new(a + b);
     for i in 0..a {
@@ -339,7 +344,7 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
     let mut best = GraphBuilder::new(n).build();
     for _ in 0..max_attempts {
         let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
-        stubs.shuffle(rng);
+        rng.shuffle(&mut stubs);
         let mut b = GraphBuilder::new(n);
         let mut ok = true;
         for pair in stubs.chunks_exact(2) {
@@ -365,8 +370,7 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
 mod tests {
     use super::*;
     use crate::properties;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use defender_num::rng::StdRng;
 
     #[test]
     fn path_shape() {
@@ -464,8 +468,14 @@ mod tests {
             let g = random_tree(n, &mut rng);
             assert_eq!(g.vertex_count(), n);
             assert_eq!(g.edge_count(), n.saturating_sub(1));
-            assert!(properties::is_connected(&g), "trees are connected (n = {n})");
-            assert!(properties::is_bipartite(&g), "trees are bipartite (n = {n})");
+            assert!(
+                properties::is_connected(&g),
+                "trees are connected (n = {n})"
+            );
+            assert!(
+                properties::is_bipartite(&g),
+                "trees are bipartite (n = {n})"
+            );
         }
     }
 

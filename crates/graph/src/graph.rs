@@ -7,7 +7,6 @@ use core::fmt;
 /// Vertices of a graph with `n` vertices are always `0..n`, so a
 /// `VertexId` doubles as an index into per-vertex arrays.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VertexId(u32);
 
 impl VertexId {
@@ -46,7 +45,6 @@ impl From<VertexId> for usize {
 ///
 /// Edges of a graph with `m` edges are always `0..m`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeId(u32);
 
 impl EdgeId {
@@ -83,7 +81,6 @@ impl From<EdgeId> for usize {
 
 /// The two endpoints of an undirected edge, stored with `u <= v`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Endpoints {
     u: VertexId,
     v: VertexId,
@@ -179,7 +176,6 @@ impl fmt::Display for Endpoints {
 /// assert_eq!(neighbors, vec![VertexId::new(0), VertexId::new(2)]);
 /// ```
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Graph {
     /// CSR row offsets: vertex `v`'s incidence list is
     /// `adjacency[offsets[v] .. offsets[v + 1]]`.
@@ -218,7 +214,11 @@ impl Graph {
             let range = offsets[v] as usize..offsets[v + 1] as usize;
             adjacency[range].sort_unstable();
         }
-        Graph { offsets, adjacency, edges }
+        Graph {
+            offsets,
+            adjacency,
+            edges,
+        }
     }
 
     /// Number of vertices `n = |V|`.
@@ -285,7 +285,10 @@ impl Graph {
     }
 
     /// Iterator over the ids of edges incident to `v`.
-    pub fn incident_edges(&self, v: VertexId) -> impl ExactSizeIterator<Item = EdgeId> + Clone + '_ {
+    pub fn incident_edges(
+        &self,
+        v: VertexId,
+    ) -> impl ExactSizeIterator<Item = EdgeId> + Clone + '_ {
         self.incidence(v).iter().map(|&(_, e)| e)
     }
 
@@ -298,7 +301,11 @@ impl Graph {
     /// The id of the edge joining `a` and `b`, if present.
     #[must_use]
     pub fn find_edge(&self, a: VertexId, b: VertexId) -> Option<EdgeId> {
-        let (probe, other) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        let (probe, other) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let slice = self.incidence(probe);
         slice
             .binary_search_by(|&(w, _)| w.cmp(&other))
@@ -439,7 +446,10 @@ mod tests {
         let e01 = g.find_edge(VertexId::new(0), VertexId::new(1)).unwrap();
         let e12 = g.find_edge(VertexId::new(1), VertexId::new(2)).unwrap();
         let vs = g.endpoint_set(&[e01, e12]);
-        assert_eq!(vs, vec![VertexId::new(0), VertexId::new(1), VertexId::new(2)]);
+        assert_eq!(
+            vs,
+            vec![VertexId::new(0), VertexId::new(1), VertexId::new(2)]
+        );
     }
 
     #[test]

@@ -141,8 +141,7 @@ pub fn from_graph6(text: &str) -> Result<Graph, Graph6Error> {
 mod tests {
     use super::*;
     use crate::generators;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use defender_num::rng::StdRng;
 
     #[test]
     fn known_encodings() {
@@ -193,7 +192,10 @@ mod tests {
     fn errors_reported() {
         assert_eq!(from_graph6(""), Err(Graph6Error::Empty));
         assert_eq!(from_graph6("C"), Err(Graph6Error::Truncated));
-        assert_eq!(from_graph6("C\u{7f}"), Err(Graph6Error::BadCharacter { position: 1 }));
+        assert_eq!(
+            from_graph6("C\u{7f}"),
+            Err(Graph6Error::BadCharacter { position: 1 })
+        );
         assert_eq!(from_graph6("~~????"), Err(Graph6Error::TooLarge));
         assert!(from_graph6("~?").is_err());
     }
@@ -208,6 +210,8 @@ mod tests {
         assert!(Graph6Error::Empty.to_string().contains("empty"));
         assert!(Graph6Error::Truncated.to_string().contains("shorter"));
         assert!(Graph6Error::TooLarge.to_string().contains("exceeds"));
-        assert!(Graph6Error::BadCharacter { position: 2 }.to_string().contains('2'));
+        assert!(Graph6Error::BadCharacter { position: 2 }
+            .to_string()
+            .contains('2'));
     }
 }

@@ -96,7 +96,10 @@ pub fn greedy_min_degree(graph: &Graph) -> VertexSet {
 #[must_use]
 pub fn maximum_exact(graph: &Graph) -> VertexSet {
     let n = graph.vertex_count();
-    assert!(n <= 64, "exact maximum independent set is limited to 64 vertices, got {n}");
+    assert!(
+        n <= 64,
+        "exact maximum independent set is limited to 64 vertices, got {n}"
+    );
     if n == 0 {
         return Vec::new();
     }
@@ -155,13 +158,23 @@ mod tests {
     fn predicate_basics() {
         let g = generators::cycle(5);
         assert!(is_independent_set(&g, &[]));
-        assert!(is_independent_set(&g, &[VertexId::new(0), VertexId::new(2)]));
-        assert!(!is_independent_set(&g, &[VertexId::new(0), VertexId::new(1)]));
+        assert!(is_independent_set(
+            &g,
+            &[VertexId::new(0), VertexId::new(2)]
+        ));
+        assert!(!is_independent_set(
+            &g,
+            &[VertexId::new(0), VertexId::new(1)]
+        ));
     }
 
     #[test]
     fn greedy_outputs_are_independent_and_maximal() {
-        for g in [generators::cycle(7), generators::petersen(), generators::grid(3, 3)] {
+        for g in [
+            generators::cycle(7),
+            generators::petersen(),
+            generators::grid(3, 3),
+        ] {
             for set in [greedy_maximal(&g), greedy_min_degree(&g)] {
                 assert!(is_independent_set(&g, &set));
                 // Maximality: every vertex outside has a neighbor inside.
@@ -188,7 +201,10 @@ mod tests {
         assert_eq!(independence_number_exact(&generators::cycle(6)), 3);
         assert_eq!(independence_number_exact(&generators::star(7)), 7);
         assert_eq!(independence_number_exact(&generators::petersen()), 4);
-        assert_eq!(independence_number_exact(&generators::complete_bipartite(3, 5)), 5);
+        assert_eq!(
+            independence_number_exact(&generators::complete_bipartite(3, 5)),
+            5
+        );
     }
 
     #[test]
@@ -213,7 +229,10 @@ mod tests {
             let g = generators::cycle(n);
             let greedy = greedy_min_degree(&g).len();
             let exact = independence_number_exact(&g);
-            assert!(greedy * 2 >= exact, "n = {n}: greedy {greedy} vs exact {exact}");
+            assert!(
+                greedy * 2 >= exact,
+                "n = {n}: greedy {greedy} vs exact {exact}"
+            );
         }
     }
 }

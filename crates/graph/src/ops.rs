@@ -86,10 +86,11 @@ mod tests {
 
     #[test]
     fn complement_involution() {
-        for g in [generators::path(5), generators::petersen(), generators::gnp(8, 0.4, &mut {
-            use rand::SeedableRng;
-            rand::rngs::StdRng::seed_from_u64(1)
-        })] {
+        for g in [
+            generators::path(5),
+            generators::petersen(),
+            generators::gnp(8, 0.4, &mut { defender_num::rng::StdRng::seed_from_u64(1) }),
+        ] {
             assert_eq!(complement(&complement(&g)), g);
         }
     }

@@ -27,7 +27,6 @@ pub fn is_connected(graph: &Graph) -> bool {
 /// Produced by [`bipartition`]; both sides are sorted vertex sets and
 /// together partition `V`.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Bipartition {
     /// Vertices colored 0 (contains the smallest vertex of each component).
     pub left: VertexSet,
@@ -218,12 +217,17 @@ mod tests {
     #[test]
     fn game_ready_checks() {
         assert!(check_game_ready(&generators::path(2)).is_ok());
-        assert_eq!(check_game_ready(&GraphBuilder::new(0).build()), Err(GraphError::EmptyGraph));
+        assert_eq!(
+            check_game_ready(&GraphBuilder::new(0).build()),
+            Err(GraphError::EmptyGraph)
+        );
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1);
         assert_eq!(
             check_game_ready(&b.build()),
-            Err(GraphError::IsolatedVertex { vertex: VertexId::new(2) })
+            Err(GraphError::IsolatedVertex {
+                vertex: VertexId::new(2)
+            })
         );
     }
 }

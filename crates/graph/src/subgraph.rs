@@ -72,7 +72,11 @@ pub fn spanned_by_edges(graph: &Graph, edges: &[EdgeId]) -> Subgraph {
         let ep = graph.endpoints(e);
         b.add_edge_ids(local(ep.u()), local(ep.v()));
     }
-    Subgraph { graph: b.build(), vertex_map, edge_map: sorted_edges }
+    Subgraph {
+        graph: b.build(),
+        vertex_map,
+        edge_map: sorted_edges,
+    }
 }
 
 /// The subgraph induced by a vertex set: those vertices and every parent
@@ -106,7 +110,11 @@ pub fn induced_by_vertices(graph: &Graph, vertices: &[VertexId]) -> Subgraph {
             edge_map.push(e);
         }
     }
-    Subgraph { graph: b.build(), vertex_map, edge_map }
+    Subgraph {
+        graph: b.build(),
+        vertex_map,
+        edge_map,
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +130,12 @@ mod tests {
         assert_eq!(sub.graph.edge_count(), 2);
         assert_eq!(
             sub.vertex_map,
-            vec![VertexId::new(0), VertexId::new(1), VertexId::new(3), VertexId::new(4)]
+            vec![
+                VertexId::new(0),
+                VertexId::new(1),
+                VertexId::new(3),
+                VertexId::new(4)
+            ]
         );
     }
 

@@ -138,7 +138,15 @@ mod tests {
     fn dfs_order_is_preorder() {
         let g = crate::generators::path(4);
         let order = dfs_order(&g, VertexId::new(0));
-        assert_eq!(order, vec![VertexId::new(0), VertexId::new(1), VertexId::new(2), VertexId::new(3)]);
+        assert_eq!(
+            order,
+            vec![
+                VertexId::new(0),
+                VertexId::new(1),
+                VertexId::new(2),
+                VertexId::new(3)
+            ]
+        );
     }
 
     #[test]

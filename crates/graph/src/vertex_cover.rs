@@ -116,13 +116,21 @@ mod tests {
         let g = generators::path(4); // edges (0,1), (1,2), (2,3)
         let e01 = g.find_edge(VertexId::new(0), VertexId::new(1)).unwrap();
         let e23 = g.find_edge(VertexId::new(2), VertexId::new(3)).unwrap();
-        assert!(covers_edges(&g, &[VertexId::new(0), VertexId::new(3)], &[e01, e23]));
+        assert!(covers_edges(
+            &g,
+            &[VertexId::new(0), VertexId::new(3)],
+            &[e01, e23]
+        ));
         assert!(!is_vertex_cover(&g, &[VertexId::new(0), VertexId::new(3)]));
     }
 
     #[test]
     fn two_approx_is_cover_within_factor() {
-        for g in [generators::petersen(), generators::grid(3, 4), generators::complete(6)] {
+        for g in [
+            generators::petersen(),
+            generators::grid(3, 4),
+            generators::complete(6),
+        ] {
             let approx = two_approximation(&g);
             assert!(is_vertex_cover(&g, &approx));
             let exact = cover_number_exact(&g);

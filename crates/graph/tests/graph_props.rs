@@ -1,54 +1,73 @@
-//! Property-based tests for the graph substrate.
+//! Property-based tests for the graph substrate, driven by the vendored
+//! seeded PRNG (offline build: no external property-testing framework).
 
-use defender_graph::{edge_cover, generators, independent_set, properties, traversal, vertex_cover, Graph, GraphBuilder};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use defender_graph::{
+    edge_cover, generators, independent_set, properties, traversal, vertex_cover, Graph,
+    GraphBuilder,
+};
+use defender_num::rng::{Rng, StdRng};
 
-/// Strategy: a random simple graph from an edge-probability and a seed.
-fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (2usize..=24, 0u64..1_000, 0u32..=100).prop_map(|(n, seed, pct)| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        generators::gnp(n, f64::from(pct) / 100.0, &mut rng)
-    })
+const CASES: usize = 200;
+
+/// A random simple graph on 2..=24 vertices with random density.
+fn random_graph<R: Rng + ?Sized>(rng: &mut R) -> Graph {
+    let n = rng.gen_range(2..25);
+    let p = rng.gen_range(0..101) as f64 / 100.0;
+    generators::gnp(n, p, rng)
 }
 
-/// Strategy: a random connected, game-ready graph.
-fn connected_graph_strategy() -> impl Strategy<Value = Graph> {
-    (2usize..=24, 0u64..1_000, 0u32..=40).prop_map(|(n, seed, pct)| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        generators::gnp_connected(n, f64::from(pct) / 100.0, &mut rng)
-    })
+/// A random connected, game-ready graph.
+fn random_connected<R: Rng + ?Sized>(rng: &mut R) -> Graph {
+    let n = rng.gen_range(2..25);
+    let p = rng.gen_range(0..41) as f64 / 100.0;
+    generators::gnp_connected(n, p, rng)
 }
 
-proptest! {
-    #[test]
-    fn handshake_lemma(g in graph_strategy()) {
-        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
-        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+fn for_each_case(seed: u64, mut body: impl FnMut(&mut StdRng)) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..CASES {
+        body(&mut rng);
     }
+}
 
-    #[test]
-    fn adjacency_is_symmetric(g in graph_strategy()) {
+#[test]
+fn handshake_lemma() {
+    for_each_case(0xA1, |rng| {
+        let g = random_graph(rng);
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        assert_eq!(degree_sum, 2 * g.edge_count());
+    });
+}
+
+#[test]
+fn adjacency_is_symmetric() {
+    for_each_case(0xA2, |rng| {
+        let g = random_graph(rng);
         for v in g.vertices() {
             for w in g.neighbors(v) {
-                prop_assert!(g.has_edge(w, v));
-                prop_assert!(g.neighbors(w).any(|x| x == v));
+                assert!(g.has_edge(w, v));
+                assert!(g.neighbors(w).any(|x| x == v));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn find_edge_consistent_with_endpoints(g in graph_strategy()) {
+#[test]
+fn find_edge_consistent_with_endpoints() {
+    for_each_case(0xA3, |rng| {
+        let g = random_graph(rng);
         for e in g.edges() {
             let ep = g.endpoints(e);
-            prop_assert_eq!(g.find_edge(ep.u(), ep.v()), Some(e));
-            prop_assert_eq!(g.find_edge(ep.v(), ep.u()), Some(e));
+            assert_eq!(g.find_edge(ep.u(), ep.v()), Some(e));
+            assert_eq!(g.find_edge(ep.v(), ep.u()), Some(e));
         }
-    }
+    });
+}
 
-    #[test]
-    fn bfs_distances_are_tight(g in connected_graph_strategy()) {
+#[test]
+fn bfs_distances_are_tight() {
+    for_each_case(0xA4, |rng| {
+        let g = random_connected(rng);
         // Triangle inequality along edges: |d(u) - d(v)| <= 1.
         let source = defender_graph::VertexId::new(0);
         let dist = traversal::bfs_distances(&g, source);
@@ -56,107 +75,142 @@ proptest! {
             let ep = g.endpoints(e);
             let du = dist[ep.u().index()].unwrap();
             let dv = dist[ep.v().index()].unwrap();
-            prop_assert!(du.abs_diff(dv) <= 1);
+            assert!(du.abs_diff(dv) <= 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn components_partition_vertices(g in graph_strategy()) {
+#[test]
+fn components_partition_vertices() {
+    for_each_case(0xA5, |rng| {
+        let g = random_graph(rng);
         let (labels, count) = traversal::components(&g);
-        prop_assert!(labels.iter().all(|&l| l < count));
+        assert!(labels.iter().all(|&l| l < count));
         // Two endpoints of any edge share a component.
         for e in g.edges() {
             let ep = g.endpoints(e);
-            prop_assert_eq!(labels[ep.u().index()], labels[ep.v().index()]);
+            assert_eq!(labels[ep.u().index()], labels[ep.v().index()]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn bipartition_has_no_internal_edges(g in graph_strategy()) {
+#[test]
+fn bipartition_has_no_internal_edges() {
+    for_each_case(0xA6, |rng| {
+        let g = random_graph(rng);
         if let Ok(bp) = properties::bipartition(&g) {
-            prop_assert!(independent_set::is_independent_set(&g, &bp.left));
-            prop_assert!(independent_set::is_independent_set(&g, &bp.right));
-            prop_assert_eq!(bp.left.len() + bp.right.len(), g.vertex_count());
+            assert!(independent_set::is_independent_set(&g, &bp.left));
+            assert!(independent_set::is_independent_set(&g, &bp.right));
+            assert_eq!(bp.left.len() + bp.right.len(), g.vertex_count());
         }
-    }
+    });
+}
 
-    #[test]
-    fn greedy_is_independent_two_approx_is_cover(g in graph_strategy()) {
+#[test]
+fn greedy_is_independent_two_approx_is_cover() {
+    for_each_case(0xA7, |rng| {
+        let g = random_graph(rng);
         let is = independent_set::greedy_maximal(&g);
-        prop_assert!(independent_set::is_independent_set(&g, &is));
+        assert!(independent_set::is_independent_set(&g, &is));
         let vc = vertex_cover::two_approximation(&g);
-        prop_assert!(vertex_cover::is_vertex_cover(&g, &vc));
-    }
+        assert!(vertex_cover::is_vertex_cover(&g, &vc));
+    });
+}
 
-    #[test]
-    fn complement_of_independent_is_cover(g in graph_strategy()) {
+#[test]
+fn complement_of_independent_is_cover() {
+    for_each_case(0xA8, |rng| {
+        let g = random_graph(rng);
         let is = independent_set::greedy_min_degree(&g);
         let vc = vertex_cover::complement(&g, &is);
-        prop_assert!(vertex_cover::is_vertex_cover(&g, &vc));
-    }
+        assert!(vertex_cover::is_vertex_cover(&g, &vc));
+    });
+}
 
-    #[test]
-    fn gallai_bound_for_exact_sets(g in graph_strategy()) {
+#[test]
+fn gallai_bound_for_exact_sets() {
+    // Exponential exact solvers: fewer, smaller cases.
+    let mut rng = StdRng::seed_from_u64(0xA9);
+    for _ in 0..40 {
+        let n = rng.gen_range(2..15);
+        let p = rng.gen_range(0..101) as f64 / 100.0;
+        let g = generators::gnp(n, p, &mut rng);
         // α(G) + τ(G) = n.
         let alpha = independent_set::independence_number_exact(&g);
         let tau = vertex_cover::cover_number_exact(&g);
-        prop_assert_eq!(alpha + tau, g.vertex_count());
-    }
-
-    #[test]
-    fn greedy_edge_cover_valid_on_game_ready(g in connected_graph_strategy()) {
-        let cover = edge_cover::greedy(&g).expect("connected graphs have edge covers");
-        prop_assert!(edge_cover::is_edge_cover(&g, &cover));
-        prop_assert!(cover.len() >= edge_cover::lower_bound(&g));
-    }
-
-    #[test]
-    fn spanned_subgraph_preserves_edge_count(g in connected_graph_strategy()) {
-        let some_edges: Vec<_> = g.edges().step_by(2).collect();
-        let sub = defender_graph::subgraph::spanned_by_edges(&g, &some_edges);
-        prop_assert_eq!(sub.graph.edge_count(), some_edges.len());
-        prop_assert_eq!(sub.graph.vertex_count(), g.endpoint_set(&some_edges).len());
+        assert_eq!(alpha + tau, g.vertex_count());
     }
 }
 
-proptest! {
-    #[test]
-    fn graph6_round_trips(g in graph_strategy()) {
+#[test]
+fn greedy_edge_cover_valid_on_game_ready() {
+    for_each_case(0xAA, |rng| {
+        let g = random_connected(rng);
+        let cover = edge_cover::greedy(&g).expect("connected graphs have edge covers");
+        assert!(edge_cover::is_edge_cover(&g, &cover));
+        assert!(cover.len() >= edge_cover::lower_bound(&g));
+    });
+}
+
+#[test]
+fn spanned_subgraph_preserves_edge_count() {
+    for_each_case(0xAB, |rng| {
+        let g = random_connected(rng);
+        let some_edges: Vec<_> = g.edges().step_by(2).collect();
+        let sub = defender_graph::subgraph::spanned_by_edges(&g, &some_edges);
+        assert_eq!(sub.graph.edge_count(), some_edges.len());
+        assert_eq!(sub.graph.vertex_count(), g.endpoint_set(&some_edges).len());
+    });
+}
+
+#[test]
+fn graph6_round_trips() {
+    for_each_case(0xAC, |rng| {
+        let g = random_graph(rng);
         let encoded = defender_graph::graph6::to_graph6(&g);
         let decoded = defender_graph::graph6::from_graph6(&encoded).unwrap();
-        prop_assert_eq!(decoded, g);
-    }
+        assert_eq!(decoded, g);
+    });
+}
 
-    #[test]
-    fn complement_is_involutive_and_partitions_pairs(g in graph_strategy()) {
+#[test]
+fn complement_is_involutive_and_partitions_pairs() {
+    for_each_case(0xAD, |rng| {
+        let g = random_graph(rng);
         let c = defender_graph::ops::complement(&g);
-        prop_assert_eq!(defender_graph::ops::complement(&c), g.clone());
+        assert_eq!(defender_graph::ops::complement(&c), g.clone());
         let n = g.vertex_count();
-        prop_assert_eq!(g.edge_count() + c.edge_count(), n * (n - 1) / 2);
-    }
+        assert_eq!(g.edge_count() + c.edge_count(), n * (n - 1) / 2);
+    });
+}
 
-    #[test]
-    fn join_degree_structure(g in graph_strategy()) {
+#[test]
+fn join_degree_structure() {
+    for_each_case(0xAE, |rng| {
+        let g = random_graph(rng);
         let h = generators::path(3);
         let joined = defender_graph::ops::join(&g, &h);
-        prop_assert_eq!(
+        assert_eq!(
             joined.edge_count(),
             g.edge_count() + h.edge_count() + g.vertex_count() * h.vertex_count()
         );
         // Every original vertex gained |V(H)| cross edges.
         for v in g.vertices() {
-            prop_assert_eq!(joined.degree(v), g.degree(v) + h.vertex_count());
+            assert_eq!(joined.degree(v), g.degree(v) + h.vertex_count());
         }
-    }
+    });
+}
 
-    #[test]
-    fn disjoint_union_preserves_components(g in graph_strategy()) {
+#[test]
+fn disjoint_union_preserves_components() {
+    for_each_case(0xAF, |rng| {
+        let g = random_graph(rng);
         let h = generators::cycle(4);
         let u = defender_graph::ops::disjoint_union(&g, &h);
         let (_, cg) = traversal::components(&g);
         let (_, cu) = traversal::components(&u);
-        prop_assert_eq!(cu, cg + 1, "C4 adds exactly one component");
-    }
+        assert_eq!(cu, cg + 1, "C4 adds exactly one component");
+    });
 }
 
 #[test]

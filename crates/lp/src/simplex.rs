@@ -71,7 +71,9 @@ pub fn maximize(c: &[Ratio], a: &[Vec<Ratio>], b: &[Ratio]) -> Result<LpSolution
     let n = c.len();
     let m = a.len();
     if b.len() != m {
-        return Err(LpError::ShapeMismatch { reason: format!("{m} rows but {} rhs entries", b.len()) });
+        return Err(LpError::ShapeMismatch {
+            reason: format!("{m} rows but {} rhs entries", b.len()),
+        });
     }
     for (i, row) in a.iter().enumerate() {
         if row.len() != n {
@@ -83,6 +85,10 @@ pub fn maximize(c: &[Ratio], a: &[Vec<Ratio>], b: &[Ratio]) -> Result<LpSolution
     if let Some(row) = b.iter().position(|&bi| bi < Ratio::ZERO) {
         return Err(LpError::NegativeRhs { row });
     }
+
+    let _span = defender_obs::span!("simplex");
+    defender_obs::counter!("lp.simplex.calls").incr();
+    defender_obs::histogram!("lp.simplex.constraints").record(m as u64);
 
     // Tableau: m constraint rows over columns [x .. | slacks .. | rhs],
     // plus a reduced-cost row (maximization: positive entry ⇒ improvable).
@@ -113,18 +119,22 @@ pub fn maximize(c: &[Ratio], a: &[Vec<Ratio>], b: &[Ratio]) -> Result<LpSolution
                 let ratio = tableau[i][cols - 1] / coeff;
                 let better = match &leaving {
                     None => true,
-                    Some((li, lr)) => {
-                        ratio < *lr || (ratio == *lr && basis[i] < basis[*li])
-                    }
+                    Some((li, lr)) => ratio < *lr || (ratio == *lr && basis[i] < basis[*li]),
                 };
                 if better {
                     leaving = Some((i, ratio));
                 }
             }
         }
-        let Some((pivot_row, _)) = leaving else {
+        let Some((pivot_row, min_ratio)) = leaving else {
             return Err(LpError::Unbounded);
         };
+        defender_obs::counter!("lp.simplex.pivots").incr();
+        if min_ratio.is_zero() {
+            // A zero ratio pivots without moving the solution point; Bland's
+            // rule keeps these degenerate steps from cycling.
+            defender_obs::counter!("lp.simplex.degenerate_pivots").incr();
+        }
 
         // Pivot on (pivot_row, entering).
         let pivot = tableau[pivot_row][entering];
@@ -157,7 +167,11 @@ pub fn maximize(c: &[Ratio], a: &[Vec<Ratio>], b: &[Ratio]) -> Result<LpSolution
     // Reduced cost of slack i at optimum is −y_i.
     let dual: Vec<Ratio> = (0..m).map(|i| -tableau[m][n + i]).collect();
     let objective = -tableau[m][cols - 1];
-    Ok(LpSolution { objective, primal, dual })
+    Ok(LpSolution {
+        objective,
+        primal,
+        dual,
+    })
 }
 
 #[cfg(test)]
@@ -184,7 +198,8 @@ mod tests {
         assert_eq!(solution.objective, r(36, 1));
         assert_eq!(solution.primal, vec![r(2, 1), r(6, 1)]);
         // Strong duality: b·y = 36.
-        let b_dot_y = r(4, 1) * solution.dual[0] + r(12, 1) * solution.dual[1] + r(18, 1) * solution.dual[2];
+        let b_dot_y =
+            r(4, 1) * solution.dual[0] + r(12, 1) * solution.dual[1] + r(18, 1) * solution.dual[2];
         assert_eq!(b_dot_y, r(36, 1));
     }
 
@@ -247,51 +262,53 @@ mod tests {
 
     #[test]
     fn duals_certify_optimality_on_random_lps() {
-        use proptest::prelude::*;
-        use proptest::test_runner::TestRunner;
-        let mut runner = TestRunner::default();
-        runner
-            .run(
-                &(
-                    proptest::collection::vec(0i64..=5, 3),
-                    proptest::collection::vec(proptest::collection::vec(0i64..=4, 3), 3),
-                    proptest::collection::vec(1i64..=8, 3),
-                ),
-                |(c, a, b)| {
-                    let c: Vec<Ratio> = c.into_iter().map(Ratio::from).collect();
-                    let a: Vec<Vec<Ratio>> = a
-                        .into_iter()
-                        .map(|row| row.into_iter().map(Ratio::from).collect())
-                        .collect();
-                    let b: Vec<Ratio> = b.into_iter().map(Ratio::from).collect();
-                    match maximize(&c, &a, &b) {
-                        Ok(solution) => {
-                            // Primal feasibility.
-                            for (row, &bi) in a.iter().zip(&b) {
-                                let lhs: Ratio =
-                                    row.iter().zip(&solution.primal).map(|(&aij, &xj)| aij * xj).sum();
-                                prop_assert!(lhs <= bi);
-                            }
-                            prop_assert!(solution.primal.iter().all(|&x| x >= Ratio::ZERO));
-                            // Dual feasibility.
-                            prop_assert!(solution.dual.iter().all(|&y| y >= Ratio::ZERO));
-                            for j in 0..c.len() {
-                                let aty: Ratio =
-                                    a.iter().zip(&solution.dual).map(|(row, &yi)| row[j] * yi).sum();
-                                prop_assert!(aty >= c[j]);
-                            }
-                            // Strong duality.
-                            let by: Ratio = b.iter().zip(&solution.dual).map(|(&bi, &yi)| bi * yi).sum();
-                            prop_assert_eq!(by, solution.objective);
-                        }
-                        Err(LpError::Unbounded) => {
-                            // Possible when some c_j > 0 has a zero column.
-                        }
-                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+        use defender_num::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(0xE1);
+        for _ in 0..256 {
+            let c: Vec<Ratio> = (0..3)
+                .map(|_| Ratio::from(rng.gen_range(0..6) as i64))
+                .collect();
+            let a: Vec<Vec<Ratio>> = (0..3)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| Ratio::from(rng.gen_range(0..5) as i64))
+                        .collect()
+                })
+                .collect();
+            let b: Vec<Ratio> = (0..3)
+                .map(|_| Ratio::from(rng.gen_range(1..9) as i64))
+                .collect();
+            match maximize(&c, &a, &b) {
+                Ok(solution) => {
+                    // Primal feasibility.
+                    for (row, &bi) in a.iter().zip(&b) {
+                        let lhs: Ratio = row
+                            .iter()
+                            .zip(&solution.primal)
+                            .map(|(&aij, &xj)| aij * xj)
+                            .sum();
+                        assert!(lhs <= bi);
                     }
-                    Ok(())
-                },
-            )
-            .unwrap();
+                    assert!(solution.primal.iter().all(|&x| x >= Ratio::ZERO));
+                    // Dual feasibility.
+                    assert!(solution.dual.iter().all(|&y| y >= Ratio::ZERO));
+                    for j in 0..c.len() {
+                        let aty: Ratio = a
+                            .iter()
+                            .zip(&solution.dual)
+                            .map(|(row, &yi)| row[j] * yi)
+                            .sum();
+                        assert!(aty >= c[j]);
+                    }
+                    // Strong duality.
+                    let by: Ratio = b.iter().zip(&solution.dual).map(|(&bi, &yi)| bi * yi).sum();
+                    assert_eq!(by, solution.objective);
+                }
+                Err(LpError::Unbounded) => {
+                    // Possible when some c_j > 0 has a zero column.
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
     }
 }

@@ -99,6 +99,7 @@ impl<'a> Search<'a> {
                 }
                 if to == root || (self.mate[to] != NIL && self.parent[self.mate[to]] != NIL) {
                     // Found an odd cycle: contract the blossom.
+                    defender_obs::counter!("matching.blossom.shrinks").incr();
                     let cur_base = self.lca(v, to);
                     self.blossom.iter_mut().for_each(|b| *b = false);
                     self.mark_path(v, cur_base, to);
@@ -153,8 +154,12 @@ impl<'a> Search<'a> {
 /// ```
 #[must_use]
 pub fn maximum_matching(graph: &Graph) -> Matching {
+    let _span = defender_obs::span!("blossom_matching");
     let n = graph.vertex_count();
-    let warm = greedy::maximal_matching(graph);
+    let warm = {
+        let _greedy = defender_obs::span!("greedy_seed");
+        greedy::maximal_matching(graph)
+    };
     let mut mate = vec![NIL; n];
     for v in graph.vertices() {
         if let Some(w) = warm.partner(v) {
@@ -162,11 +167,16 @@ pub fn maximum_matching(graph: &Graph) -> Matching {
         }
     }
     let mut search = Search::new(graph, mate);
-    for v in 0..n {
-        if search.mate[v] == NIL {
-            let end = search.find_augmenting_path(v);
-            if end != NIL {
-                search.augment(end);
+    {
+        let _augment = defender_obs::span!("augment_phase");
+        for v in 0..n {
+            if search.mate[v] == NIL {
+                defender_obs::counter!("matching.blossom.searches").incr();
+                let end = search.find_augmenting_path(v);
+                if end != NIL {
+                    defender_obs::counter!("matching.blossom.augmentations").incr();
+                    search.augment(end);
+                }
             }
         }
     }
@@ -188,8 +198,7 @@ pub fn matching_number(graph: &Graph) -> usize {
 mod tests {
     use super::*;
     use defender_graph::{generators, GraphBuilder};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use defender_num::rng::StdRng;
 
     #[test]
     fn known_matching_numbers() {
@@ -221,7 +230,11 @@ mod tests {
         // A blossom with a stem: odd cycle 1-2-3-4-5-1 plus stem 0-1.
         let mut b = GraphBuilder::new(6);
         b.add_edge(0, 1);
-        b.add_edge(1, 2).add_edge(2, 3).add_edge(3, 4).add_edge(4, 5).add_edge(5, 1);
+        b.add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 4)
+            .add_edge(4, 5)
+            .add_edge(5, 1);
         assert_eq!(matching_number(&b.build()), 3);
     }
 

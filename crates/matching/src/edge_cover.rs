@@ -87,8 +87,7 @@ pub fn edge_cover_of_size(graph: &Graph, k: usize) -> Option<EdgeSet> {
 mod tests {
     use super::*;
     use defender_graph::{edge_cover, generators, GraphBuilder};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use defender_num::rng::StdRng;
 
     #[test]
     fn known_edge_cover_numbers() {

@@ -121,8 +121,7 @@ pub fn is_expander_into_complement(graph: &Graph, set: &[VertexId]) -> bool {
 mod tests {
     use super::*;
     use defender_graph::{expander, generators};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use defender_num::rng::StdRng;
 
     #[test]
     fn k3_pin_from_design_md() {
@@ -163,7 +162,10 @@ mod tests {
         for trial in 0..40 {
             let g = generators::gnp_connected(10, 0.2, &mut rng);
             // Take an arbitrary half of the vertices as the candidate set.
-            let set: Vec<VertexId> = g.vertices().filter(|v| v.index() % 2 == trial % 2).collect();
+            let set: Vec<VertexId> = g
+                .vertices()
+                .filter(|v| v.index() % 2 == trial % 2)
+                .collect();
             let fast = is_expander_into_complement(&g, &set);
             let slow = expander::is_expander_into_complement_exact(&g, &set);
             assert_eq!(fast, slow, "trial {trial}: {g:?}, set {set:?}");
@@ -171,7 +173,7 @@ mod tests {
     }
 
     #[test]
-    fn violator_is_certified(){
+    fn violator_is_certified() {
         let mut rng = StdRng::seed_from_u64(50);
         let mut deficient_seen = 0;
         for _ in 0..60 {
@@ -195,7 +197,10 @@ mod tests {
                 assert!(outside < violator.len(), "violator must certify deficiency");
             }
         }
-        assert!(deficient_seen > 0, "sparse graphs should produce deficient cases");
+        assert!(
+            deficient_seen > 0,
+            "sparse graphs should produce deficient cases"
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub fn hopcroft_karp(graph: &Graph, left: &[VertexId], right: &[VertexId]) -> Ma
         side[v.index()] = 0;
     }
     for &v in right {
-        assert_ne!(side[v.index()], 0, "left and right sides must be disjoint ({v})");
+        assert_ne!(
+            side[v.index()],
+            0,
+            "left and right sides must be disjoint ({v})"
+        );
         side[v.index()] = 1;
     }
 
@@ -61,7 +65,12 @@ pub fn hopcroft_karp(graph: &Graph, left: &[VertexId], right: &[VertexId]) -> Ma
     // Cross adjacency of each left vertex.
     let cross: Vec<Vec<VertexId>> = left
         .iter()
-        .map(|&v| graph.neighbors(v).filter(|w| side[w.index()] == 1).collect())
+        .map(|&v| {
+            graph
+                .neighbors(v)
+                .filter(|w| side[w.index()] == 1)
+                .collect()
+        })
         .collect();
 
     let mut match_left: Vec<Option<VertexId>> = vec![None; left.len()];
@@ -222,8 +231,7 @@ mod tests {
 
     #[test]
     fn agrees_with_blossom_on_bipartite_graphs() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use defender_num::rng::StdRng;
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..20 {
             let g = generators::random_bipartite(6, 8, 0.3, &mut rng);

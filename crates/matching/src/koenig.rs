@@ -119,8 +119,7 @@ pub fn koenig_auto(graph: &Graph) -> Result<KoenigCover, defender_graph::GraphEr
 mod tests {
     use super::*;
     use defender_graph::{generators, vertex_cover, GraphBuilder};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use defender_num::rng::StdRng;
 
     fn ids(range: std::ops::Range<usize>) -> Vec<VertexId> {
         range.map(VertexId::new).collect()

@@ -52,7 +52,6 @@ impl std::error::Error for MatchingError {}
 /// # Ok::<(), defender_matching::MatchingError>(())
 /// ```
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Matching {
     edges: Vec<EdgeId>,
     partner: Vec<Option<VertexId>>,
@@ -62,7 +61,10 @@ impl Matching {
     /// The empty matching of a graph with `vertex_count` vertices.
     #[must_use]
     pub fn empty(vertex_count: usize) -> Matching {
-        Matching { edges: Vec::new(), partner: vec![None; vertex_count] }
+        Matching {
+            edges: Vec::new(),
+            partner: vec![None; vertex_count],
+        }
     }
 
     /// Builds a matching from explicit edges, validating disjointness.
@@ -206,7 +208,12 @@ mod tests {
         let g = generators::path(4);
         assert!(Matching::from_edges(&g, vec![EdgeId::new(0), EdgeId::new(2)]).is_ok());
         let err = Matching::from_edges(&g, vec![EdgeId::new(0), EdgeId::new(1)]).unwrap_err();
-        assert_eq!(err, MatchingError::SharedVertex { vertex: VertexId::new(1) });
+        assert_eq!(
+            err,
+            MatchingError::SharedVertex {
+                vertex: VertexId::new(1)
+            }
+        );
         let err = Matching::from_edges(&g, vec![EdgeId::new(9)]).unwrap_err();
         assert_eq!(err, MatchingError::UnknownEdge { index: 9 });
     }
@@ -251,8 +258,14 @@ mod tests {
     fn vertex_listings() {
         let g = generators::path(4);
         let m = Matching::from_edges(&g, vec![EdgeId::new(0)]).unwrap();
-        assert_eq!(m.matched_vertices(), vec![VertexId::new(0), VertexId::new(1)]);
-        assert_eq!(m.exposed_vertices(), vec![VertexId::new(2), VertexId::new(3)]);
+        assert_eq!(
+            m.matched_vertices(),
+            vec![VertexId::new(0), VertexId::new(1)]
+        );
+        assert_eq!(
+            m.exposed_vertices(),
+            vec![VertexId::new(2), VertexId::new(3)]
+        );
     }
 
     #[test]
@@ -265,8 +278,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let err = MatchingError::SharedVertex { vertex: VertexId::new(2) };
+        let err = MatchingError::SharedVertex {
+            vertex: VertexId::new(2),
+        };
         assert!(err.to_string().contains("v2"));
-        assert!(MatchingError::UnknownEdge { index: 1 }.to_string().contains('1'));
+        assert!(MatchingError::UnknownEdge { index: 1 }
+            .to_string()
+            .contains('1'));
     }
 }

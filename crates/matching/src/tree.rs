@@ -113,8 +113,7 @@ pub fn is_tree(graph: &Graph) -> bool {
 mod tests {
     use super::*;
     use defender_graph::{generators, vertex_cover, GraphBuilder};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use defender_num::rng::StdRng;
 
     #[test]
     fn classifications() {
@@ -152,7 +151,11 @@ mod tests {
             let tc = tree_cover(&g).unwrap();
             // Matching validity is enforced by construction; maximality vs
             // blossom, cover minimality vs König duality.
-            assert_eq!(tc.matching.len(), crate::maximum_matching(&g).len(), "n = {n}");
+            assert_eq!(
+                tc.matching.len(),
+                crate::maximum_matching(&g).len(),
+                "n = {n}"
+            );
             assert!(vertex_cover::is_vertex_cover(&g, &tc.cover), "n = {n}");
             assert_eq!(tc.cover.len(), tc.matching.len(), "n = {n}");
         }

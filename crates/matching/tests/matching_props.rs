@@ -1,99 +1,120 @@
-//! Property-based tests for the matching substrate.
+//! Property-based tests for the matching substrate, driven by the
+//! vendored seeded PRNG (offline build: no external frameworks).
 
 use defender_graph::{edge_cover, generators, vertex_cover, Graph, VertexId};
 use defender_matching::{
     greedy, hall, hopcroft_karp, koenig, maximum_matching, minimum_edge_cover, tree,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use defender_num::rng::{Rng, StdRng};
 
-fn random_graph() -> impl Strategy<Value = Graph> {
-    (2usize..=14, 0u64..2_000, 5u32..=60).prop_map(|(n, seed, pct)| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        generators::gnp(n, f64::from(pct) / 100.0, &mut rng)
-    })
+const CASES: usize = 250;
+
+fn random_graph<R: Rng + ?Sized>(rng: &mut R) -> Graph {
+    let n = rng.gen_range(2..15);
+    let p = rng.gen_range(5..61) as f64 / 100.0;
+    generators::gnp(n, p, rng)
 }
 
-fn random_connected() -> impl Strategy<Value = Graph> {
-    (2usize..=14, 0u64..2_000, 5u32..=40).prop_map(|(n, seed, pct)| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        generators::gnp_connected(n, f64::from(pct) / 100.0, &mut rng)
-    })
+fn random_connected<R: Rng + ?Sized>(rng: &mut R) -> Graph {
+    let n = rng.gen_range(2..15);
+    let p = rng.gen_range(5..41) as f64 / 100.0;
+    generators::gnp_connected(n, p, rng)
 }
 
-fn random_bipartite() -> impl Strategy<Value = (Graph, usize)> {
-    (2usize..=7, 2usize..=8, 0u64..2_000, 10u32..=60).prop_map(|(a, b, seed, pct)| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (generators::random_bipartite(a, b, f64::from(pct) / 100.0, &mut rng), a)
-    })
+/// A random bipartite graph plus its left-side size.
+fn random_bipartite<R: Rng + ?Sized>(rng: &mut R) -> (Graph, usize) {
+    let a = rng.gen_range(2..8);
+    let b = rng.gen_range(2..9);
+    let p = rng.gen_range(10..61) as f64 / 100.0;
+    (generators::random_bipartite(a, b, p, rng), a)
 }
 
-fn random_tree() -> impl Strategy<Value = Graph> {
-    (1usize..=40, 0u64..2_000).prop_map(|(n, seed)| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        generators::random_tree(n, &mut rng)
-    })
+fn random_tree<R: Rng + ?Sized>(rng: &mut R) -> Graph {
+    let n = rng.gen_range(1..41);
+    generators::random_tree(n, rng)
 }
 
-proptest! {
-    #[test]
-    fn greedy_is_half_of_maximum(g in random_graph()) {
+fn for_each_case(seed: u64, mut body: impl FnMut(&mut StdRng)) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..CASES {
+        body(&mut rng);
+    }
+}
+
+#[test]
+fn greedy_is_half_of_maximum() {
+    for_each_case(0xB1, |rng| {
+        let g = random_graph(rng);
         let greedy_len = greedy::maximal_matching(&g).len();
         let max_len = maximum_matching(&g).len();
-        prop_assert!(greedy_len <= max_len);
-        prop_assert!(2 * greedy_len >= max_len);
-    }
+        assert!(greedy_len <= max_len);
+        assert!(2 * greedy_len >= max_len);
+    });
+}
 
-    #[test]
-    fn maximum_matching_admits_no_augmenting_structure(g in random_graph()) {
+#[test]
+fn maximum_matching_admits_no_augmenting_structure() {
+    for_each_case(0xB2, |rng| {
+        let g = random_graph(rng);
         // Necessary conditions for maximality: valid (by construction) and
         // maximal; full optimality is cross-checked elsewhere by brute
         // force and here against König on bipartite instances.
         let m = maximum_matching(&g);
-        prop_assert!(m.is_maximal(&g));
-        prop_assert!(2 * m.len() <= g.vertex_count());
-    }
+        assert!(m.is_maximal(&g));
+        assert!(2 * m.len() <= g.vertex_count());
+    });
+}
 
-    #[test]
-    fn koenig_duality((g, a) in random_bipartite()) {
+#[test]
+fn koenig_duality() {
+    for_each_case(0xB3, |rng| {
+        let (g, a) = random_bipartite(rng);
         let left: Vec<VertexId> = (0..a).map(VertexId::new).collect();
         let right: Vec<VertexId> = (a..g.vertex_count()).map(VertexId::new).collect();
         let k = koenig::koenig_vertex_cover(&g, &left, &right);
-        prop_assert!(vertex_cover::is_vertex_cover(&g, &k.cover));
-        prop_assert_eq!(k.cover.len(), k.matching.len(), "König: τ = μ");
+        assert!(vertex_cover::is_vertex_cover(&g, &k.cover));
+        assert_eq!(k.cover.len(), k.matching.len(), "König: τ = μ");
         // Weak duality against the general matcher, strong via the cover.
-        prop_assert_eq!(k.matching.len(), maximum_matching(&g).len());
-    }
+        assert_eq!(k.matching.len(), maximum_matching(&g).len());
+    });
+}
 
-    #[test]
-    fn hk_equals_blossom_on_bipartite((g, a) in random_bipartite()) {
+#[test]
+fn hk_equals_blossom_on_bipartite() {
+    for_each_case(0xB4, |rng| {
+        let (g, a) = random_bipartite(rng);
         let left: Vec<VertexId> = (0..a).map(VertexId::new).collect();
         let right: Vec<VertexId> = (a..g.vertex_count()).map(VertexId::new).collect();
-        prop_assert_eq!(
+        assert_eq!(
             hopcroft_karp(&g, &left, &right).len(),
             maximum_matching(&g).len()
         );
-    }
+    });
+}
 
-    #[test]
-    fn gallai_identity(g in random_connected()) {
+#[test]
+fn gallai_identity() {
+    for_each_case(0xB5, |rng| {
+        let g = random_connected(rng);
         let mu = maximum_matching(&g).len();
         let cover = minimum_edge_cover(&g).expect("connected graphs have covers");
-        prop_assert!(edge_cover::is_edge_cover(&g, &cover));
-        prop_assert_eq!(cover.len(), g.vertex_count() - mu);
-    }
+        assert!(edge_cover::is_edge_cover(&g, &cover));
+        assert_eq!(cover.len(), g.vertex_count() - mu);
+    });
+}
 
-    #[test]
-    fn hall_outcome_is_consistent(g in random_connected()) {
+#[test]
+fn hall_outcome_is_consistent() {
+    for_each_case(0xB6, |rng| {
+        let g = random_connected(rng);
         let set: Vec<VertexId> = g.vertices().filter(|v| v.index() % 2 == 0).collect();
         match hall::matching_into_complement(&g, &set) {
             hall::HallOutcome::Saturated(m) => {
-                prop_assert!(m.saturates(&set));
+                assert!(m.saturates(&set));
             }
             hall::HallOutcome::Deficient { violator, matching } => {
-                prop_assert!(!matching.saturates(&set));
-                prop_assert!(!violator.is_empty());
+                assert!(!matching.saturates(&set));
+                assert!(!violator.is_empty());
                 // The violator certifies the deficiency.
                 let mut in_set = vec![false; g.vertex_count()];
                 for &v in &set {
@@ -104,31 +125,37 @@ proptest! {
                     .into_iter()
                     .filter(|w| !in_set[w.index()])
                     .count();
-                prop_assert!(outside < violator.len());
+                assert!(outside < violator.len());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn tree_cover_agrees_with_general_machinery(g in random_tree()) {
+#[test]
+fn tree_cover_agrees_with_general_machinery() {
+    for_each_case(0xB7, |rng| {
+        let g = random_tree(rng);
         let tc = tree::tree_cover(&g).expect("trees are forests");
-        prop_assert_eq!(tc.matching.len(), maximum_matching(&g).len());
-        prop_assert!(vertex_cover::is_vertex_cover(&g, &tc.cover));
-        prop_assert_eq!(tc.cover.len(), tc.matching.len());
+        assert_eq!(tc.matching.len(), maximum_matching(&g).len());
+        assert!(vertex_cover::is_vertex_cover(&g, &tc.cover));
+        assert_eq!(tc.cover.len(), tc.matching.len());
         // The complement is independent (König on trees).
         let is = vertex_cover::complement(&g, &tc.cover);
-        prop_assert!(defender_graph::independent_set::is_independent_set(&g, &is));
-    }
+        assert!(defender_graph::independent_set::is_independent_set(&g, &is));
+    });
+}
 
-    #[test]
-    fn matched_edges_are_pairwise_disjoint(g in random_graph()) {
+#[test]
+fn matched_edges_are_pairwise_disjoint() {
+    for_each_case(0xB8, |rng| {
+        let g = random_graph(rng);
         let m = maximum_matching(&g);
         let mut seen = vec![false; g.vertex_count()];
         for &e in m.edges() {
             let ep = g.endpoints(e);
-            prop_assert!(!seen[ep.u().index()] && !seen[ep.v().index()]);
+            assert!(!seen[ep.u().index()] && !seen[ep.v().index()]);
             seen[ep.u().index()] = true;
             seen[ep.v().index()] = true;
         }
-    }
+    });
 }

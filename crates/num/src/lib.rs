@@ -23,6 +23,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod ratio;
+pub mod rng;
 
 pub use ratio::{ParseRatioError, Ratio, RatioError};
 

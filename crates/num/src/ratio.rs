@@ -35,7 +35,6 @@ use crate::gcd;
 /// assert_eq!(p * Ratio::from(3), Ratio::new(3, 2));
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Ratio {
     num: i64,
     den: i64,
@@ -81,7 +80,10 @@ fn make(num: i128, den: i128) -> Result<Ratio, RatioError> {
     let num_i = i128::try_from(num_red).map_err(|_| RatioError::Overflow)? * sign;
     let num64 = i64::try_from(num_i).map_err(|_| RatioError::Overflow)?;
     let den64 = i64::try_from(den_red).map_err(|_| RatioError::Overflow)?;
-    Ok(Ratio { num: num64, den: den64 })
+    Ok(Ratio {
+        num: num64,
+        den: den64,
+    })
 }
 
 impl Ratio {
@@ -178,7 +180,10 @@ impl Ratio {
     /// ```
     #[must_use]
     pub fn abs(self) -> Ratio {
-        Ratio { num: self.num.abs(), den: self.den }
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Multiplicative inverse.
@@ -206,7 +211,8 @@ impl Ratio {
     ///
     /// Returns [`RatioError::Overflow`] if the reduced sum does not fit.
     pub fn checked_add(self, rhs: Ratio) -> Result<Ratio, RatioError> {
-        let num = i128::from(self.num) * i128::from(rhs.den) + i128::from(rhs.num) * i128::from(self.den);
+        let num =
+            i128::from(self.num) * i128::from(rhs.den) + i128::from(rhs.num) * i128::from(self.den);
         make(num, i128::from(self.den) * i128::from(rhs.den))
     }
 
@@ -216,7 +222,10 @@ impl Ratio {
     ///
     /// Returns [`RatioError::Overflow`] if the reduced difference does not fit.
     pub fn checked_sub(self, rhs: Ratio) -> Result<Ratio, RatioError> {
-        self.checked_add(Ratio { num: -rhs.num, den: rhs.den })
+        self.checked_add(Ratio {
+            num: -rhs.num,
+            den: rhs.den,
+        })
     }
 
     /// Checked multiplication.
@@ -357,21 +366,26 @@ impl Sub for Ratio {
 impl Mul for Ratio {
     type Output = Ratio;
     fn mul(self, rhs: Ratio) -> Ratio {
-        self.checked_mul(rhs).expect("Ratio multiplication overflow")
+        self.checked_mul(rhs)
+            .expect("Ratio multiplication overflow")
     }
 }
 
 impl Div for Ratio {
     type Output = Ratio;
     fn div(self, rhs: Ratio) -> Ratio {
-        self.checked_div(rhs).expect("Ratio division by zero or overflow")
+        self.checked_div(rhs)
+            .expect("Ratio division by zero or overflow")
     }
 }
 
 impl Neg for Ratio {
     type Output = Ratio;
     fn neg(self) -> Ratio {
-        Ratio { num: -self.num, den: self.den }
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -478,34 +492,26 @@ impl FromStr for Ratio {
     /// ```
     fn from_str(s: &str) -> Result<Ratio, ParseRatioError> {
         let s = s.trim();
-        let err = |message: &str| ParseRatioError { message: message.to_owned() };
+        let err = |message: &str| ParseRatioError {
+            message: message.to_owned(),
+        };
         match s.split_once('/') {
             None => {
                 let num: i64 = s.parse().map_err(|_| err("numerator is not an integer"))?;
                 Ok(Ratio::from_integer(num))
             }
             Some((numer, denom)) => {
-                let num: i64 = numer.trim().parse().map_err(|_| err("numerator is not an integer"))?;
-                let den: i64 = denom.trim().parse().map_err(|_| err("denominator is not an integer"))?;
+                let num: i64 = numer
+                    .trim()
+                    .parse()
+                    .map_err(|_| err("numerator is not an integer"))?;
+                let den: i64 = denom
+                    .trim()
+                    .parse()
+                    .map_err(|_| err("denominator is not an integer"))?;
                 Ratio::checked_new(num, den).map_err(|e| err(&e.to_string()))
             }
         }
-    }
-}
-
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for Ratio {
-    fn deserialize<D>(deserializer: D) -> Result<Ratio, D::Error>
-    where
-        D: serde::Deserializer<'de>,
-    {
-        #[derive(serde::Deserialize)]
-        struct Raw {
-            num: i64,
-            den: i64,
-        }
-        let raw = Raw::deserialize(deserializer)?;
-        Ratio::checked_new(raw.num, raw.den).map_err(serde::de::Error::custom)
     }
 }
 
@@ -559,7 +565,10 @@ mod tests {
 
     #[test]
     fn division_by_zero() {
-        assert_eq!(Ratio::ONE.checked_div(Ratio::ZERO), Err(RatioError::DivisionByZero));
+        assert_eq!(
+            Ratio::ONE.checked_div(Ratio::ZERO),
+            Err(RatioError::DivisionByZero)
+        );
         assert_eq!(Ratio::ZERO.recip(), Err(RatioError::DivisionByZero));
     }
 
@@ -573,7 +582,10 @@ mod tests {
         let a = Ratio::new(i64::MAX, i64::MAX - 1);
         let b = Ratio::new(i64::MAX - 1, i64::MAX - 2);
         assert!(a < b);
-        assert!((a.to_f64() - b.to_f64()).abs() < f64::EPSILON, "f64 cannot tell them apart");
+        assert!(
+            (a.to_f64() - b.to_f64()).abs() < f64::EPSILON,
+            "f64 cannot tell them apart"
+        );
     }
 
     #[test]
@@ -610,7 +622,12 @@ mod tests {
 
     #[test]
     fn display_and_parse_round_trip() {
-        for r in [Ratio::new(3, 4), Ratio::from(-7), Ratio::ZERO, Ratio::new(-9, 5)] {
+        for r in [
+            Ratio::new(3, 4),
+            Ratio::from(-7),
+            Ratio::ZERO,
+            Ratio::new(-9, 5),
+        ] {
             let shown = r.to_string();
             let back: Ratio = shown.parse().unwrap();
             assert_eq!(back, r, "round-trip through {shown}");

@@ -1,96 +1,140 @@
 //! Property-based tests: `Ratio` behaves like the field of rationals.
+//!
+//! Driven by the vendored seeded PRNG (`defender_num::rng`) instead of an
+//! external property-testing framework, so the workspace builds offline;
+//! each property is checked on a few thousand random instances per run,
+//! deterministically per seed.
 
+use defender_num::rng::{Rng, StdRng};
 use defender_num::{gcd, Ratio};
-use proptest::prelude::*;
+
+const CASES: usize = 2_000;
 
 /// Components small enough that no reduced intermediate can overflow,
 /// but large enough to exercise reduction paths thoroughly.
-fn ratio_strategy() -> impl Strategy<Value = Ratio> {
-    (-10_000i64..=10_000, 1i64..=10_000).prop_map(|(n, d)| Ratio::new(n, d))
+fn random_ratio<R: Rng + ?Sized>(rng: &mut R) -> Ratio {
+    let n = rng.gen_range(0..20_001) as i64 - 10_000;
+    let d = rng.gen_range(1..10_001) as i64;
+    Ratio::new(n, d)
 }
 
-proptest! {
-    #[test]
-    fn invariants_hold(r in ratio_strategy()) {
-        prop_assert!(r.denom() > 0);
+fn for_each_case(test_name: &str, mut body: impl FnMut(&mut StdRng)) {
+    // Distinct seeds per property keep the cases independent.
+    let mut seed = 0u64;
+    for b in test_name.bytes() {
+        seed = seed.wrapping_mul(31).wrapping_add(u64::from(b));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..CASES {
+        body(&mut rng);
+    }
+}
+
+#[test]
+fn invariants_hold() {
+    for_each_case("invariants_hold", |rng| {
+        let r = random_ratio(rng);
+        assert!(r.denom() > 0);
         let g = gcd(r.numer().unsigned_abs() as u128, r.denom() as u128);
-        prop_assert!(g == 1 || (r.numer() == 0 && r.denom() == 1));
-    }
+        assert!(g == 1 || (r.numer() == 0 && r.denom() == 1));
+    });
+}
 
-    #[test]
-    fn addition_commutes(a in ratio_strategy(), b in ratio_strategy()) {
-        prop_assert_eq!(a + b, b + a);
-    }
+#[test]
+fn addition_commutes_and_associates() {
+    for_each_case("addition_commutes_and_associates", |rng| {
+        let (a, b, c) = (random_ratio(rng), random_ratio(rng), random_ratio(rng));
+        assert_eq!(a + b, b + a);
+        assert_eq!((a + b) + c, a + (b + c));
+    });
+}
 
-    #[test]
-    fn addition_associates(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
-        prop_assert_eq!((a + b) + c, a + (b + c));
-    }
+#[test]
+fn multiplication_commutes_and_associates() {
+    for_each_case("multiplication_commutes_and_associates", |rng| {
+        let (a, b, c) = (random_ratio(rng), random_ratio(rng), random_ratio(rng));
+        assert_eq!(a * b, b * a);
+        assert_eq!((a * b) * c, a * (b * c));
+    });
+}
 
-    #[test]
-    fn multiplication_commutes(a in ratio_strategy(), b in ratio_strategy()) {
-        prop_assert_eq!(a * b, b * a);
-    }
+#[test]
+fn distributivity() {
+    for_each_case("distributivity", |rng| {
+        let (a, b, c) = (random_ratio(rng), random_ratio(rng), random_ratio(rng));
+        assert_eq!(a * (b + c), a * b + a * c);
+    });
+}
 
-    #[test]
-    fn multiplication_associates(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
-        prop_assert_eq!((a * b) * c, a * (b * c));
-    }
+#[test]
+fn additive_inverse() {
+    for_each_case("additive_inverse", |rng| {
+        let a = random_ratio(rng);
+        assert_eq!(a + (-a), Ratio::ZERO);
+        assert_eq!(a - a, Ratio::ZERO);
+    });
+}
 
-    #[test]
-    fn distributivity(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
-        prop_assert_eq!(a * (b + c), a * b + a * c);
-    }
-
-    #[test]
-    fn additive_inverse(a in ratio_strategy()) {
-        prop_assert_eq!(a + (-a), Ratio::ZERO);
-        prop_assert_eq!(a - a, Ratio::ZERO);
-    }
-
-    #[test]
-    fn multiplicative_inverse(a in ratio_strategy()) {
+#[test]
+fn multiplicative_inverse() {
+    for_each_case("multiplicative_inverse", |rng| {
+        let a = random_ratio(rng);
         if !a.is_zero() {
-            prop_assert_eq!(a * a.recip().unwrap(), Ratio::ONE);
-            prop_assert_eq!(a / a, Ratio::ONE);
+            assert_eq!(a * a.recip().unwrap(), Ratio::ONE);
+            assert_eq!(a / a, Ratio::ONE);
         }
-    }
+    });
+}
 
-    #[test]
-    fn identities(a in ratio_strategy()) {
-        prop_assert_eq!(a + Ratio::ZERO, a);
-        prop_assert_eq!(a * Ratio::ONE, a);
-        prop_assert_eq!(a * Ratio::ZERO, Ratio::ZERO);
-    }
+#[test]
+fn identities() {
+    for_each_case("identities", |rng| {
+        let a = random_ratio(rng);
+        assert_eq!(a + Ratio::ZERO, a);
+        assert_eq!(a * Ratio::ONE, a);
+        assert_eq!(a * Ratio::ZERO, Ratio::ZERO);
+    });
+}
 
-    #[test]
-    fn order_total_and_consistent(a in ratio_strategy(), b in ratio_strategy()) {
+#[test]
+fn order_total_and_consistent() {
+    for_each_case("order_total_and_consistent", |rng| {
+        let (a, b) = (random_ratio(rng), random_ratio(rng));
         // Exactly one of <, ==, > holds, and order agrees with subtraction sign.
         let diff = a - b;
         match a.cmp(&b) {
-            std::cmp::Ordering::Less => prop_assert!(diff.numer() < 0),
-            std::cmp::Ordering::Equal => prop_assert!(diff.is_zero()),
-            std::cmp::Ordering::Greater => prop_assert!(diff.numer() > 0),
+            std::cmp::Ordering::Less => assert!(diff.numer() < 0),
+            std::cmp::Ordering::Equal => assert!(diff.is_zero()),
+            std::cmp::Ordering::Greater => assert!(diff.numer() > 0),
         }
-    }
+    });
+}
 
-    #[test]
-    fn order_respects_addition(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
+#[test]
+fn order_respects_addition() {
+    for_each_case("order_respects_addition", |rng| {
+        let (a, b, c) = (random_ratio(rng), random_ratio(rng), random_ratio(rng));
         if a <= b {
-            prop_assert!(a + c <= b + c);
+            assert!(a + c <= b + c);
         }
-    }
+    });
+}
 
-    #[test]
-    fn to_f64_is_close(a in ratio_strategy()) {
+#[test]
+fn to_f64_is_close() {
+    for_each_case("to_f64_is_close", |rng| {
+        let a = random_ratio(rng);
         let approx = a.to_f64();
         let exact = a.numer() as f64 / a.denom() as f64;
-        prop_assert_eq!(approx, exact);
-    }
+        assert_eq!(approx, exact);
+    });
+}
 
-    #[test]
-    fn display_parse_round_trip(a in ratio_strategy()) {
+#[test]
+fn display_parse_round_trip() {
+    for_each_case("display_parse_round_trip", |rng| {
+        let a = random_ratio(rng);
         let back: Ratio = a.to_string().parse().unwrap();
-        prop_assert_eq!(back, a);
-    }
+        assert_eq!(back, a);
+    });
 }

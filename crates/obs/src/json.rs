@@ -1,0 +1,215 @@
+//! A hand-rolled JSON writer (no serde — the workspace builds offline).
+//!
+//! Produces deterministic, human-auditable JSON: fields appear in
+//! insertion order, numbers are rendered minimally, and strings are
+//! escaped per RFC 8259. This is a *writer* only; the workspace never
+//! needs to parse JSON, just to emit stable machine-diffable reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use defender_obs::json::JsonObject;
+//!
+//! let mut obj = JsonObject::new();
+//! obj.field_str("name", "e5");
+//! obj.field_u64("pivots", 42);
+//! assert_eq!(obj.finish(), r#"{"name": "e5", "pivots": 42}"#);
+//! ```
+
+/// Escapes `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as JSON: finite values as decimals, non-finite as
+/// `null` (JSON has no NaN/Infinity).
+#[must_use]
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // 17 significant digits round-trip every f64; trim the usual case.
+        let s = format!("{v}");
+        if s.parse::<f64>() == Ok(v) {
+            s
+        } else {
+            format!("{v:.17}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An incrementally built JSON object (`{...}`).
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push_str(", ");
+        }
+    }
+
+    /// Appends `"key": "value"` with escaping on both sides.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut JsonObject {
+        self.sep();
+        self.buf
+            .push_str(&format!("\"{}\": \"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut JsonObject {
+        self.field_raw(key, &value.to_string())
+    }
+
+    /// Appends a signed integer field.
+    pub fn field_i64(&mut self, key: &str, value: i64) -> &mut JsonObject {
+        self.field_raw(key, &value.to_string())
+    }
+
+    /// Appends a float field (`null` for NaN/infinities).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut JsonObject {
+        self.field_raw(key, &number(value))
+    }
+
+    /// Appends a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut JsonObject {
+        self.field_raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Appends a pre-rendered JSON value (object, array, literal).
+    pub fn field_raw(&mut self, key: &str, value: &str) -> &mut JsonObject {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\": {value}", escape(key)));
+        self
+    }
+
+    /// Closes the object and returns its JSON text.
+    #[must_use]
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// An incrementally built JSON array (`[...]`).
+#[derive(Clone, Debug, Default)]
+pub struct JsonArray {
+    buf: String,
+}
+
+impl JsonArray {
+    /// An empty array.
+    #[must_use]
+    pub fn new() -> JsonArray {
+        JsonArray::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push_str(", ");
+        }
+    }
+
+    /// Appends an escaped string element.
+    pub fn push_str(&mut self, value: &str) -> &mut JsonArray {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\"", escape(value)));
+        self
+    }
+
+    /// Appends an unsigned integer element.
+    pub fn push_u64(&mut self, value: u64) -> &mut JsonArray {
+        self.push_raw(&value.to_string())
+    }
+
+    /// Appends a float element (`null` for NaN/infinities).
+    pub fn push_f64(&mut self, value: f64) -> &mut JsonArray {
+        self.push_raw(&number(value))
+    }
+
+    /// Appends a pre-rendered JSON value.
+    pub fn push_raw(&mut self, value: &str) -> &mut JsonArray {
+        self.sep();
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Closes the array and returns its JSON text.
+    #[must_use]
+    pub fn finish(&self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("back\\slash"), "back\\\\slash");
+        assert_eq!(escape("line\nbreak\ttab\rret"), "line\\nbreak\\ttab\\rret");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("unicode: μ(G) ≤ ν"), "unicode: μ(G) ≤ ν");
+    }
+
+    #[test]
+    fn numbers_render_and_nan_is_null() {
+        assert_eq!(number(0.5), "0.5");
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        let tricky = 0.1 + 0.2;
+        assert_eq!(
+            number(tricky).parse::<f64>().unwrap(),
+            tricky,
+            "round-trips"
+        );
+    }
+
+    #[test]
+    fn object_and_array_compose() {
+        let mut inner = JsonArray::new();
+        inner.push_u64(1).push_f64(0.5).push_str("x");
+        let mut obj = JsonObject::new();
+        obj.field_str("id", "run")
+            .field_bool("ok", true)
+            .field_raw("xs", &inner.finish());
+        assert_eq!(
+            obj.finish(),
+            r#"{"id": "run", "ok": true, "xs": [1, 0.5, "x"]}"#
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(JsonArray::new().finish(), "[]");
+    }
+}

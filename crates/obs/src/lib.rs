@@ -1,0 +1,833 @@
+//! `defender-obs` — zero-dependency instrumentation for the workspace.
+//!
+//! The ROADMAP's north star is a system whose hot paths get *measurably*
+//! faster PR over PR; this crate is the measuring stick. It provides:
+//!
+//! - **monotonic counters** ([`counter!`]) and **gauges** ([`gauge!`]) as
+//!   lock-free static handles registered on first touch;
+//! - **value histograms** with fixed log2 buckets ([`histogram!`]);
+//! - **hierarchical spans** ([`span!`]): RAII guards with thread-local
+//!   nesting that record wall-time per `parent/child/...` path into log2
+//!   duration histograms;
+//! - two exporters over a consistent [`Snapshot`]: a human-readable table
+//!   ([`Snapshot::to_table`]) and a hand-rolled, stable, machine-diffable
+//!   JSON document ([`Snapshot::to_json`]; no serde — the build
+//!   environment has no crates.io access, so the whole crate is std-only);
+//! - a global **enable gate**: instrumentation is *off* by default and
+//!   every handle checks one relaxed [`AtomicBool`] load before doing any
+//!   work, so disabled overhead is a branch per call site.
+//!
+//! Span-naming convention (see DESIGN.md §Observability): one span per
+//! paper-algorithm step, nested under the algorithm's own span — e.g.
+//! `a_tuple/step1_matching_ne`, `a_tuple/step3_cyclic_tuples`. Counter
+//! names are dotted `crate.component.event` paths, e.g.
+//! `lp.simplex.pivots`, `matching.blossom.augmentations`.
+//!
+//! # Examples
+//!
+//! ```
+//! use defender_obs as obs;
+//!
+//! obs::enable();
+//! {
+//!     let _outer = obs::span!("demo");
+//!     let _inner = obs::span!("inner_step");
+//!     obs::counter!("demo.events").add(3);
+//! }
+//! let snap = obs::snapshot();
+//! assert_eq!(snap.counter("demo.events"), Some(3));
+//! assert!(snap.to_json().contains("\"demo/inner_step\""));
+//! obs::disable();
+//! obs::reset();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Number of log2 buckets in every histogram: bucket `i` counts values
+/// `v` with `floor(log2(max(v, 1))) == i`, i.e. `v` in `[2^i, 2^(i+1))`.
+pub const BUCKETS: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Enable gate
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns instrumentation on (process-wide).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns instrumentation off; handles become branch-and-return stubs.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether instrumentation is currently on.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// What kind of scalar a [`Metric`] handle holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+}
+
+/// A static counter/gauge cell; create via [`counter!`] or [`gauge!`].
+#[derive(Debug)]
+pub struct Metric {
+    name: &'static str,
+    kind: Kind,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Metric {
+    #[doc(hidden)]
+    #[must_use]
+    pub const fn new_counter(name: &'static str) -> Metric {
+        Metric {
+            name,
+            kind: Kind::Counter,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    #[doc(hidden)]
+    #[must_use]
+    pub const fn new_gauge(name: &'static str) -> Metric {
+        Metric {
+            name,
+            kind: Kind::Gauge,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry()
+                .metrics
+                .lock()
+                .expect("obs registry poisoned")
+                .push(self);
+        }
+    }
+
+    /// Adds `n` (counters; no-op while disabled).
+    pub fn add(&'static self, n: u64) {
+        if enabled() {
+            self.ensure_registered();
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 (counters; no-op while disabled).
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Overwrites the value (gauges; no-op while disabled).
+    pub fn set(&'static self, v: u64) {
+        if enabled() {
+            self.ensure_registered();
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if it is below it (no-op while disabled).
+    pub fn set_max(&'static self, v: u64) {
+        if enabled() {
+            self.ensure_registered();
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (reads work even while disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A static log2-bucket value histogram; create via [`histogram!`].
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    registered: AtomicBool,
+}
+
+/// Index of the log2 bucket for `v`: 0 for 0 and 1, else `floor(log2 v)`.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        63 - v.leading_zeros() as usize
+    }
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+impl Histogram {
+    #[doc(hidden)]
+    #[must_use]
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry()
+                .histograms
+                .lock()
+                .expect("obs registry poisoned")
+                .push(self);
+        }
+    }
+
+    /// Records one value (no-op while disabled).
+    pub fn record(&'static self, v: u64) {
+        if enabled() {
+            self.ensure_registered();
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a wall-time duration in nanoseconds (no-op while disabled).
+    pub fn record_duration(&'static self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+/// Aggregated statistics of one span path (or one named histogram).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistStat {
+    /// Span path (`a/b/c`) or histogram name.
+    pub name: String,
+    /// Number of recorded values (span exits).
+    pub count: u64,
+    /// Sum of recorded values (for spans: total nanoseconds).
+    pub sum: u64,
+    /// Non-empty log2 buckets as `(bucket_index, count)`.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistStat {
+    /// Mean recorded value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for SpanStat {
+    fn default() -> SpanStat {
+        SpanStat {
+            count: 0,
+            total_ns: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    metrics: Mutex<Vec<&'static Metric>>,
+    histograms: Mutex<Vec<&'static Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Zeroes every registered counter, gauge, histogram and span statistic.
+///
+/// Handles stay registered, so a reset between runs keeps stable output
+/// ordering. Typically called right after [`enable`] at the start of a
+/// measured run.
+pub fn reset() {
+    let reg = registry();
+    for m in reg.metrics.lock().expect("obs registry poisoned").iter() {
+        m.value.store(0, Ordering::Relaxed);
+    }
+    for h in reg.histograms.lock().expect("obs registry poisoned").iter() {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+    }
+    reg.spans.lock().expect("obs registry poisoned").clear();
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`span!`]; records elapsed wall time for its
+/// full `parent/child` path when dropped. While instrumentation is
+/// disabled the guard is inert (no clock read, no allocation).
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; bind it to a named guard"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+/// Enters a span named `name`; prefer the [`span!`] macro.
+pub fn enter_span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { start: None };
+    }
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed();
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let mut spans = registry().spans.lock().expect("obs registry poisoned");
+        let stat = spans.entry(path).or_default();
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(ns);
+        stat.buckets[bucket_index(ns)] += 1;
+    }
+}
+
+/// Opens a hierarchical wall-time span for the enclosing scope.
+///
+/// ```
+/// # use defender_obs as obs;
+/// obs::enable();
+/// let _span = obs::span!("my_phase");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::enter_span($name)
+    };
+}
+
+/// Declares (once per call site) and returns a static monotonic counter.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static METRIC: $crate::Metric = $crate::Metric::new_counter($name);
+        &METRIC
+    }};
+}
+
+/// Declares (once per call site) and returns a static gauge.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static METRIC: $crate::Metric = $crate::Metric::new_gauge($name);
+        &METRIC
+    }};
+}
+
+/// Declares (once per call site) and returns a static log2 histogram.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HISTOGRAM: $crate::Histogram = $crate::Histogram::new($name);
+        &HISTOGRAM
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + exporters
+// ---------------------------------------------------------------------------
+
+/// A point-in-time copy of the whole registry, ready for export.
+///
+/// Counters and gauges are aggregated by name (two call sites sharing a
+/// name sum), and all sections are sorted by name so repeated exports of
+/// identical state are byte-identical — the property the `BENCH_*.json`
+/// trajectory diffs rely on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic counters as `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges as `(name, value)`, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Named value histograms, sorted by name.
+    pub histograms: Vec<HistStat>,
+    /// Span statistics keyed by `parent/child` path, sorted by path;
+    /// `sum` is total nanoseconds.
+    pub spans: Vec<HistStat>,
+}
+
+/// Captures the current registry contents.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
+    for m in reg.metrics.lock().expect("obs registry poisoned").iter() {
+        let slot = match m.kind {
+            Kind::Counter => counters.entry(m.name.to_string()).or_insert(0),
+            Kind::Gauge => gauges.entry(m.name.to_string()).or_insert(0),
+        };
+        *slot += m.get();
+    }
+    let mut histograms: BTreeMap<String, HistStat> = BTreeMap::new();
+    for h in reg.histograms.lock().expect("obs registry poisoned").iter() {
+        let stat = histograms
+            .entry(h.name.to_string())
+            .or_insert_with(|| HistStat {
+                name: h.name.to_string(),
+                count: 0,
+                sum: 0,
+                buckets: Vec::new(),
+            });
+        stat.count += h.count.load(Ordering::Relaxed);
+        stat.sum += h.sum.load(Ordering::Relaxed);
+        let mut merged: BTreeMap<usize, u64> = stat.buckets.iter().copied().collect();
+        for (i, b) in h.buckets.iter().enumerate() {
+            let v = b.load(Ordering::Relaxed);
+            if v > 0 {
+                *merged.entry(i).or_insert(0) += v;
+            }
+        }
+        stat.buckets = merged.into_iter().collect();
+    }
+    let spans = reg
+        .spans
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|(path, s)| HistStat {
+            name: path.clone(),
+            count: s.count,
+            sum: s.total_ns,
+            buckets: s
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (i, c))
+                .collect(),
+        })
+        .collect();
+    Snapshot {
+        counters: counters.into_iter().collect(),
+        gauges: gauges.into_iter().collect(),
+        histograms: histograms.into_values().collect(),
+        spans,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if it was ever touched.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of gauge `name`, if it was ever touched.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The statistics of span path `path`, if it was ever exited.
+    #[must_use]
+    pub fn span(&self, path: &str) -> Option<&HistStat> {
+        self.spans.iter().find(|s| s.name == path)
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Renders the snapshot as a human-readable table.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("(no metrics recorded — is instrumentation enabled?)\n");
+            return out;
+        }
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|h| h.name.len()))
+            .chain(self.spans.iter().map(|s| s.name.len()))
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {value}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<width$}  {value}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<width$}  count={} sum={} mean={:.1}",
+                    h.name,
+                    h.count,
+                    h.sum,
+                    h.mean()
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans (wall time):\n");
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:<width$}  count={} total={} mean={}",
+                    s.name,
+                    s.count,
+                    format_ns(s.sum as f64),
+                    format_ns(s.mean())
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a stable JSON document (sorted keys, no
+    /// trailing whitespace) suitable for machine diffing across runs.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut root = json::JsonObject::new();
+        let mut counters = json::JsonObject::new();
+        for (name, value) in &self.counters {
+            counters.field_u64(name, *value);
+        }
+        root.field_raw("counters", &counters.finish());
+        let mut gauges = json::JsonObject::new();
+        for (name, value) in &self.gauges {
+            gauges.field_u64(name, *value);
+        }
+        root.field_raw("gauges", &gauges.finish());
+        let hist_json = |stats: &[HistStat]| {
+            let mut arr = json::JsonArray::new();
+            for s in stats {
+                let mut obj = json::JsonObject::new();
+                obj.field_str("name", &s.name);
+                obj.field_u64("count", s.count);
+                obj.field_u64("sum", s.sum);
+                let mut buckets = json::JsonArray::new();
+                for &(i, c) in &s.buckets {
+                    let mut b = json::JsonObject::new();
+                    b.field_u64("log2", i as u64);
+                    b.field_u64("count", c);
+                    buckets.push_raw(&b.finish());
+                }
+                obj.field_raw("buckets", &buckets.finish());
+                arr.push_raw(&obj.finish());
+            }
+            arr.finish()
+        };
+        root.field_raw("histograms", &hist_json(&self.histograms));
+        root.field_raw("spans", &hist_json(&self.spans));
+        root.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Obs tests mutate process-global state (the gate + registry), so
+    /// they serialize on one mutex to stay independent of `--test-threads`.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn bucket_index_is_floor_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(7), 2);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        // Every power of two starts its own bucket.
+        for i in 0..63 {
+            assert_eq!(bucket_index(1u64 << i), usize::from(i > 0) * i);
+            assert_eq!(bucket_index((1u64 << i) + 1), if i == 0 { 1 } else { i });
+        }
+    }
+
+    #[test]
+    fn counters_disabled_by_default_then_count() {
+        let _guard = lock();
+        reset();
+        disable();
+        let c = counter!("test.gated");
+        c.incr();
+        assert_eq!(c.get(), 0, "disabled increments are dropped");
+        enable();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        let _guard = lock();
+        reset();
+        enable();
+        let g = gauge!("test.gauge");
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+        assert_eq!(snapshot().gauge("test.gauge"), Some(11));
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let _guard = lock();
+        reset();
+        enable();
+        let h = histogram!("test.hist");
+        for v in [1u64, 2, 3, 900, 1000] {
+            h.record(v);
+        }
+        let snap = snapshot();
+        let stat = snap
+            .histograms
+            .iter()
+            .find(|s| s.name == "test.hist")
+            .unwrap();
+        assert_eq!(stat.count, 5);
+        assert_eq!(stat.sum, 1906);
+        assert_eq!(stat.buckets, vec![(0, 1), (1, 2), (9, 2)]);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn span_nesting_builds_paths() {
+        let _guard = lock();
+        reset();
+        enable();
+        {
+            let _a = span!("outer");
+            {
+                let _b = span!("mid");
+                let _c = span!("leaf");
+            }
+            {
+                let _b2 = span!("mid");
+            }
+        }
+        let snap = snapshot();
+        assert_eq!(snap.span("outer").unwrap().count, 1);
+        assert_eq!(snap.span("outer/mid").unwrap().count, 2);
+        assert_eq!(snap.span("outer/mid/leaf").unwrap().count, 1);
+        assert!(
+            snap.span("mid").is_none(),
+            "children never leak to the root"
+        );
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = lock();
+        reset();
+        disable();
+        {
+            let _a = span!("ghost");
+        }
+        assert!(snapshot().span("ghost").is_none());
+        reset();
+    }
+
+    #[test]
+    fn concurrent_counter_increments_all_land() {
+        let _guard = lock();
+        reset();
+        enable();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10_000 {
+                        counter!("test.concurrent").incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(snapshot().counter("test.concurrent"), Some(80_000));
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn snapshot_aggregates_same_name_call_sites() {
+        let _guard = lock();
+        reset();
+        enable();
+        counter!("test.same").add(2);
+        counter!("test.same").add(3); // distinct static cell, same name
+        assert_eq!(snapshot().counter("test.same"), Some(5));
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let _guard = lock();
+        reset();
+        enable();
+        counter!("test.reset").incr();
+        histogram!("test.reset_hist").record(9);
+        {
+            let _s = span!("test_reset_span");
+        }
+        reset();
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.reset"), Some(0));
+        assert!(snap.spans.is_empty());
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.reset_hist")
+            .unwrap();
+        assert_eq!((h.count, h.sum, h.buckets.len()), (0, 0, 0));
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn json_export_is_stable_and_escaped() {
+        let _guard = lock();
+        reset();
+        enable();
+        counter!("test.json\"quoted\"").incr();
+        {
+            let _s = span!("json_span");
+        }
+        let a = snapshot();
+        let b = snapshot();
+        assert_eq!(a.to_json(), b.to_json(), "identical state, identical bytes");
+        let doc = a.to_json();
+        assert!(doc.contains(r#""test.json\"quoted\"": 1"#), "{doc}");
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn table_export_mentions_sections() {
+        let _guard = lock();
+        reset();
+        enable();
+        counter!("test.table").add(9);
+        let table = snapshot().to_table();
+        assert!(table.contains("counters:"));
+        assert!(table.contains("test.table"));
+        disable();
+        reset();
+        assert!(snapshot().to_table().contains("no metrics recorded") || !snapshot().is_empty());
+    }
+}

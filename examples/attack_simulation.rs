@@ -28,8 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", "-".repeat(68));
 
     for rounds in [100u64, 1_000, 10_000, 100_000] {
-        let outcome = Simulator::new(&game, ne.config())
-            .run(&SimulationConfig { rounds, seed: 0xDEF });
+        let outcome = Simulator::new(&game, ne.config()).run(&SimulationConfig {
+            rounds,
+            seed: 0xDEF,
+        });
         let mean_escape: f64 =
             outcome.escape_frequency.iter().sum::<f64>() / outcome.escape_frequency.len() as f64;
         println!(

@@ -10,9 +10,8 @@
 //!
 //! Run with: `cargo run --example bipartite_datacenter`
 
+use defender_num::rng::StdRng;
 use power_of_the_defender::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const SPINES: usize = 4;
 const LEAVES: usize = 12;

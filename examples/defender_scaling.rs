@@ -19,15 +19,17 @@ fn sweep(name: &str, graph: &Graph) -> Result<(), Box<dyn std::error::Error>> {
         graph.vertex_count(),
         graph.edge_count()
     );
-    println!("{:>3} | {:>10} | {:>10} | {:>6}", "k", "measured", "k·ν/|IS|", "ratio");
+    println!(
+        "{:>3} | {:>10} | {:>10} | {:>6}",
+        "k", "measured", "k·ν/|IS|", "ratio"
+    );
     println!("{}", "-".repeat(40));
     let edge_game = TupleGame::new(graph, 1, ATTACKERS)?;
     let base = a_tuple_bipartite(&edge_game)?;
     for k in 1..=is_size.min(graph.edge_count()) {
         let game = TupleGame::new(graph, k, ATTACKERS)?;
         let ne = a_tuple_bipartite(&game)?;
-        let predicted =
-            defender_core::gain::predicted_k_matching_gain(k, ATTACKERS, is_size);
+        let predicted = defender_core::gain::predicted_k_matching_gain(k, ATTACKERS, is_size);
         assert_eq!(ne.defender_gain(), predicted);
         println!(
             "{:>3} | {:>10} | {:>10} | {:>6}",
@@ -43,7 +45,10 @@ fn sweep(name: &str, graph: &Graph) -> Result<(), Box<dyn std::error::Error>> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     sweep("ring C12", &generators::cycle(12))?;
     sweep("star K_{1,8}", &generators::star(8))?;
-    sweep("complete bipartite K_{3,6}", &generators::complete_bipartite(3, 6))?;
+    sweep(
+        "complete bipartite K_{3,6}",
+        &generators::complete_bipartite(3, 6),
+    )?;
     sweep("4x4 grid", &generators::grid(4, 4))?;
     sweep("hypercube Q3", &generators::hypercube(3))?;
     println!("\nEvery family shows ratio = k: the defender's power is linear in k.");

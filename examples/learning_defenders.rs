@@ -32,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{:>7} | {:>12} | {:>9}", "round", "avg caught", "gap");
     println!("{}", "-".repeat(35));
     for (round, avg) in &trace.checkpoints {
-        println!("{:>7} | {:>12.4} | {:>9.4}", round, avg, (avg - value).abs());
+        println!(
+            "{:>7} | {:>12.4} | {:>9.4}",
+            round,
+            avg,
+            (avg - value).abs()
+        );
     }
 
     println!("\nwhere the attacker learned to hide (visit frequency):");

@@ -8,7 +8,11 @@ use power_of_the_defender::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An 8-host ring network: hosts are vertices, links are edges.
     let network = generators::cycle(8);
-    println!("network: ring with {} hosts, {} links", network.vertex_count(), network.edge_count());
+    println!(
+        "network: ring with {} hosts, {} links",
+        network.vertex_count(),
+        network.edge_count()
+    );
 
     // Four viruses roam the network; the security software scans 2 links.
     let game = TupleGame::new(&network, 2, 4)?;

@@ -44,17 +44,18 @@ pub use defender_num as num;
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use defender_core::{
-        a_tuple, a_tuple_bipartite, algorithm::ATupleReport,
+        a_tuple, a_tuple_bipartite,
+        algorithm::ATupleReport,
         best_response::{attacker_best_response, defender_best_response_greedy},
         characterization::{verify_mixed_ne, MixedNeReport, VerificationMode},
         covering_ne::{covering_ne, CoveringNe},
+        defense::{defense_ratio, defense_ratio_lower_bound, is_defense_optimal},
         dynamics::{fictitious_play, OracleMode, PlayTrace},
         gain::{defender_gain, quality_of_protection},
         k_matching::{KMatchingConfig, KMatchingNe},
         matching_ne::{algorithm_a, MatchingConfig, MatchingNe},
         model::{EdgeGame, MixedConfig, PureConfig, TupleGame},
         path_model::{cycle_path_ne, pure_ne_existence_path, PathModelNe, PathStrategy},
-        defense::{defense_ratio, defense_ratio_lower_bound, is_defense_optimal},
         pure::{pure_ne_existence, PureNeOutcome},
         reduction::{expand_to_k_matching, restrict_to_matching},
         simulate::{SimulationConfig, Simulator},
@@ -63,9 +64,7 @@ pub mod prelude {
         tuple::Tuple,
         CoreError,
     };
-    pub use defender_graph::{
-        generators, EdgeId, Graph, GraphBuilder, VertexId,
-    };
+    pub use defender_graph::{generators, EdgeId, Graph, GraphBuilder, VertexId};
     pub use defender_matching::{
         hopcroft_karp, koenig_vertex_cover, maximum_matching, minimum_edge_cover, Matching,
     };

@@ -2,12 +2,11 @@
 //! `A_tuple` → characterization verifier → exhaustive cross-check →
 //! simulator.
 
-use power_of_the_defender::prelude::*;
 use defender_core::exhaustive::GameAdapter;
 use defender_core::gain::{predicted_k_matching_gain, quality_of_protection as qop};
 use defender_core::reduction;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use defender_num::rng::StdRng;
+use power_of_the_defender::prelude::*;
 
 /// The full pipeline on one bipartite instance, all invariants checked.
 fn pipeline(graph: &Graph, k: usize, attackers: usize) {
@@ -24,12 +23,18 @@ fn pipeline(graph: &Graph, k: usize, attackers: usize) {
 
     // Closed forms (Claim 4.3, Corollary 4.10).
     let is_size = ne.supports().vp_support.len();
-    assert_eq!(ne.defender_gain(), predicted_k_matching_gain(k, attackers, is_size));
+    assert_eq!(
+        ne.defender_gain(),
+        predicted_k_matching_gain(k, attackers, is_size)
+    );
     assert_eq!(
         ne.hit_probability(),
         Ratio::from(k) / Ratio::from(ne.supports().support_edges().len())
     );
-    assert_eq!(qop(&game, ne.config()), ne.defender_gain() / Ratio::from(attackers));
+    assert_eq!(
+        qop(&game, ne.config()),
+        ne.defender_gain() / Ratio::from(attackers)
+    );
 
     // Support structure: |E(D(tp))| = |D(VP)| (the bijection of
     // Corollary 4.11 / DESIGN.md §5.2).
@@ -107,7 +112,11 @@ fn pure_frontier_agrees_with_gallai_across_families() {
         assert_eq!(rho, graph.vertex_count() - maximum_matching(&graph).len());
         for k in 1..=graph.edge_count() {
             let game = TupleGame::new(&graph, k, 2).unwrap();
-            assert_eq!(pure_ne_existence(&game).exists(), k >= rho, "k = {k}, ρ = {rho}");
+            assert_eq!(
+                pure_ne_existence(&game).exists(),
+                k >= rho,
+                "k = {k}, ρ = {rho}"
+            );
         }
     }
 }
@@ -138,8 +147,10 @@ fn simulation_tracks_exact_payoffs() {
     let graph = generators::complete_bipartite(3, 5);
     let game = TupleGame::new(&graph, 2, 6).unwrap();
     let ne = a_tuple_bipartite(&game).unwrap();
-    let outcome = Simulator::new(&game, ne.config())
-        .run(&SimulationConfig { rounds: 50_000, seed: 123 });
+    let outcome = Simulator::new(&game, ne.config()).run(&SimulationConfig {
+        rounds: 50_000,
+        seed: 123,
+    });
     assert!(outcome.gain_error(ne.defender_gain()) < 0.06);
     let exact_escape = (Ratio::ONE - ne.hit_probability()).to_f64();
     for f in &outcome.escape_frequency {
@@ -149,7 +160,11 @@ fn simulation_tracks_exact_payoffs() {
 
 #[test]
 fn non_bipartite_graphs_reject_gracefully() {
-    for graph in [generators::cycle(5), generators::petersen(), generators::complete(4)] {
+    for graph in [
+        generators::cycle(5),
+        generators::petersen(),
+        generators::complete(4),
+    ] {
         let game = TupleGame::new(&graph, 1, 2).unwrap();
         assert!(matches!(
             a_tuple_bipartite(&game),

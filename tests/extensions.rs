@@ -8,13 +8,10 @@ use defender_core::best_response::{
 use defender_core::covering_ne::covering_ne;
 use defender_core::dynamics::{fictitious_play, known_value, OracleMode};
 use defender_core::exhaustive::GameAdapter;
-use defender_core::path_model::{
-    all_paths, cycle_path_ne, pure_ne_existence_path, verify_path_ne,
-};
+use defender_core::path_model::{all_paths, cycle_path_ne, pure_ne_existence_path, verify_path_ne};
 use defender_core::payoff;
+use defender_num::rng::StdRng;
 use power_of_the_defender::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 #[test]
 fn covering_ne_passes_every_verifier_level() {
@@ -30,8 +27,10 @@ fn covering_ne_passes_every_verifier_level() {
     let truth = adapter.verify(ne.config());
     assert!(truth.is_equilibrium(), "deviations: {:?}", truth.deviations);
 
-    let outcome = Simulator::new(&game, ne.config())
-        .run(&SimulationConfig { rounds: 40_000, seed: 5 });
+    let outcome = Simulator::new(&game, ne.config()).run(&SimulationConfig {
+        rounds: 40_000,
+        seed: 5,
+    });
     assert!(outcome.gain_error(ne.defender_gain()) < 0.05);
 }
 
@@ -40,7 +39,11 @@ fn covering_and_matching_equilibria_coexist_with_equal_gain() {
     // Bipartite + perfect matching: two structurally different equilibria,
     // same defender payoff (as any two NE of a constant-sum game must for
     // ν = 1, and here for any ν by the closed forms).
-    for graph in [generators::cycle(8), generators::grid(2, 4), generators::complete_bipartite(3, 3)] {
+    for graph in [
+        generators::cycle(8),
+        generators::grid(2, 4),
+        generators::complete_bipartite(3, 3),
+    ] {
         let game = TupleGame::new(&graph, 2, 5).unwrap();
         let cov = covering_ne(&game).unwrap();
         let mat = a_tuple_bipartite(&game).unwrap();
@@ -161,14 +164,23 @@ fn all_equilibria_of_tiny_instances_share_the_value() {
         (generators::cycle(5), 1),
     ] {
         let game = TupleGame::new(&graph, k, 1).unwrap();
-        let value = defender_core::solve::solve_exact(&game, 50_000).unwrap().value;
+        let value = defender_core::solve::solve_exact(&game, 50_000)
+            .unwrap()
+            .value;
         let adapter = GameAdapter::new(&game, 50_000).unwrap();
         let (bimatrix, _tuples) = adapter.bimatrix().unwrap();
         let equilibria = enumerate_equilibria(&bimatrix);
-        assert!(!equilibria.is_empty(), "{graph:?}: Nash guarantees existence");
+        assert!(
+            !equilibria.is_empty(),
+            "{graph:?}: Nash guarantees existence"
+        );
         for eq in &equilibria {
             assert_eq!(eq.row_payoff, value, "{graph:?}: constant-sum uniqueness");
-            assert_eq!(eq.row_payoff + eq.col_payoff, Ratio::ONE, "catch + escape = 1");
+            assert_eq!(
+                eq.row_payoff + eq.col_payoff,
+                Ratio::ONE,
+                "catch + escape = 1"
+            );
         }
     }
 }

@@ -1,190 +1,203 @@
-//! Property-based tests of the paper's theorems on randomized instances.
+//! Property-based tests of the paper's theorems on randomized instances,
+//! driven by the vendored seeded PRNG (offline build: no external
+//! property-testing framework).
 
 use defender_core::exhaustive::GameAdapter;
-use defender_core::reduction::{
-    cyclic_tuples, per_edge_multiplicity, support_tuple_count,
-};
+use defender_core::reduction::{cyclic_tuples, per_edge_multiplicity, support_tuple_count};
+use defender_num::rng::{Rng, StdRng};
 use power_of_the_defender::prelude::*;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A random game-ready bipartite graph plus width/attacker parameters.
-fn bipartite_instance() -> impl Strategy<Value = (Graph, usize, usize)> {
-    (2usize..=5, 3usize..=7, 0u64..500, 1usize..=3, 1usize..=6).prop_map(
-        |(a, b, seed, k, nu)| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let g = generators::random_bipartite(a, b, 0.4, &mut rng);
-            (g, k, nu)
-        },
-    )
+fn bipartite_instance<R: Rng + ?Sized>(rng: &mut R) -> (Graph, usize, usize) {
+    let a = rng.gen_range(2..6);
+    let b = rng.gen_range(3..8);
+    let k = rng.gen_range(1..4);
+    let nu = rng.gen_range(1..7);
+    let g = generators::random_bipartite(a, b, 0.4, rng);
+    (g, k, nu)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Theorem 4.12: every successful `A_tuple` output passes the exact
-    /// Theorem 3.4 verifier.
-    #[test]
-    fn a_tuple_outputs_verify((g, k, nu) in bipartite_instance()) {
+/// Theorem 4.12: every successful `A_tuple` output passes the exact
+/// Theorem 3.4 verifier.
+#[test]
+fn a_tuple_outputs_verify() {
+    let mut rng = StdRng::seed_from_u64(0xD1);
+    for _ in 0..64 {
+        let (g, k, nu) = bipartite_instance(&mut rng);
         if k > g.edge_count() {
-            return Ok(());
+            continue;
         }
         let game = TupleGame::new(&g, k, nu).unwrap();
         match a_tuple_bipartite(&game) {
             Ok(ne) => {
                 let report = verify_mixed_ne(&game, ne.config(), VerificationMode::Auto).unwrap();
-                prop_assert!(report.is_equilibrium(), "{:?}", report.failures());
+                assert!(report.is_equilibrium(), "{:?}", report.failures());
                 // Closed forms.
                 let is_size = ne.supports().vp_support.len();
-                prop_assert_eq!(
+                assert_eq!(
                     ne.defender_gain(),
                     defender_core::gain::predicted_k_matching_gain(k, nu, is_size)
                 );
             }
             Err(CoreError::TupleWiderThanSupport { support_size, .. }) => {
-                prop_assert!(k > support_size);
+                assert!(k > support_size);
             }
-            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            Err(e) => panic!("unexpected error: {e}"),
         }
     }
+}
 
-    /// Theorem 3.1 existence matches Gallai's ρ(G) = n − μ(G) on arbitrary
-    /// connected graphs (not just bipartite).
-    #[test]
-    fn pure_frontier_matches_gallai(n in 4usize..=12, seed in 0u64..500, pct in 10u32..=60) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let g = generators::gnp_connected(n, f64::from(pct) / 100.0, &mut rng);
+/// Theorem 3.1 existence matches Gallai's ρ(G) = n − μ(G) on arbitrary
+/// connected graphs (not just bipartite).
+#[test]
+fn pure_frontier_matches_gallai() {
+    let mut rng = StdRng::seed_from_u64(0xD2);
+    for _ in 0..40 {
+        let n = rng.gen_range(4..13);
+        let pct = rng.gen_range(10..61);
+        let g = generators::gnp_connected(n, pct as f64 / 100.0, &mut rng);
         let rho = minimum_edge_cover(&g).unwrap().len();
         for k in 1..=g.edge_count() {
             let game = TupleGame::new(&g, k, 1).unwrap();
-            prop_assert_eq!(pure_ne_existence(&game).exists(), k >= rho);
+            assert_eq!(pure_ne_existence(&game).exists(), k >= rho);
         }
     }
+}
 
-    /// Corollary 3.3: n ≥ 2k + 1 always implies non-existence.
-    #[test]
-    fn corollary_3_3_sound(n in 4usize..=12, seed in 0u64..200, k in 1usize..=4) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Corollary 3.3: n ≥ 2k + 1 always implies non-existence.
+#[test]
+fn corollary_3_3_sound() {
+    let mut rng = StdRng::seed_from_u64(0xD3);
+    for _ in 0..64 {
+        let n = rng.gen_range(4..13);
+        let k = rng.gen_range(1..5);
         let g = generators::gnp_connected(n, 0.3, &mut rng);
         if k <= g.edge_count() && n > 2 * k {
             let game = TupleGame::new(&g, k, 1).unwrap();
-            prop_assert!(!pure_ne_existence(&game).exists());
+            assert!(!pure_ne_existence(&game).exists());
         }
     }
+}
 
-    /// Claim 4.9 for the cyclic construction at every feasible (E, k).
-    #[test]
-    fn cyclic_construction_invariants(e_num in 1usize..=24, k_raw in 1usize..=24) {
-        let k = k_raw.min(e_num);
-        let windows = cyclic_tuples(e_num, k);
-        prop_assert_eq!(windows.len(), support_tuple_count(e_num, k));
-        let mut counts = vec![0usize; e_num];
-        for w in &windows {
-            let mut distinct = w.clone();
-            distinct.sort_unstable();
-            distinct.dedup();
-            prop_assert_eq!(distinct.len(), k, "windows hold distinct edges");
-            for &i in w {
-                counts[i] += 1;
+/// Claim 4.9 for the cyclic construction at every feasible (E, k).
+#[test]
+fn cyclic_construction_invariants() {
+    for e_num in 1usize..=24 {
+        for k in 1usize..=e_num {
+            let windows = cyclic_tuples(e_num, k);
+            assert_eq!(windows.len(), support_tuple_count(e_num, k));
+            let mut counts = vec![0usize; e_num];
+            for w in &windows {
+                let mut distinct = w.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                assert_eq!(distinct.len(), k, "windows hold distinct edges");
+                for &i in w {
+                    counts[i] += 1;
+                }
             }
+            let expected = per_edge_multiplicity(e_num, k);
+            assert!(counts.iter().all(|&c| c == expected));
+            // δ·k = lcm(E, k) — the minimality statement of Lemma 4.8.
+            assert_eq!(
+                (windows.len() * k) as u128,
+                defender_num::lcm(e_num as u128, k as u128)
+            );
         }
-        let expected = per_edge_multiplicity(e_num, k);
-        prop_assert!(counts.iter().all(|&c| c == expected));
-        // δ·k = lcm(E, k) — the minimality statement of Lemma 4.8.
-        prop_assert_eq!(
-            (windows.len() * k) as u128,
-            defender_num::lcm(e_num as u128, k as u128)
-        );
     }
+}
 
-    /// Theorem 4.5: expanding a matching NE multiplies the gain by exactly
-    /// k, and restriction inverts expansion.
-    #[test]
-    fn reduction_gain_and_inverse((g, k, nu) in bipartite_instance()) {
+/// Theorem 4.5: expanding a matching NE multiplies the gain by exactly
+/// k, and restriction inverts expansion.
+#[test]
+fn reduction_gain_and_inverse() {
+    let mut rng = StdRng::seed_from_u64(0xD4);
+    for _ in 0..64 {
+        let (g, k, nu) = bipartite_instance(&mut rng);
         let edge_game = TupleGame::edge_model(&g, nu).unwrap();
         let Ok(base) = a_tuple_bipartite(&edge_game) else {
-            return Ok(()); // k = 1 > |IS| cannot happen, but stay safe
+            continue; // k = 1 > |IS| cannot happen, but stay safe
         };
         let base_m = restrict_to_matching(&edge_game, &base).unwrap();
         if k > g.edge_count() {
-            return Ok(());
+            continue;
         }
         let game = TupleGame::new(&g, k, nu).unwrap();
         match expand_to_k_matching(&game, &base_m) {
             Ok(kne) => {
-                prop_assert_eq!(
-                    kne.defender_gain(),
-                    base_m.defender_gain() * Ratio::from(k)
-                );
+                assert_eq!(kne.defender_gain(), base_m.defender_gain() * Ratio::from(k));
                 let back = restrict_to_matching(&edge_game, &kne).unwrap();
-                prop_assert_eq!(back.supports(), base_m.supports());
+                assert_eq!(back.supports(), base_m.supports());
             }
             Err(CoreError::TupleWiderThanSupport { support_size, .. }) => {
-                prop_assert!(k > support_size);
+                assert!(k > support_size);
             }
-            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            Err(e) => panic!("unexpected error: {e}"),
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The LP solver's output is always a first-principles equilibrium and
-    /// never beats the defense-ratio bound n/(2k) — on *arbitrary* random
-    /// connected graphs, not just the constructive families.
-    #[test]
-    fn lp_equilibria_certified_and_bounded(
-        n in 4usize..=8,
-        seed in 0u64..300,
-        k in 1usize..=2,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// The LP solver's output is always a first-principles equilibrium and
+/// never beats the defense-ratio bound n/(2k) — on *arbitrary* random
+/// connected graphs, not just the constructive families.
+#[test]
+fn lp_equilibria_certified_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xD5);
+    let mut checked = 0;
+    while checked < 16 {
+        let n = rng.gen_range(4..9);
+        let k = rng.gen_range(1..3);
         let g = generators::gnp_connected(n, 0.3, &mut rng);
         if k > g.edge_count() || g.edge_count() > 16 {
-            return Ok(());
+            continue;
         }
+        checked += 1;
         let game = TupleGame::new(&g, k, 1).unwrap();
         let exact = defender_core::solve::solve_exact(&game, 100_000).unwrap();
         let adapter = GameAdapter::new(&game, 100_000).unwrap();
         let truth = adapter.verify(&exact.config);
-        prop_assert!(truth.is_equilibrium(), "deviations: {:?}", truth.deviations);
+        assert!(truth.is_equilibrium(), "deviations: {:?}", truth.deviations);
         // Defense-ratio bound: value ≤ 2k/n.
-        prop_assert!(
+        assert!(
             exact.value <= Ratio::from(2 * k) / Ratio::from(n),
             "value {} beats the 2k/n bound",
             exact.value
         );
-        prop_assert!(exact.value > Ratio::ZERO, "defender can always catch something");
+        assert!(
+            exact.value > Ratio::ZERO,
+            "defender can always catch something"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Ground truth: on tiny instances, the structural equilibrium passes
-    /// exhaustive first-principles verification.
-    #[test]
-    fn exhaustive_cross_validation(
-        a in 1usize..=2,
-        b in 2usize..=3,
-        k in 1usize..=2,
-        nu in 1usize..=2,
-    ) {
-        let g = generators::complete_bipartite(a, b);
-        if k > g.edge_count() {
-            return Ok(());
-        }
-        let game = TupleGame::new(&g, k, nu).unwrap();
-        match a_tuple_bipartite(&game) {
-            Ok(ne) => {
-                let adapter = GameAdapter::new(&game, 100_000).unwrap();
-                let truth = adapter.verify(ne.config());
-                prop_assert!(truth.is_equilibrium(), "deviations: {:?}", truth.deviations);
+/// Ground truth: on tiny instances, the structural equilibrium passes
+/// exhaustive first-principles verification.
+#[test]
+fn exhaustive_cross_validation() {
+    for a in 1usize..=2 {
+        for b in 2usize..=3 {
+            for k in 1usize..=2 {
+                for nu in 1usize..=2 {
+                    let g = generators::complete_bipartite(a, b);
+                    if k > g.edge_count() {
+                        continue;
+                    }
+                    let game = TupleGame::new(&g, k, nu).unwrap();
+                    match a_tuple_bipartite(&game) {
+                        Ok(ne) => {
+                            let adapter = GameAdapter::new(&game, 100_000).unwrap();
+                            let truth = adapter.verify(ne.config());
+                            assert!(
+                                truth.is_equilibrium(),
+                                "a={a} b={b} k={k} nu={nu}: {:?}",
+                                truth.deviations
+                            );
+                        }
+                        Err(CoreError::TupleWiderThanSupport { .. }) => {}
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
             }
-            Err(CoreError::TupleWiderThanSupport { .. }) => {}
-            Err(e) => prop_assert!(false, "unexpected error: {e}"),
         }
     }
 }
