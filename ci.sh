@@ -11,9 +11,27 @@ echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release =="
-cargo build --release
+cargo build --workspace --release
 
 echo "== cargo test =="
-cargo test -q
+cargo test --workspace -q
+
+echo "== trace smoke test =="
+# Run one experiment with event tracing on and make sure the exported
+# Chrome trace parses and has balanced begin/end pairs.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+(cd "$SMOKE_DIR" && "$OLDPWD"/target/release/exp_e1_pure_frontier --trace trace.json > /dev/null)
+target/release/defender bench validate-trace "$SMOKE_DIR/trace.json"
+
+echo "== bench regression gate =="
+# Compare the sidecar the smoke run just wrote against the committed
+# baseline. Counters are deterministic and gate tightly; wall times vary
+# across machines, so the threshold is generous (5x) — this catches
+# order-of-magnitude regressions, not noise.
+target/release/defender bench diff \
+  baselines/BENCH_e1_pure_frontier.json \
+  "$SMOKE_DIR/BENCH_e1_pure_frontier.json" \
+  --threshold 4.0
 
 echo "CI OK"

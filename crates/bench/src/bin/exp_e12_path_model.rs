@@ -1,5 +1,6 @@
-//! Experiment E12 binary — see DESIGN.md §4.
+//! Experiment E12 binary — see DESIGN.md §4. Supports `--trace <FILE>`
+//! (Chrome trace-event timeline of the run).
 
 fn main() {
-    defender_bench::experiments::e12_path_model::run();
+    defender_bench::experiment_main(defender_bench::experiments::e12_path_model::run);
 }

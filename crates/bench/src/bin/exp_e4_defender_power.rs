@@ -1,5 +1,6 @@
-//! Experiment E4 binary — see DESIGN.md §4.
+//! Experiment E4 binary — see DESIGN.md §4. Supports `--trace <FILE>`
+//! (Chrome trace-event timeline of the run).
 
 fn main() {
-    defender_bench::experiments::e4_defender_power::run();
+    defender_bench::experiment_main(defender_bench::experiments::e4_defender_power::run);
 }

@@ -1,28 +1,32 @@
-//! Runs every experiment (E1-E12) in sequence. Each experiment panics if
+//! Runs every experiment (E1-E15) in sequence. Each experiment panics if
 //! its predicted shape fails, so a clean exit is a full reproduction pass.
+//! Supports `--trace <FILE>` for one Chrome trace-event timeline spanning
+//! the whole suite.
 
 fn main() {
-    use defender_bench::experiments as ex;
-    let experiments: &[(&str, fn())] = &[
-        ("E1", ex::e1_pure_frontier::run),
-        ("E2", ex::e2_pure_runtime::run),
-        ("E3", ex::e3_characterization::run),
-        ("E4", ex::e4_defender_power::run),
-        ("E5", ex::e5_atuple_runtime::run),
-        ("E6", ex::e6_bipartite::run),
-        ("E7", ex::e7_montecarlo::run),
-        ("E8", ex::e8_support_ablation::run),
-        ("E9", ex::e9_roundtrip::run),
-        ("E10", ex::e10_covering::run),
-        ("E11", ex::e11_dynamics::run),
-        ("E12", ex::e12_path_model::run),
-        ("E13", ex::e13_exact_value::run),
-        ("E14", ex::e14_defense_ratio::run),
-        ("E15", ex::e15_value_atlas::run),
-    ];
-    for (name, run) in experiments {
-        println!("\n################ {name} ################\n");
-        run();
-    }
-    println!("\nAll experiments reproduced the paper's predictions.");
+    defender_bench::experiment_main(|| {
+        use defender_bench::experiments as ex;
+        let experiments: &[(&str, fn())] = &[
+            ("E1", ex::e1_pure_frontier::run),
+            ("E2", ex::e2_pure_runtime::run),
+            ("E3", ex::e3_characterization::run),
+            ("E4", ex::e4_defender_power::run),
+            ("E5", ex::e5_atuple_runtime::run),
+            ("E6", ex::e6_bipartite::run),
+            ("E7", ex::e7_montecarlo::run),
+            ("E8", ex::e8_support_ablation::run),
+            ("E9", ex::e9_roundtrip::run),
+            ("E10", ex::e10_covering::run),
+            ("E11", ex::e11_dynamics::run),
+            ("E12", ex::e12_path_model::run),
+            ("E13", ex::e13_exact_value::run),
+            ("E14", ex::e14_defense_ratio::run),
+            ("E15", ex::e15_value_atlas::run),
+        ];
+        for (name, run) in experiments {
+            println!("\n################ {name} ################\n");
+            run();
+        }
+        println!("\nAll experiments reproduced the paper's predictions.");
+    });
 }

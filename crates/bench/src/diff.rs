@@ -1,0 +1,436 @@
+//! `bench diff` — the regression gate over `BENCH_*.json` sidecars.
+//!
+//! Every experiment writes a sidecar ([`crate::RunReport`]) recording its
+//! per-phase wall time and the harvested counter registry. This module
+//! loads two of them — a committed baseline and a fresh run — compares
+//! phase-by-phase and counter-by-counter, and renders a verdict table.
+//! A phase or counter that grew beyond the configured threshold is a
+//! **regression**; the CLI (`defender bench diff`) turns any regression
+//! into a non-zero exit, which is what lets CI enforce the ROADMAP's
+//! "measurably faster PR over PR" promise instead of merely hoping.
+//!
+//! Wall-clock comparisons are noisy, so two knobs keep the gate honest:
+//!
+//! - `threshold`: relative growth tolerated before a row regresses
+//!   (default 20%; CI uses a much looser value so machine variance
+//!   doesn't flake the build);
+//! - `noise_floor_seconds`: phases where *both* sides are below this are
+//!   never judged (default 1 ms — a 3 µs phase doubling is not signal).
+//!
+//! Counters are deterministic algorithm work (simplex pivots, blossom
+//! augmentations), so they get no noise floor: any growth beyond the
+//! threshold — or a counter appearing from zero — is a real change in
+//! work done.
+
+use std::path::Path;
+
+use defender_obs::json::{self, JsonValue};
+
+use crate::Table;
+
+/// Default relative-growth tolerance (20%).
+pub const DEFAULT_THRESHOLD: f64 = 0.20;
+
+/// Default wall-time noise floor in seconds (phases faster than this on
+/// both sides are never judged).
+pub const DEFAULT_NOISE_FLOOR_SECONDS: f64 = 0.001;
+
+/// A parsed `BENCH_<experiment>.json` sidecar.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sidecar {
+    /// The experiment name recorded by the run.
+    pub experiment: String,
+    /// Phases in recorded order as `(name, wall_seconds)`.
+    pub phases: Vec<(String, f64)>,
+    /// Harvested counters as `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Sidecar {
+    /// Parses a sidecar document (the schema [`crate::RunReport::to_json`]
+    /// emits).
+    ///
+    /// # Errors
+    ///
+    /// Rejects documents missing the `experiment`/`phases`/`counters`
+    /// structure.
+    pub fn parse(text: &str) -> Result<Sidecar, String> {
+        let doc = json::parse(text)?;
+        let experiment = doc
+            .get("experiment")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field `experiment`")?
+            .to_string();
+        let mut phases = Vec::new();
+        for (i, phase) in doc
+            .get("phases")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing array field `phases`")?
+            .iter()
+            .enumerate()
+        {
+            let name = phase
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or(format!("phase {i}: missing `name`"))?;
+            let seconds = phase
+                .get("wall_seconds")
+                .and_then(JsonValue::as_f64)
+                .ok_or(format!("phase {i}: missing `wall_seconds`"))?;
+            phases.push((name.to_string(), seconds));
+        }
+        let mut counters = Vec::new();
+        for (name, value) in doc
+            .get("counters")
+            .and_then(JsonValue::as_object)
+            .ok_or("missing object field `counters`")?
+        {
+            let value = value
+                .as_u64()
+                .ok_or(format!("counter `{name}`: not a non-negative integer"))?;
+            counters.push((name.clone(), value));
+        }
+        Ok(Sidecar {
+            experiment,
+            phases,
+            counters,
+        })
+    }
+
+    /// Loads and parses a sidecar file.
+    ///
+    /// # Errors
+    ///
+    /// Reports I/O and parse failures with the path in the message.
+    pub fn load(path: &Path) -> Result<Sidecar, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Sidecar::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Tuning for [`diff`]; see the module docs for the semantics.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffConfig {
+    /// Relative growth tolerated before a row counts as regressed.
+    pub threshold: f64,
+    /// Wall-time floor below which phases are never judged.
+    pub noise_floor_seconds: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            threshold: DEFAULT_THRESHOLD,
+            noise_floor_seconds: DEFAULT_NOISE_FLOOR_SECONDS,
+        }
+    }
+}
+
+/// The judgement for one compared row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or under the noise floor).
+    Ok,
+    /// Shrunk beyond the threshold — the good direction.
+    Improved,
+    /// Grew beyond the threshold — fails the gate.
+    Regressed,
+    /// Present in the baseline, absent in the current run (warning only —
+    /// renames and removed phases are not regressions).
+    MissingInCurrent,
+    /// Present only in the current run (informational).
+    NewInCurrent,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::MissingInCurrent => "missing",
+            Verdict::NewInCurrent => "new",
+        }
+    }
+}
+
+/// One compared phase or counter.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// `"phase"` or `"counter"`.
+    pub section: &'static str,
+    /// Phase or counter name.
+    pub name: String,
+    /// Baseline value (seconds for phases, raw count for counters).
+    pub baseline: Option<f64>,
+    /// Current value, same unit as `baseline`.
+    pub current: Option<f64>,
+    /// The judgement.
+    pub verdict: Verdict,
+}
+
+impl DiffRow {
+    /// `current / baseline` when both sides are present and non-zero.
+    #[must_use]
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.baseline, self.current) {
+            (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of comparing two sidecars.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// The experiment name (from the baseline).
+    pub experiment: String,
+    /// All compared rows, phases first.
+    pub rows: Vec<DiffRow>,
+    /// The tolerance the verdicts were judged against.
+    pub config: DiffConfig,
+}
+
+impl DiffReport {
+    /// Number of rows that fail the gate.
+    #[must_use]
+    pub fn regressions(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Regressed)
+            .count()
+    }
+
+    /// Whether the gate passes (no regressions).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Renders the verdict table plus a one-line summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec![
+            "kind", "name", "baseline", "current", "ratio", "verdict",
+        ]);
+        for row in &self.rows {
+            let fmt = |v: Option<f64>| match v {
+                None => "-".to_string(),
+                Some(v) if row.section == "phase" => format!("{v:.6}s"),
+                Some(v) => format!("{v:.0}"),
+            };
+            table.row(vec![
+                row.section.to_string(),
+                row.name.clone(),
+                fmt(row.baseline),
+                fmt(row.current),
+                row.ratio().map_or("-".to_string(), |r| format!("{r:.2}x")),
+                row.verdict.label().to_string(),
+            ]);
+        }
+        let mut out = format!("bench diff: {} (threshold ", self.experiment);
+        out.push_str(&format!(
+            "+{:.0}%, noise floor {:.3}s)\n",
+            self.config.threshold * 100.0,
+            self.config.noise_floor_seconds
+        ));
+        out.push_str(&table.render());
+        let regressions = self.regressions();
+        if regressions == 0 {
+            out.push_str("verdict: PASS — no phase or counter regressed\n");
+        } else {
+            out.push_str(&format!(
+                "verdict: FAIL — {regressions} row(s) regressed beyond the threshold\n"
+            ));
+        }
+        out
+    }
+}
+
+fn judge(baseline: f64, current: f64, config: &DiffConfig, noisy: bool) -> Verdict {
+    if noisy && baseline < config.noise_floor_seconds && current < config.noise_floor_seconds {
+        return Verdict::Ok;
+    }
+    if baseline == 0.0 {
+        return if current == 0.0 {
+            Verdict::Ok
+        } else {
+            // Work appearing from nothing cannot be expressed as a ratio;
+            // for deterministic counters it is always a real change.
+            Verdict::Regressed
+        };
+    }
+    let ratio = current / baseline;
+    if ratio > 1.0 + config.threshold {
+        Verdict::Regressed
+    } else if ratio < 1.0 - config.threshold {
+        Verdict::Improved
+    } else {
+        Verdict::Ok
+    }
+}
+
+fn compare_section(
+    rows: &mut Vec<DiffRow>,
+    section: &'static str,
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    config: &DiffConfig,
+) {
+    let noisy = section == "phase";
+    for (name, base) in baseline {
+        match current.iter().find(|(n, _)| n == name) {
+            Some((_, cur)) => rows.push(DiffRow {
+                section,
+                name: name.clone(),
+                baseline: Some(*base),
+                current: Some(*cur),
+                verdict: judge(*base, *cur, config, noisy),
+            }),
+            None => rows.push(DiffRow {
+                section,
+                name: name.clone(),
+                baseline: Some(*base),
+                current: None,
+                verdict: Verdict::MissingInCurrent,
+            }),
+        }
+    }
+    for (name, cur) in current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            rows.push(DiffRow {
+                section,
+                name: name.clone(),
+                baseline: None,
+                current: Some(*cur),
+                verdict: Verdict::NewInCurrent,
+            });
+        }
+    }
+}
+
+/// Compares two sidecars under `config`; phases first, then counters.
+#[must_use]
+pub fn diff(baseline: &Sidecar, current: &Sidecar, config: DiffConfig) -> DiffReport {
+    let mut rows = Vec::new();
+    compare_section(
+        &mut rows,
+        "phase",
+        &baseline.phases,
+        &current.phases,
+        &config,
+    );
+    let to_f64 = |cs: &[(String, u64)]| -> Vec<(String, f64)> {
+        cs.iter().map(|(n, v)| (n.clone(), *v as f64)).collect()
+    };
+    compare_section(
+        &mut rows,
+        "counter",
+        &to_f64(&baseline.counters),
+        &to_f64(&current.counters),
+        &config,
+    );
+    DiffReport {
+        experiment: baseline.experiment.clone(),
+        rows,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sidecar(phases: &[(&str, f64)], counters: &[(&str, u64)]) -> Sidecar {
+        Sidecar {
+            experiment: "e_test".to_string(),
+            phases: phases.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            counters: counters.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn identical_sidecars_pass() {
+        let s = sidecar(&[("sweep", 1.0)], &[("lp.pivots", 100)]);
+        let report = diff(&s, &s.clone(), DiffConfig::default());
+        assert!(report.passed());
+        assert!(report.render().contains("PASS"));
+    }
+
+    #[test]
+    fn injected_2x_phase_regression_fails() {
+        let base = sidecar(&[("sweep", 1.0), ("verify", 0.5)], &[]);
+        let cur = sidecar(&[("sweep", 2.0), ("verify", 0.5)], &[]);
+        let report = diff(&base, &cur, DiffConfig::default());
+        assert_eq!(report.regressions(), 1);
+        assert!(!report.passed());
+        let rendered = report.render();
+        assert!(rendered.contains("REGRESSED") && rendered.contains("2.00x"));
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let base = sidecar(&[("sweep", 1.0)], &[]);
+        let cur = sidecar(&[("sweep", 1.15)], &[]);
+        assert!(diff(&base, &cur, DiffConfig::default()).passed());
+        let tight = DiffConfig {
+            threshold: 0.10,
+            ..DiffConfig::default()
+        };
+        assert!(!diff(&base, &cur, tight).passed());
+    }
+
+    #[test]
+    fn noise_floor_shields_micro_phases() {
+        let base = sidecar(&[("blink", 0.00001)], &[]);
+        let cur = sidecar(&[("blink", 0.00009)], &[]);
+        assert!(diff(&base, &cur, DiffConfig::default()).passed());
+    }
+
+    #[test]
+    fn counters_have_no_noise_floor_and_flag_growth() {
+        let base = sidecar(&[], &[("lp.pivots", 100), ("new.work", 0)]);
+        let cur = sidecar(&[], &[("lp.pivots", 150), ("new.work", 5)]);
+        let report = diff(&base, &cur, DiffConfig::default());
+        assert_eq!(report.regressions(), 2, "{}", report.render());
+    }
+
+    #[test]
+    fn missing_and_new_rows_warn_without_failing() {
+        let base = sidecar(&[("old_phase", 1.0)], &[]);
+        let cur = sidecar(&[("new_phase", 1.0)], &[]);
+        let report = diff(&base, &cur, DiffConfig::default());
+        assert!(report.passed());
+        let rendered = report.render();
+        assert!(rendered.contains("missing") && rendered.contains("new"));
+    }
+
+    #[test]
+    fn improvements_are_reported() {
+        let base = sidecar(&[("sweep", 2.0)], &[]);
+        let cur = sidecar(&[("sweep", 1.0)], &[]);
+        let report = diff(&base, &cur, DiffConfig::default());
+        assert!(report.passed());
+        assert!(report.render().contains("improved"));
+    }
+
+    #[test]
+    fn parses_run_report_output() {
+        let mut rr = crate::RunReport::new("e_round_trip");
+        rr.phase("sweep", std::time::Duration::from_millis(1500));
+        rr.counter("lp.pivots", 42);
+        let parsed = Sidecar::parse(&rr.to_json()).unwrap();
+        assert_eq!(parsed.experiment, "e_round_trip");
+        assert_eq!(parsed.phases.len(), 1);
+        assert!((parsed.phases[0].1 - 1.5).abs() < 1e-9);
+        assert_eq!(parsed.counters, vec![("lp.pivots".to_string(), 42)]);
+    }
+
+    #[test]
+    fn rejects_malformed_sidecars() {
+        assert!(Sidecar::parse("not json").is_err());
+        assert!(Sidecar::parse("{}").is_err());
+        assert!(Sidecar::parse(r#"{"experiment": "x", "phases": [{}], "counters": {}}"#).is_err());
+    }
+}

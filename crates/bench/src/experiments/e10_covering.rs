@@ -22,6 +22,9 @@ const ATTACKERS: usize = 6;
 /// Runs the experiment; panics on any broken prediction.
 pub fn run() {
     println!("== E10: covering NE vs k-matching NE (extension, after [8]) ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = crate::RunReport::new("e10_covering");
     let families = vec![
         ("cycle C6", generators::cycle(6)),
         ("cycle C10", generators::cycle(10)),
@@ -41,6 +44,7 @@ pub fn run() {
         "relation",
     ]);
     for (name, graph) in families {
+        let family_start = std::time::Instant::now();
         let game = TupleGame::new(&graph, k, ATTACKERS).expect("valid game");
         let cov = covering_ne(&game).expect("all E10 families have perfect matchings");
         let check = verify_mixed_ne(&game, cov.config(), VerificationMode::Analytic)
@@ -75,8 +79,11 @@ pub fn run() {
             matching_cell,
             relation,
         ]);
+        report.phase(name, family_start.elapsed());
     }
     table.print();
     println!("\nPrediction: equal gains on bipartite+PM instances; covering NE alone");
     println!("extends protection to non-bipartite PM graphs (K4, K6, Petersen) — confirmed.");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

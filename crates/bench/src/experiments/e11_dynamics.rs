@@ -15,6 +15,9 @@ use crate::Table;
 /// Runs the experiment; panics if the learned value drifts.
 pub fn run() {
     println!("== E11: fictitious play converges to the game value (extension) ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = crate::RunReport::new("e11_dynamics");
     let scenarios = [
         ("cycle C6, k=1", generators::cycle(6), 1usize, 3usize),
         ("star K_{1,4}, k=2", generators::star(4), 2, 4),
@@ -22,6 +25,7 @@ pub fn run() {
         ("grid 2x3, k=2", generators::grid(2, 3), 2, 3),
     ];
     for (name, graph, k, is_size) in scenarios {
+        let scenario_start = std::time::Instant::now();
         let game = TupleGame::new(&graph, k, 1).expect("one attacker");
         let value = known_value(k, is_size);
         let trace = fictitious_play(&game, 4_000, OracleMode::Exact { limit: 200_000 })
@@ -43,6 +47,9 @@ pub fn run() {
         let err = (trace.average_payoff - value).abs();
         assert!(err < 0.05, "{name}: final error {err:.4}");
         println!();
+        report.phase(name, scenario_start.elapsed());
     }
     println!("Prediction (Robinson): time-averaged payoff → value — confirmed.");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

@@ -25,6 +25,10 @@ use crate::Table;
 /// Runs the experiment; panics on any broken prediction.
 pub fn run() {
     println!("== E12: the Path model — the cost of a shape-constrained defender ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = crate::RunReport::new("e12_path_model");
+    let phase_start = std::time::Instant::now();
 
     println!("pure-NE frontiers (tuple: k ≥ ρ(G); path: k = n−1 AND Hamiltonian path):");
     let mut table = Table::new(vec![
@@ -73,6 +77,8 @@ pub fn run() {
         ]);
     }
     table.print();
+    report.phase("pure_frontiers", phase_start.elapsed());
+    let phase_start = std::time::Instant::now();
 
     println!("\nmixed gain on cycles (ν = 6): rotation path NE vs covering tuple NE:");
     let nu = 6usize;
@@ -111,6 +117,9 @@ pub fn run() {
         ]);
     }
     table.print();
+    report.phase("mixed_cycle_gains", phase_start.elapsed());
     println!("\nPrediction: the path constraint costs the defender a factor 2k/(k+1) → 2,");
     println!("and turns polynomial pure-NE existence into Hamiltonicity — confirmed.");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

@@ -32,6 +32,10 @@ pub fn run() {
     println!(
         "== E13: exact game values by rational LP, on and beyond the constructive families ==\n"
     );
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = crate::RunReport::new("e13_exact_value");
+    let sweep_start = std::time::Instant::now();
     let mut table = Table::new(vec![
         "instance",
         "k",
@@ -105,7 +109,10 @@ pub fn run() {
             "certified".to_string(),
         ]);
     }
+    report.phase("lp_sweep", sweep_start.elapsed());
     table.print();
     println!("\nPrediction: the LP agrees with every applicable construction and extends");
     println!("exact solving to instances no constructive family covers — confirmed.");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

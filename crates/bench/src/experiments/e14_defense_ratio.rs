@@ -19,6 +19,9 @@ const ATTACKERS: usize = 6;
 /// Runs the experiment; panics if any equilibrium beats the bound.
 pub fn run() {
     println!("== E14: defense ratio and the Price of Defense (extension) ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = crate::RunReport::new("e14_defense_ratio");
     let mut table = Table::new(vec![
         "family",
         "k",
@@ -38,6 +41,7 @@ pub fn run() {
         ("Petersen", generators::petersen(), 2),
     ];
     for (name, graph, k) in instances {
+        let family_start = std::time::Instant::now();
         let game = TupleGame::new(&graph, k, ATTACKERS).expect("valid game");
         let bound = defense_ratio_lower_bound(&game);
 
@@ -66,8 +70,11 @@ pub fn run() {
             covering_cell,
             optimal,
         ]);
+        report.phase(name, family_start.elapsed());
     }
     table.print();
     println!("\nPrediction: every NE has DR ≥ n/(2k); covering equilibria are exactly");
     println!("defense-optimal, so PoD(Π_k) = n/(2k) on perfect-matching graphs — confirmed.");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

@@ -26,6 +26,10 @@ const N: usize = 5;
 /// Runs the experiment; panics if the extremes are not as predicted.
 pub fn run() {
     println!("== E15: exact-value atlas over all labeled connected graphs on {N} vertices ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = crate::RunReport::new("e15_value_atlas");
+    let sweep_start = std::time::Instant::now();
     let pairs: Vec<(usize, usize)> = (0..N)
         .flat_map(|i| ((i + 1)..N).map(move |j| (i, j)))
         .collect();
@@ -47,6 +51,7 @@ pub fn run() {
         let value = solve_exact(&game, 100_000).expect("tiny instance").value;
         *histogram.entry(value).or_insert(0) += 1;
     }
+    report.phase("atlas_sweep", sweep_start.elapsed());
 
     let mut table = Table::new(vec!["value", "graphs", "share"]);
     for (&value, &count) in &histogram {
@@ -72,4 +77,6 @@ pub fn run() {
          max = {max} (the n/(2k) defense bound, tight)"
     );
     println!("\nPrediction: all values lie in [1/4, 2/5] with both ends attained — confirmed.");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

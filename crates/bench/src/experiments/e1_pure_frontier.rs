@@ -10,11 +10,14 @@ use defender_core::pure::{no_pure_ne_by_size, pure_ne_existence};
 use defender_matching::edge_cover::edge_cover_number;
 
 use crate::experiments::common::deterministic_families;
-use crate::Table;
+use crate::{RunReport, Table};
 
 /// Runs the experiment; panics if any instance violates Theorem 3.1.
 pub fn run() {
     println!("== E1: pure Nash equilibrium existence frontier (Theorem 3.1, Cor 3.3) ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = RunReport::new("e1_pure_frontier");
     let mut table = Table::new(vec![
         "family",
         "n",
@@ -25,6 +28,7 @@ pub fn run() {
         "sweep",
     ]);
     for (name, graph) in deterministic_families() {
+        let family_start = std::time::Instant::now();
         let rho = edge_cover_number(&graph).expect("zoo graphs are game-ready");
         let mut observed_frontier = None;
         for k in 1..=graph.edge_count() {
@@ -47,7 +51,10 @@ pub fn run() {
             observed_frontier.map_or("none".into(), |k| k.to_string()),
             "ok".into(),
         ]);
+        report.phase(name, family_start.elapsed());
     }
     table.print();
     println!("\nPaper prediction: frontier k* = ρ(G) everywhere; sweep column confirms.");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

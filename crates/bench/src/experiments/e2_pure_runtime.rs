@@ -8,11 +8,15 @@ use defender_core::model::TupleGame;
 use defender_core::pure::pure_ne_existence;
 
 use crate::experiments::common::random_connected;
-use crate::{linear_fit, median_time, Table};
+use crate::{linear_fit, median_time, RunReport, Table};
 
 /// Runs the experiment; panics if the fitted growth exponent explodes.
 pub fn run() {
     println!("== E2: pure-NE existence runtime (Corollary 3.2) ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = RunReport::new("e2_pure_runtime");
+    let sweep_start = std::time::Instant::now();
     let sizes = [64usize, 128, 256, 512, 1024];
     let mut table = Table::new(vec!["n", "m", "median time", "us/run"]);
     let mut xs = Vec::new();
@@ -32,6 +36,7 @@ pub fn run() {
             format!("{:.1}", t.as_secs_f64() * 1e6),
         ]);
     }
+    report.phase("sweep_n", sweep_start.elapsed());
     table.print();
     let (exponent, _, r2) = linear_fit(&xs, &ys);
     println!("\nlog-log fit: time ~ n^{exponent:.2} (r² = {r2:.3})");
@@ -42,4 +47,6 @@ pub fn run() {
     println!(
         "Paper prediction: polynomial — confirmed (blossom matching dominates, O(n³) worst case)."
     );
+    report.harvest_and_write();
+    defender_obs::disable();
 }

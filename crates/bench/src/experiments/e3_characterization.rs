@@ -71,6 +71,9 @@ fn shrink<S: Clone + Ord>(strategy: &MixedStrategy<S>) -> Option<MixedStrategy<S
 /// Runs the experiment; panics on any misclassification.
 pub fn run() {
     println!("== E3: the Theorem 3.4 characterization accepts exactly the equilibria ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = crate::RunReport::new("e3_characterization");
     let k = 2usize;
     let nu = 4usize;
     let mut table = Table::new(vec![
@@ -86,6 +89,7 @@ pub fn run() {
         if k > graph.edge_count() {
             continue;
         }
+        let family_start = std::time::Instant::now();
         let game = TupleGame::new(&graph, k, nu).expect("valid game");
         let Ok(ne) = a_tuple_bipartite(&game) else {
             continue; // k > |IS| — out of scope here
@@ -157,7 +161,10 @@ pub fn run() {
             cells[4].into(),
             cells[5].into(),
         ]);
+        report.phase(name, family_start.elapsed());
     }
     table.print();
     println!("\nPaper prediction: ACCEPT on column 1, reject (or n/a) elsewhere — confirmed.");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

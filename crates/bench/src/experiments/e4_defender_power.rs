@@ -22,7 +22,11 @@ const ROUNDS: u64 = 20_000;
 /// Runs the experiment; panics if the linearity law fails anywhere.
 pub fn run() {
     println!("== E4: the power of the defender — gain linear in k (Thm 4.5, Cors 4.7/4.10) ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = crate::RunReport::new("e4_defender_power");
     for (name, graph) in bipartite_families() {
+        let family_start = std::time::Instant::now();
         let edge_game = TupleGame::new(&graph, 1, ATTACKERS).expect("valid game");
         let base = a_tuple_bipartite(&edge_game).expect("bipartite instances have matching NE");
         let is_size = base.supports().vp_support.len();
@@ -72,6 +76,9 @@ pub fn run() {
         }
         table.print();
         println!();
+        report.phase(name, family_start.elapsed());
     }
     println!("Paper prediction: gain/base = k in every row — confirmed.");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

@@ -95,10 +95,6 @@ pub fn run() {
     println!(" so its fit (r² = {r2_k:.3}) mainly certifies that k does NOT blow the time up —");
     println!(" the window construction itself is O(k·n) with a tiny constant.)");
 
-    report.counters_from(&defender_obs::snapshot());
+    report.harvest_and_write();
     defender_obs::disable();
-    match report.write_sidecar() {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("\ncould not write BENCH sidecar: {e}"),
-    }
 }

@@ -12,11 +12,15 @@ use defender_core::characterization::{verify_mixed_ne, VerificationMode};
 use defender_core::model::TupleGame;
 
 use crate::experiments::common::random_bipartite;
-use crate::{linear_fit, median_time, Table};
+use crate::{linear_fit, median_time, RunReport, Table};
 
 /// Runs the experiment; panics on a failed verification or wild scaling.
 pub fn run() {
     println!("== E6: bipartite end-to-end pipeline (Theorem 5.1) ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = RunReport::new("e6_bipartite");
+    let sweep_start = std::time::Instant::now();
     let k = 4usize;
     let mut table = Table::new(vec!["n", "m", "|IS|", "delta", "median time", "us"]);
     let mut xs = Vec::new();
@@ -51,6 +55,7 @@ pub fn run() {
             format!("{:.0}", t.as_secs_f64() * 1e6),
         ]);
     }
+    report.phase("sweep_n", sweep_start.elapsed());
     table.print();
     let (exponent, _, r2) = linear_fit(&xs, &ys);
     println!("\nlog-log fit: time ~ n^{exponent:.2} (r² = {r2:.3})");
@@ -59,4 +64,6 @@ pub fn run() {
         "scaling exponent {exponent:.2} exceeds the m√n regime"
     );
     println!("Paper prediction: max{{O(k·n), O(m√n)}} — confirmed for sparse m = Θ(n).");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

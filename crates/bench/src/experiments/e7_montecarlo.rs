@@ -15,6 +15,9 @@ use crate::Table;
 /// Runs the experiment; panics if the error at 10⁵ rounds is out of band.
 pub fn run() {
     println!("== E7: Monte-Carlo play matches equations (1)-(2) ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = crate::RunReport::new("e7_montecarlo");
     let scenarios = [
         (
             "grid 3x4, k=2, nu=6",
@@ -31,6 +34,7 @@ pub fn run() {
         ),
     ];
     for (name, graph, k, nu) in scenarios {
+        let scenario_start = std::time::Instant::now();
         let game = TupleGame::new(&graph, k, nu).expect("valid game");
         let ne = a_tuple_bipartite(&game).expect("bipartite with k ≤ |IS|");
         let exact_gain = ne.defender_gain();
@@ -61,6 +65,9 @@ pub fn run() {
             "{name}: residual error {final_err:.4} too large"
         );
         println!();
+        report.phase(name, scenario_start.elapsed());
     }
     println!("Paper prediction: empirical means converge to the exact rationals — confirmed.");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

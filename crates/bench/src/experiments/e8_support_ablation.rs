@@ -22,6 +22,10 @@ use crate::Table;
 /// the paper's support is not minimal among the two.
 pub fn run() {
     println!("== E8: cyclic-construction ablation (Lemma 4.8 / Claim 4.9) ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = crate::RunReport::new("e8_support_ablation");
+    let sweep_start = std::time::Instant::now();
     let nu = 5usize;
     let mut table = Table::new(vec![
         "E_num",
@@ -104,7 +108,10 @@ pub fn run() {
             "yes".into(),
         ]);
     }
+    report.phase("ablation_sweep", sweep_start.elapsed());
     table.print();
     println!("\nPaper prediction: δ = E/gcd(E,k) suffices and is gcd(E,k)× smaller than the");
     println!("naive all-offsets support, with identical equilibrium payoffs — confirmed.");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

@@ -15,6 +15,9 @@ const ATTACKERS: usize = 6;
 /// Runs the experiment; panics on any broken round-trip.
 pub fn run() {
     println!("== E9: reduction round-trips (Theorem 4.5, Lemmas 4.6/4.8) ==\n");
+    defender_obs::enable();
+    defender_obs::reset();
+    let mut report = crate::RunReport::new("e9_roundtrip");
     let mut table = Table::new(vec![
         "family",
         "E_num",
@@ -23,6 +26,7 @@ pub fn run() {
         "supports preserved",
     ]);
     for (name, graph) in bipartite_families() {
+        let family_start = std::time::Instant::now();
         let edge_game = TupleGame::edge_model(&graph, ATTACKERS).expect("valid game");
         let base_k = a_tuple_bipartite(&edge_game).expect("bipartite matching NE");
         let base = restrict_to_matching(&edge_game, &base_k).expect("k = 1 restriction");
@@ -60,8 +64,11 @@ pub fn run() {
             format!("1..{} (= k)", ratios.len()),
             "yes".into(),
         ]);
+        report.phase(name, family_start.elapsed());
     }
     table.print();
     println!("\nPaper prediction: every expansion multiplies the gain by exactly k and");
     println!("restriction recovers the original matching NE — confirmed.");
+    report.harvest_and_write();
+    defender_obs::disable();
 }

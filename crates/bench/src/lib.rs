@@ -6,9 +6,58 @@
 //! outcomes). Each `exp_*` binary is a thin wrapper over the matching
 //! `experiments::eN::run` function; `run_all_experiments` chains them.
 
+pub mod diff;
 pub mod experiments;
 pub mod report;
 pub mod timing;
 
 pub use report::{RunReport, Table};
 pub use timing::{linear_fit, median_time};
+
+/// Shared entry point for every `exp_*` binary: parses the flags all
+/// experiments share, runs the experiment, and exports artifacts.
+///
+/// Supported flags:
+///
+/// - `--trace <FILE>` — record an event-level timeline of the run and
+///   write it as Chrome trace-event JSON (open in Perfetto or
+///   `chrome://tracing`).
+///
+/// Exits with status 2 on a usage or export error (experiment assertion
+/// failures panic, as before).
+pub fn experiment_main(run: impl FnOnce()) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = experiment_main_with(&argv, run) {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    }
+}
+
+fn experiment_main_with(argv: &[String], run: impl FnOnce()) -> Result<(), String> {
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut iter = argv.iter();
+    while let Some(token) = iter.next() {
+        match token.as_str() {
+            "--trace" => {
+                let value = iter.next().ok_or("option `--trace` needs a value")?;
+                trace_path = Some(std::path::PathBuf::from(value));
+            }
+            other => {
+                return Err(format!(
+                    "unknown option `{other}` (supported: --trace <FILE>)"
+                ))
+            }
+        }
+    }
+    if trace_path.is_some() {
+        defender_obs::trace::start();
+    }
+    run();
+    if let Some(path) = trace_path {
+        defender_obs::trace::stop();
+        defender_obs::trace::write_chrome_trace(&path)
+            .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+        eprintln!("wrote trace {}", path.display());
+    }
+    Ok(())
+}

@@ -158,6 +158,18 @@ impl RunReport {
         std::fs::write(&path, self.to_json() + "\n")?;
         Ok(path)
     }
+
+    /// The standard tail call of every experiment: harvests the counter
+    /// registry from the current obs snapshot, writes the sidecar, and
+    /// reports the outcome (a failed write warns on stderr rather than
+    /// failing the run — the experiment result itself still stands).
+    pub fn harvest_and_write(&mut self) {
+        self.counters_from(&defender_obs::snapshot());
+        match self.write_sidecar() {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("\ncould not write BENCH sidecar: {e}"),
+        }
+    }
 }
 
 #[cfg(test)]

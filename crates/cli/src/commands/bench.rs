@@ -1,0 +1,105 @@
+//! `defender bench` — performance-gate utilities over `BENCH_*.json`
+//! sidecars and Chrome trace exports.
+//!
+//! ```text
+//! defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001]
+//! defender bench validate-trace <trace.json>
+//! ```
+//!
+//! `diff` exits with code 2 when any phase or counter regresses beyond the
+//! threshold, so CI can gate on it directly; `validate-trace` checks that a
+//! `--trace` export is well-formed Chrome trace-event JSON with balanced
+//! begin/end pairs.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use defender_bench::diff::{self, DiffConfig, Sidecar};
+
+use crate::args::Options;
+
+const USAGE: &str = "usage:\n  \
+    defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001]\n  \
+    defender bench validate-trace <trace.json>";
+
+/// Dispatches the `bench` subcommands.
+///
+/// # Errors
+///
+/// Returns a usage error for unknown subcommands or malformed arguments,
+/// and an I/O/parse error when an input file cannot be read.
+pub fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let Some((sub, rest)) = argv.split_first() else {
+        return Err(format!("`bench` needs a subcommand\n{USAGE}"));
+    };
+    match sub.as_str() {
+        "diff" => run_diff(rest),
+        "validate-trace" => run_validate_trace(rest),
+        other => Err(format!("unknown bench subcommand `{other}`\n{USAGE}")),
+    }
+}
+
+/// Splits leading positional arguments from trailing `--key value` options.
+fn split_positionals(argv: &[String]) -> (Vec<&str>, &[String]) {
+    let cut = argv
+        .iter()
+        .position(|token| token.starts_with("--"))
+        .unwrap_or(argv.len());
+    (
+        argv[..cut].iter().map(String::as_str).collect(),
+        &argv[cut..],
+    )
+}
+
+fn run_diff(argv: &[String]) -> Result<ExitCode, String> {
+    let (positionals, option_tokens) = split_positionals(argv);
+    let [baseline_path, current_path] = positionals[..] else {
+        return Err(format!(
+            "`bench diff` needs exactly two sidecar files\n{USAGE}"
+        ));
+    };
+    let options = Options::parse(option_tokens)?;
+    let config = DiffConfig {
+        threshold: options.parse_or("threshold", diff::DEFAULT_THRESHOLD)?,
+        noise_floor_seconds: options.parse_or("noise-floor", diff::DEFAULT_NOISE_FLOOR_SECONDS)?,
+    };
+    if config.threshold < 0.0 {
+        return Err("option `--threshold` must be non-negative".to_string());
+    }
+    let baseline = Sidecar::load(Path::new(baseline_path))?;
+    let current = Sidecar::load(Path::new(current_path))?;
+    if baseline.experiment != current.experiment {
+        eprintln!(
+            "warning: comparing different experiments (`{}` vs `{}`)",
+            baseline.experiment, current.experiment
+        );
+    }
+    let report = diff::diff(&baseline, &current, config);
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(2))
+    }
+}
+
+fn run_validate_trace(argv: &[String]) -> Result<ExitCode, String> {
+    let (positionals, option_tokens) = split_positionals(argv);
+    let [trace_path] = positionals[..] else {
+        return Err(format!(
+            "`bench validate-trace` needs one trace file\n{USAGE}"
+        ));
+    };
+    if !option_tokens.is_empty() {
+        return Err(format!("`bench validate-trace` takes no options\n{USAGE}"));
+    }
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let check = defender_obs::trace::validate_chrome_trace(&text)
+        .map_err(|e| format!("{trace_path}: invalid trace: {e}"))?;
+    println!(
+        "{trace_path}: valid Chrome trace ({} events, max depth {}, {} dropped)",
+        check.events, check.max_depth, check.dropped
+    );
+    Ok(ExitCode::SUCCESS)
+}

@@ -11,10 +11,22 @@ USAGE:
   defender simulate --graph <file> --k <K> --nu <NU> [--rounds <R>] [--seed <S>]
   defender value    --graph <file> --k <K> [--limit <TUPLES>]
   defender convert  --in <file> --out <file> [--from <fmt>] [--to <fmt>]
+  defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001]
+  defender bench validate-trace <trace.json>
   defender help
 
-Every command also accepts `--metrics json|table`: run with internal
-instrumentation enabled and dump the counter/span registry afterwards.
+Every command (except `bench`) also accepts:
+  --metrics json|table    run instrumented; dump the counter/span registry
+                          (with p50/p90/p99 estimates) afterwards
+  --metrics-out <FILE>    write the metrics JSON to FILE instead of stdout,
+                          keeping stdout machine-parseable
+  --trace <FILE>          record an event-level timeline and write it as
+                          Chrome trace-event JSON (open in Perfetto or
+                          chrome://tracing)
+
+`bench diff` compares two BENCH_*.json sidecars (written by the
+defender-bench experiment binaries) and exits with code 2 when any phase
+wall time or counter regresses beyond the threshold.
 
 FORMATS: edges (default; `u v` per line) and graph6.
 

@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 pub mod analyze;
+pub mod bench;
 pub mod convert;
 pub mod generate;
 pub mod help;

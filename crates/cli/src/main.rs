@@ -4,12 +4,14 @@
 //! defender generate --family cycle --n 12 --out ring.edges
 //! defender analyze  --graph ring.edges --k 2 --nu 6
 //! defender simulate --graph ring.edges --k 2 --nu 6 --rounds 100000
+//! defender bench diff baselines/BENCH_e1.json BENCH_e1.json
 //! defender help
 //! ```
 //!
 //! Graph files are plain edge lists: one `u v` pair per line, `#` comments
 //! allowed, vertex count inferred from the largest index.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 mod args;
@@ -19,7 +21,7 @@ mod edgelist;
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!("run `defender help` for usage");
@@ -28,15 +30,25 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<ExitCode, String> {
     let Some((command, rest)) = argv.split_first() else {
         commands::help::print();
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     };
+    // `bench` takes positional file arguments, which `Options::parse`
+    // rejects by design; dispatch it before the uniform option pass.
+    if command == "bench" {
+        return commands::bench::run(rest);
+    }
     let options = args::Options::parse(rest)?;
     let metrics = metrics_format(&options)?;
-    if metrics.is_some() {
+    let metrics_out = options.get("metrics-out").map(PathBuf::from);
+    let trace_out = options.get("trace").map(PathBuf::from);
+    if metrics.is_some() || metrics_out.is_some() {
         defender_obs::enable();
+    }
+    if trace_out.is_some() {
+        defender_obs::trace::start();
     }
     let result = match command.as_str() {
         "generate" => commands::generate::run(&options),
@@ -54,8 +66,20 @@ fn run(argv: &[String]) -> Result<(), String> {
         if let Some(format) = metrics {
             dump_metrics(format);
         }
+        if let Some(path) = metrics_out {
+            let snapshot = defender_obs::snapshot();
+            std::fs::write(&path, snapshot.to_json())
+                .map_err(|e| format!("cannot write metrics to {}: {e}", path.display()))?;
+            eprintln!("wrote metrics {}", path.display());
+        }
+        if let Some(path) = trace_out {
+            defender_obs::trace::stop();
+            defender_obs::trace::write_chrome_trace(&path)
+                .map_err(|e| format!("cannot write trace to {}: {e}", path.display()))?;
+            eprintln!("wrote trace {}", path.display());
+        }
     }
-    result
+    result.map(|()| ExitCode::SUCCESS)
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

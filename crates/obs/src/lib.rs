@@ -9,6 +9,9 @@
 //! - **hierarchical spans** ([`span!`]): RAII guards with thread-local
 //!   nesting that record wall-time per `parent/child/...` path into log2
 //!   duration histograms;
+//! - **event-level tracing** ([`trace`]): bounded per-thread ring buffers
+//!   of begin/end/instant events fed automatically by [`span!`] sites,
+//!   exported as Chrome trace-event JSON for Perfetto timelines;
 //! - two exporters over a consistent [`Snapshot`]: a human-readable table
 //!   ([`Snapshot::to_table`]) and a hand-rolled, stable, machine-diffable
 //!   JSON document ([`Snapshot::to_json`]; no serde — the build
@@ -45,6 +48,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod json;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -187,6 +191,17 @@ pub fn bucket_index(v: u64) -> usize {
     }
 }
 
+/// The value range `[lo, hi)` covered by log2 bucket `i`: bucket 0 holds
+/// 0 and 1, bucket `i > 0` holds `[2^i, 2^(i+1))`.
+#[must_use]
+pub fn bucket_bounds(i: usize) -> (f64, f64) {
+    if i == 0 {
+        (0.0, 2.0)
+    } else {
+        ((1u64 << i) as f64, (1u64 << i) as f64 * 2.0)
+    }
+}
+
 #[allow(clippy::declare_interior_mutable_const)]
 const ZERO: AtomicU64 = AtomicU64::new(0);
 
@@ -252,6 +267,53 @@ impl HistStat {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the log2 buckets
+    /// by linear interpolation inside the bucket holding the target rank.
+    ///
+    /// Log2 buckets bound the relative error of the estimate by 2x, which
+    /// is exactly the resolution the regression gate cares about; 0 when
+    /// empty.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * (self.count as f64 - 1.0);
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            let hi_rank = (seen + c) as f64;
+            if rank < hi_rank || (seen + c) == self.count {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = if c == 0 {
+                    0.5
+                } else {
+                    ((rank - seen as f64 + 0.5) / c as f64).clamp(0.0, 1.0)
+                };
+                return lo + (hi - lo) * frac;
+            }
+            seen += c;
+        }
+        0.0
+    }
+
+    /// Median estimate — see [`HistStat::percentile`].
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate — see [`HistStat::percentile`].
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate — see [`HistStat::percentile`].
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -312,27 +374,55 @@ thread_local! {
 }
 
 /// RAII guard returned by [`span!`]; records elapsed wall time for its
-/// full `parent/child` path when dropped. While instrumentation is
-/// disabled the guard is inert (no clock read, no allocation).
+/// full `parent/child` path when dropped, and emits begin/end events to
+/// the [`trace`] ring buffers when event tracing is on. While both the
+/// metrics and tracing gates are off the guard is inert (no clock read,
+/// no allocation).
 #[derive(Debug)]
 #[must_use = "a span measures the scope it is bound to; bind it to a named guard"]
 pub struct SpanGuard {
     start: Option<Instant>,
+    name: &'static str,
+    traced: bool,
 }
 
 /// Enters a span named `name`; prefer the [`span!`] macro.
 pub fn enter_span(name: &'static str) -> SpanGuard {
-    if !enabled() {
-        return SpanGuard { start: None };
+    let metrics = enabled();
+    let traced = trace::enabled();
+    if !metrics && !traced {
+        return SpanGuard {
+            start: None,
+            name,
+            traced: false,
+        };
+    }
+    if traced {
+        trace::record_begin(name);
+    }
+    if !metrics {
+        return SpanGuard {
+            start: None,
+            name,
+            traced,
+        };
     }
     SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
     SpanGuard {
         start: Some(Instant::now()),
+        name,
+        traced,
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.traced {
+            // Unconditional: a traced begin always gets its end, even if
+            // `trace::stop()` ran while the span was live, so exported
+            // timelines never contain an unbalanced stack.
+            trace::record_end(self.name);
+        }
         let Some(start) = self.start else { return };
         let elapsed = start.elapsed();
         let path = SPAN_STACK.with(|stack| {
@@ -552,11 +642,14 @@ impl Snapshot {
             for h in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {:<width$}  count={} sum={} mean={:.1}",
+                    "  {:<width$}  count={} sum={} mean={:.1} p50={:.1} p90={:.1} p99={:.1}",
                     h.name,
                     h.count,
                     h.sum,
-                    h.mean()
+                    h.mean(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99()
                 );
             }
         }
@@ -565,11 +658,14 @@ impl Snapshot {
             for s in &self.spans {
                 let _ = writeln!(
                     out,
-                    "  {:<width$}  count={} total={} mean={}",
+                    "  {:<width$}  count={} total={} mean={} p50={} p90={} p99={}",
                     s.name,
                     s.count,
                     format_ns(s.sum as f64),
-                    format_ns(s.mean())
+                    format_ns(s.mean()),
+                    format_ns(s.p50()),
+                    format_ns(s.p90()),
+                    format_ns(s.p99())
                 );
             }
         }
@@ -598,6 +694,9 @@ impl Snapshot {
                 obj.field_str("name", &s.name);
                 obj.field_u64("count", s.count);
                 obj.field_u64("sum", s.sum);
+                obj.field_f64("p50", s.p50());
+                obj.field_f64("p90", s.p90());
+                obj.field_f64("p99", s.p99());
                 let mut buckets = json::JsonArray::new();
                 for &(i, c) in &s.buckets {
                     let mut b = json::JsonObject::new();
@@ -616,16 +715,22 @@ impl Snapshot {
     }
 }
 
+/// Obs tests mutate process-global state (the gates + registries), so the
+/// lib and trace test modules serialize on one shared mutex to stay
+/// independent of `--test-threads`.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Obs tests mutate process-global state (the gate + registry), so
-    /// they serialize on one mutex to stay independent of `--test-threads`.
     fn lock() -> std::sync::MutexGuard<'static, ()> {
-        static GATE: Mutex<()> = Mutex::new(());
-        GATE.lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        test_lock()
     }
 
     #[test]
@@ -697,6 +802,67 @@ mod tests {
         assert_eq!(stat.count, 5);
         assert_eq!(stat.sum, 1906);
         assert_eq!(stat.buckets, vec![(0, 1), (1, 2), (9, 2)]);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_line() {
+        assert_eq!(bucket_bounds(0), (0.0, 2.0));
+        assert_eq!(bucket_bounds(1), (2.0, 4.0));
+        assert_eq!(bucket_bounds(10), (1024.0, 2048.0));
+        for i in 0..63 {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo < hi);
+            assert_eq!(bucket_bounds(i + 1).0, hi, "contiguous at {i}");
+        }
+    }
+
+    #[test]
+    fn percentiles_estimate_from_buckets() {
+        let empty = HistStat {
+            name: "empty".into(),
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.p50(), 0.0);
+        // 100 values in bucket 4 ([16, 32)): every percentile lands inside.
+        let uniform = HistStat {
+            name: "u".into(),
+            count: 100,
+            sum: 0,
+            buckets: vec![(4, 100)],
+        };
+        for p in [uniform.p50(), uniform.p90(), uniform.p99()] {
+            assert!((16.0..32.0).contains(&p), "{p}");
+        }
+        assert!(uniform.p50() < uniform.p90() && uniform.p90() < uniform.p99());
+        // 90 tiny values and 10 huge ones: p50 is tiny, p99 is huge.
+        let skewed = HistStat {
+            name: "s".into(),
+            count: 100,
+            sum: 0,
+            buckets: vec![(0, 90), (20, 10)],
+        };
+        assert!(skewed.p50() < 2.0, "{}", skewed.p50());
+        let (lo, hi) = bucket_bounds(20);
+        let p99 = skewed.p99();
+        assert!((lo..hi).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn exports_carry_percentiles() {
+        let _guard = lock();
+        reset();
+        enable();
+        let h = histogram!("test.pct");
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        let snap = snapshot();
+        assert!(snap.to_table().contains("p99="));
+        assert!(snap.to_json().contains("\"p99\": "));
         disable();
         reset();
     }
