@@ -1,7 +1,14 @@
 //! Runs every experiment (E1-E15) in sequence. Each experiment panics if
 //! its predicted shape fails, so a clean exit is a full reproduction pass.
 //! Supports `--trace <FILE>` for one Chrome trace-event timeline spanning
-//! the whole suite.
+//! the whole suite and `--jobs <N>` for the worker-pool width of the
+//! parallel inner loops (`experiment_main` parses both).
+//!
+//! Experiments stay **sequential at the top level** on purpose: stdout
+//! ordering, the per-experiment `defender_obs::reset()` discipline, and
+//! sidecar counter attribution are all part of the deterministic report
+//! contract — parallelism lives inside each experiment's instance loops,
+//! where index-ordered merges keep output byte-identical for every width.
 
 fn main() {
     defender_bench::experiment_main(|| {

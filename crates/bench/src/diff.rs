@@ -116,6 +116,13 @@ pub struct DiffConfig {
     pub threshold: f64,
     /// Wall-time floor below which phases are never judged.
     pub noise_floor_seconds: f64,
+    /// Skip the wall-clock phases entirely and judge only the
+    /// deterministic counters. Wall time is machine-sensitive — a CI
+    /// runner slower than the machine that recorded the baseline fails
+    /// the gate without any code change — whereas counters are exact
+    /// algorithm work. CI uses this mode; same-machine comparisons keep
+    /// the time-aware gate.
+    pub counters_only: bool,
 }
 
 impl Default for DiffConfig {
@@ -123,6 +130,7 @@ impl Default for DiffConfig {
         DiffConfig {
             threshold: DEFAULT_THRESHOLD,
             noise_floor_seconds: DEFAULT_NOISE_FLOOR_SECONDS,
+            counters_only: false,
         }
     }
 }
@@ -230,11 +238,18 @@ impl DiffReport {
             ]);
         }
         let mut out = format!("bench diff: {} (threshold ", self.experiment);
-        out.push_str(&format!(
-            "+{:.0}%, noise floor {:.3}s)\n",
-            self.config.threshold * 100.0,
-            self.config.noise_floor_seconds
-        ));
+        if self.config.counters_only {
+            out.push_str(&format!(
+                "+{:.0}%, counters only — wall time not judged)\n",
+                self.config.threshold * 100.0
+            ));
+        } else {
+            out.push_str(&format!(
+                "+{:.0}%, noise floor {:.3}s)\n",
+                self.config.threshold * 100.0,
+                self.config.noise_floor_seconds
+            ));
+        }
         out.push_str(&table.render());
         let regressions = self.regressions();
         if regressions == 0 {
@@ -314,13 +329,15 @@ fn compare_section(
 #[must_use]
 pub fn diff(baseline: &Sidecar, current: &Sidecar, config: DiffConfig) -> DiffReport {
     let mut rows = Vec::new();
-    compare_section(
-        &mut rows,
-        "phase",
-        &baseline.phases,
-        &current.phases,
-        &config,
-    );
+    if !config.counters_only {
+        compare_section(
+            &mut rows,
+            "phase",
+            &baseline.phases,
+            &current.phases,
+            &config,
+        );
+    }
     let to_f64 = |cs: &[(String, u64)]| -> Vec<(String, f64)> {
         cs.iter().map(|(n, v)| (n.clone(), *v as f64)).collect()
     };
@@ -425,6 +442,33 @@ mod tests {
         assert_eq!(parsed.phases.len(), 1);
         assert!((parsed.phases[0].1 - 1.5).abs() < 1e-9);
         assert_eq!(parsed.counters, vec![("lp.pivots".to_string(), 42)]);
+    }
+
+    #[test]
+    fn counters_only_ignores_phase_regressions() {
+        // A machine-speed "regression": phases doubled, counters exact.
+        let base = sidecar(&[("sweep", 1.0)], &[("lp.pivots", 100)]);
+        let cur = sidecar(&[("sweep", 2.0)], &[("lp.pivots", 100)]);
+        assert!(!diff(&base, &cur, DiffConfig::default()).passed());
+        let config = DiffConfig {
+            counters_only: true,
+            ..DiffConfig::default()
+        };
+        let report = diff(&base, &cur, config);
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.rows.iter().all(|r| r.section == "counter"));
+        assert!(report.render().contains("counters only"));
+    }
+
+    #[test]
+    fn counters_only_still_gates_counter_growth() {
+        let base = sidecar(&[("sweep", 1.0)], &[("lp.pivots", 100)]);
+        let cur = sidecar(&[("sweep", 1.0)], &[("lp.pivots", 200)]);
+        let config = DiffConfig {
+            counters_only: true,
+            ..DiffConfig::default()
+        };
+        assert!(!diff(&base, &cur, config).passed());
     }
 
     #[test]

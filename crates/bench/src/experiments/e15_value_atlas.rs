@@ -33,9 +33,12 @@ pub fn run() {
     let pairs: Vec<(usize, usize)> = (0..N)
         .flat_map(|i| ((i + 1)..N).map(move |j| (i, j)))
         .collect();
-    let mut histogram: BTreeMap<Ratio, usize> = BTreeMap::new();
-    let mut connected_count = 0usize;
-    for mask in 0u32..(1 << pairs.len()) {
+    // Each of the 1 024 edge subsets is an independent rational LP solve;
+    // fan the sweep over the pool and fold the histogram in mask order.
+    // The fold is commutative anyway, and the `lp.*`/`core.*` counters are
+    // atomic sums, so the sidecar counters come out identical for every
+    // `--jobs` width.
+    let values: Vec<Option<Ratio>> = defender_par::par_for_indexed(1 << pairs.len(), |mask| {
         let mut b = GraphBuilder::new(N);
         for (bit, &(i, j)) in pairs.iter().enumerate() {
             if mask & (1 << bit) != 0 {
@@ -44,11 +47,15 @@ pub fn run() {
         }
         let graph = b.build();
         if !properties::is_connected(&graph) || graph.vertex_count() == 0 {
-            continue;
+            return None;
         }
-        connected_count += 1;
         let game = TupleGame::new(&graph, 1, 1).expect("connected graphs are game-ready");
-        let value = solve_exact(&game, 100_000).expect("tiny instance").value;
+        Some(solve_exact(&game, 100_000).expect("tiny instance").value)
+    });
+    let mut histogram: BTreeMap<Ratio, usize> = BTreeMap::new();
+    let mut connected_count = 0usize;
+    for value in values.into_iter().flatten() {
+        connected_count += 1;
         *histogram.entry(value).or_insert(0) += 1;
     }
     report.phase("atlas_sweep", sweep_start.elapsed());

@@ -21,9 +21,15 @@ pub fn run() {
     let mut table = Table::new(vec!["n", "m", "median time", "us/run"]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for (i, &n) in sizes.iter().enumerate() {
-        let graph = random_connected(n, 4.0 / n as f64, 42 + i as u64);
-        let game = TupleGame::new(&graph, 1, 2).expect("valid game");
+    // Instance *construction* (seeded G(n,p) generation, connectivity
+    // retries) parallelizes; the timing loop below stays serial so the
+    // medians measure an unloaded machine.
+    let graphs = defender_par::par_for_indexed(sizes.len(), |i| {
+        let n = sizes[i];
+        random_connected(n, 4.0 / n as f64, 42 + i as u64)
+    });
+    for (&n, graph) in sizes.iter().zip(&graphs) {
+        let game = TupleGame::new(graph, 1, 2).expect("valid game");
         let t = median_time(5, || {
             std::hint::black_box(pure_ne_existence(&game));
         });

@@ -34,13 +34,18 @@ pub fn run() {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     report.timed_phase("sweep_n", || {
-        for n in [2_000usize, 4_000, 8_000, 16_000, 32_000] {
-            let graph = generators::cycle(n);
-            let (is, vc) = alternating_partition(n);
-            let game = TupleGame::new(&graph, k, 4).expect("valid game");
+        let ns = [2_000usize, 4_000, 8_000, 16_000, 32_000];
+        // Cycle + partition construction fans out over the pool; the
+        // timing loop below stays serial so medians are unloaded.
+        let instances = defender_par::par_for_indexed(ns.len(), |i| {
+            let n = ns[i];
+            (generators::cycle(n), alternating_partition(n))
+        });
+        for (&n, (graph, (is, vc))) in ns.iter().zip(&instances) {
+            let game = TupleGame::new(graph, k, 4).expect("valid game");
             let t = median_time(5, || {
                 std::hint::black_box(
-                    a_tuple(&game, &is, &vc).expect("even cycles admit k-matching NE"),
+                    a_tuple(&game, is, vc).expect("even cycles admit k-matching NE"),
                 );
             });
             xs.push(n as f64);

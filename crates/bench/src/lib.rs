@@ -22,6 +22,9 @@ pub use timing::{linear_fit, median_time};
 /// - `--trace <FILE>` — record an event-level timeline of the run and
 ///   write it as Chrome trace-event JSON (open in Perfetto or
 ///   `chrome://tracing`).
+/// - `--jobs <N>` — worker-pool width for the parallel inner loops
+///   (default: the machine's available parallelism). Results are
+///   byte-identical for every `N`; only wall-clock time changes.
 ///
 /// Exits with status 2 on a usage or export error (experiment assertion
 /// failures panic, as before).
@@ -42,9 +45,19 @@ fn experiment_main_with(argv: &[String], run: impl FnOnce()) -> Result<(), Strin
                 let value = iter.next().ok_or("option `--trace` needs a value")?;
                 trace_path = Some(std::path::PathBuf::from(value));
             }
+            "--jobs" => {
+                let value = iter.next().ok_or("option `--jobs` needs a value")?;
+                let n: usize = value.parse().map_err(|_| {
+                    format!("option `--jobs` needs a positive integer, got `{value}`")
+                })?;
+                if n == 0 {
+                    return Err("option `--jobs` needs a positive integer, got `0`".to_string());
+                }
+                defender_par::set_jobs(n);
+            }
             other => {
                 return Err(format!(
-                    "unknown option `{other}` (supported: --trace <FILE>)"
+                    "unknown option `{other}` (supported: --trace <FILE>, --jobs <N>)"
                 ))
             }
         }
@@ -60,4 +73,34 @@ fn experiment_main_with(argv: &[String], run: impl FnOnce()) -> Result<(), Strin
         eprintln!("wrote trace {}", path.display());
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn jobs_flag_sets_the_pool_width() {
+        let mut ran = false;
+        experiment_main_with(&args(&["--jobs", "3"]), || {
+            ran = true;
+            assert_eq!(defender_par::jobs(), 3);
+        })
+        .unwrap();
+        assert!(ran);
+        defender_par::set_jobs(1);
+    }
+
+    #[test]
+    fn jobs_flag_rejects_garbage() {
+        let run = || panic!("must not run");
+        assert!(experiment_main_with(&args(&["--jobs"]), run).is_err());
+        assert!(experiment_main_with(&args(&["--jobs", "zero"]), run).is_err());
+        assert!(experiment_main_with(&args(&["--jobs", "0"]), run).is_err());
+        assert!(experiment_main_with(&args(&["--bogus"]), run).is_err());
+    }
 }

@@ -85,6 +85,7 @@ pub struct RunReport {
     experiment: String,
     phases: Vec<(String, Duration)>,
     counters: Vec<(String, u64)>,
+    parallelism: Vec<(String, u64)>,
 }
 
 impl RunReport {
@@ -95,6 +96,7 @@ impl RunReport {
             experiment: experiment.to_string(),
             phases: Vec::new(),
             counters: Vec::new(),
+            parallelism: Vec::new(),
         }
     }
 
@@ -119,9 +121,23 @@ impl RunReport {
     }
 
     /// Copies every counter from an obs snapshot into the report.
+    ///
+    /// The `par.*` namespace is an execution-shape record (pool width,
+    /// per-worker task splits) that legitimately varies with `--jobs`; it
+    /// goes into the separate "parallelism" section so the "counters"
+    /// object stays byte-identical for every pool width.
     pub fn counters_from(&mut self, snapshot: &defender_obs::Snapshot) -> &mut RunReport {
         for (name, value) in &snapshot.counters {
-            self.counters.push((name.clone(), *value));
+            if name.starts_with("par.") {
+                self.parallelism.push((name.clone(), *value));
+            } else {
+                self.counters.push((name.clone(), *value));
+            }
+        }
+        for (name, value) in &snapshot.gauges {
+            if name.starts_with("par.") {
+                self.parallelism.push((name.clone(), *value));
+            }
         }
         self
     }
@@ -144,6 +160,13 @@ impl RunReport {
         root.field_str("experiment", &self.experiment);
         root.field_raw("phases", &phases.finish());
         root.field_raw("counters", &counters.finish());
+        if !self.parallelism.is_empty() {
+            let mut par = JsonObject::new();
+            for (name, value) in &self.parallelism {
+                par.field_u64(name, *value);
+            }
+            root.field_raw("parallelism", &par.finish());
+        }
         root.finish()
     }
 
@@ -190,5 +213,37 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn arity_checked() {
         Table::new(vec!["a"]).row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn par_metrics_are_segregated_from_counters() {
+        let snapshot = defender_obs::Snapshot {
+            counters: vec![
+                ("algo.pivots".to_string(), 7),
+                ("par.tasks.w0".to_string(), 12),
+                ("par.tasks.w1".to_string(), 5),
+            ],
+            gauges: vec![("other.gauge".to_string(), 3), ("par.jobs".to_string(), 2)],
+            histograms: Vec::new(),
+            spans: Vec::new(),
+        };
+        let mut report = RunReport::new("unit");
+        report.counters_from(&snapshot);
+        let json = report.to_json();
+        // The jobs-invariant counters object holds only algorithm work.
+        assert!(json.contains(r#""counters": {"algo.pivots": 7}"#), "{json}");
+        // Execution shape lands in the parallelism section.
+        assert!(json.contains(r#""parallelism""#), "{json}");
+        assert!(json.contains(r#""par.jobs": 2"#), "{json}");
+        assert!(json.contains(r#""par.tasks.w0": 12"#), "{json}");
+        // Non-par gauges are not counters and stay out entirely.
+        assert!(!json.contains("other.gauge"), "{json}");
+    }
+
+    #[test]
+    fn parallelism_section_is_omitted_when_empty() {
+        let mut report = RunReport::new("unit");
+        report.counter("algo.steps", 1);
+        assert!(!report.to_json().contains("parallelism"));
     }
 }

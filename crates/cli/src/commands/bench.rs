@@ -2,14 +2,18 @@
 //! sidecars and Chrome trace exports.
 //!
 //! ```text
-//! defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001]
-//! defender bench validate-trace <trace.json>
+//! defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001] [--counters-only]
+//! defender bench validate-trace <trace.json> [--min-threads 1]
 //! ```
 //!
 //! `diff` exits with code 2 when any phase or counter regresses beyond the
-//! threshold, so CI can gate on it directly; `validate-trace` checks that a
-//! `--trace` export is well-formed Chrome trace-event JSON with balanced
-//! begin/end pairs.
+//! threshold, so CI can gate on it directly; `--counters-only` skips the
+//! machine-sensitive wall-clock phases and judges only the deterministic
+//! counters (the mode CI uses, since a slower runner must not fail the
+//! gate). `validate-trace` checks that a `--trace` export is well-formed
+//! Chrome trace-event JSON with balanced begin/end pairs; `--min-threads`
+//! additionally requires the timeline to span at least that many threads
+//! (asserting a `--jobs N` run really fanned out).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -19,8 +23,8 @@ use defender_bench::diff::{self, DiffConfig, Sidecar};
 use crate::args::Options;
 
 const USAGE: &str = "usage:\n  \
-    defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001]\n  \
-    defender bench validate-trace <trace.json>";
+    defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001] [--counters-only]\n  \
+    defender bench validate-trace <trace.json> [--min-threads 1]";
 
 /// Dispatches the `bench` subcommands.
 ///
@@ -58,10 +62,26 @@ fn run_diff(argv: &[String]) -> Result<ExitCode, String> {
             "`bench diff` needs exactly two sidecar files\n{USAGE}"
         ));
     };
-    let options = Options::parse(option_tokens)?;
+    // `--counters-only` is a bare flag; strip it before the `--key value`
+    // option parser sees the token stream.
+    let mut counters_only = false;
+    let option_tokens: Vec<String> = option_tokens
+        .iter()
+        .filter(|token| {
+            if token.as_str() == "--counters-only" {
+                counters_only = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    let options = Options::parse(&option_tokens)?;
     let config = DiffConfig {
         threshold: options.parse_or("threshold", diff::DEFAULT_THRESHOLD)?,
         noise_floor_seconds: options.parse_or("noise-floor", diff::DEFAULT_NOISE_FLOOR_SECONDS)?,
+        counters_only,
     };
     if config.threshold < 0.0 {
         return Err("option `--threshold` must be non-negative".to_string());
@@ -90,16 +110,21 @@ fn run_validate_trace(argv: &[String]) -> Result<ExitCode, String> {
             "`bench validate-trace` needs one trace file\n{USAGE}"
         ));
     };
-    if !option_tokens.is_empty() {
-        return Err(format!("`bench validate-trace` takes no options\n{USAGE}"));
-    }
+    let options = Options::parse(option_tokens)?;
+    let min_threads: usize = options.parse_or("min-threads", 1)?;
     let text = std::fs::read_to_string(trace_path)
         .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
     let check = defender_obs::trace::validate_chrome_trace(&text)
         .map_err(|e| format!("{trace_path}: invalid trace: {e}"))?;
+    if check.threads < min_threads {
+        return Err(format!(
+            "{trace_path}: trace spans {} thread(s), expected at least {min_threads}",
+            check.threads
+        ));
+    }
     println!(
-        "{trace_path}: valid Chrome trace ({} events, max depth {}, {} dropped)",
-        check.events, check.max_depth, check.dropped
+        "{trace_path}: valid Chrome trace ({} events, {} threads, max depth {}, {} dropped)",
+        check.events, check.threads, check.max_depth, check.dropped
     );
     Ok(ExitCode::SUCCESS)
 }

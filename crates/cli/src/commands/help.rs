@@ -11,8 +11,8 @@ USAGE:
   defender simulate --graph <file> --k <K> --nu <NU> [--rounds <R>] [--seed <S>]
   defender value    --graph <file> --k <K> [--limit <TUPLES>]
   defender convert  --in <file> --out <file> [--from <fmt>] [--to <fmt>]
-  defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001]
-  defender bench validate-trace <trace.json>
+  defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001] [--counters-only]
+  defender bench validate-trace <trace.json> [--min-threads 1]
   defender help
 
 Every command (except `bench`) also accepts:
@@ -23,10 +23,16 @@ Every command (except `bench`) also accepts:
   --trace <FILE>          record an event-level timeline and write it as
                           Chrome trace-event JSON (open in Perfetto or
                           chrome://tracing)
+  --jobs <N>              worker-pool width for parallel inner loops
+                          (default: available parallelism; results are
+                          identical for every N)
 
 `bench diff` compares two BENCH_*.json sidecars (written by the
 defender-bench experiment binaries) and exits with code 2 when any phase
-wall time or counter regresses beyond the threshold.
+wall time or counter regresses beyond the threshold; `--counters-only`
+judges only the deterministic counters (for cross-machine CI gates).
+`bench validate-trace --min-threads N` additionally requires the timeline
+to span at least N threads.
 
 FORMATS: edges (default; `u v` per line) and graph6.
 

@@ -41,6 +41,13 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         return commands::bench::run(rest);
     }
     let options = args::Options::parse(rest)?;
+    if options.get("jobs").is_some() {
+        let n: usize = options.required_parse("jobs")?;
+        if n == 0 {
+            return Err("option `--jobs` must be at least 1".to_string());
+        }
+        defender_par::set_jobs(n);
+    }
     let metrics = metrics_format(&options)?;
     let metrics_out = options.get("metrics-out").map(PathBuf::from);
     let trace_out = options.get("trace").map(PathBuf::from);

@@ -110,18 +110,18 @@ impl<'a, 'g> GameAdapter<'a, 'g> {
         }
         let graph = self.game.graph();
         let n = graph.vertex_count();
-        let mut defender_payoff = Vec::with_capacity(self.tuples.len());
-        let mut attacker_payoff = Vec::with_capacity(self.tuples.len());
-        for t in &self.tuples {
+        // Rows are independent; build them on the worker pool and merge in
+        // tuple order, so the matrix is identical for every pool width.
+        let rows: Vec<(Vec<Ratio>, Vec<Ratio>)> = defender_par::par_map(&self.tuples, |t| {
             let mut drow = vec![Ratio::ZERO; n];
             let mut arow = vec![Ratio::ONE; n];
             for v in t.vertices(graph) {
                 drow[v.index()] = Ratio::ONE;
                 arow[v.index()] = Ratio::ZERO;
             }
-            defender_payoff.push(drow);
-            attacker_payoff.push(arow);
-        }
+            (drow, arow)
+        });
+        let (defender_payoff, attacker_payoff): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
         Ok((
             defender_game::TwoPlayerMatrixGame::new(defender_payoff, attacker_payoff),
             self.tuples.clone(),
@@ -252,6 +252,31 @@ mod tests {
             report.expected_payoffs[adapter.defender_index()],
             crate::gain::defender_gain(&game, ne.config())
         );
+    }
+
+    #[test]
+    fn bimatrix_is_identical_for_every_pool_width() {
+        let g = generators::complete_bipartite(2, 3);
+        let game = TupleGame::new(&g, 2, 1).unwrap();
+        let adapter = GameAdapter::new(&game, 10_000).unwrap();
+        defender_par::set_jobs(1);
+        let (serial, tuples_serial) = adapter.bimatrix().unwrap();
+        defender_par::set_jobs(4);
+        let (parallel, tuples_parallel) = adapter.bimatrix().unwrap();
+        defender_par::set_jobs(1);
+        assert_eq!(tuples_serial, tuples_parallel);
+        assert_eq!(serial.rows(), parallel.rows());
+        assert_eq!(serial.cols(), parallel.cols());
+        for i in 0..serial.rows() {
+            for j in 0..serial.cols() {
+                for player in 0..2 {
+                    assert_eq!(
+                        serial.payoff(player, &[i, j]),
+                        parallel.payoff(player, &[i, j])
+                    );
+                }
+            }
+        }
     }
 
     #[test]

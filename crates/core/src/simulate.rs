@@ -114,16 +114,28 @@ fn sample<'s, S: Clone + Ord, R: Rng + ?Sized>(
 ) -> &'s S {
     // Draw u uniform in [0, 1) as a rational with 2^53 granularity.
     let u = rng.gen_f64();
+    pick_by_cdf(strategy.iter().map(|(s, p)| (s, p.to_f64())), u)
+        .expect("mixed strategies have a positive-probability entry")
+}
+
+/// Walks `u` down the cumulative distribution of `(item, probability)`
+/// pairs. When f64 accumulation lands short of 1.0 and `u` falls past the
+/// final partial sum, falls back to the last *positive-probability* entry:
+/// an explicit zero entry must never be selected, not even by the rounding
+/// fallback (it would be an event of probability zero occurring).
+fn pick_by_cdf<'s, S>(entries: impl Iterator<Item = (&'s S, f64)>, u: f64) -> Option<&'s S> {
     let mut acc = 0.0f64;
-    let mut last = None;
-    for (s, p) in strategy.iter() {
-        acc += p.to_f64();
-        last = Some(s);
+    let mut last_positive = None;
+    for (s, p) in entries {
+        acc += p;
+        if p > 0.0 {
+            last_positive = Some(s);
+        }
         if u < acc {
-            return s;
+            return s.into();
         }
     }
-    last.expect("mixed strategies have non-empty support")
+    last_positive
 }
 
 #[cfg(test)]
@@ -213,5 +225,60 @@ mod tests {
     fn default_config_is_sane() {
         let d = SimulationConfig::default();
         assert!(d.rounds > 0);
+    }
+
+    /// Always returns the largest draw `gen_f64` can produce,
+    /// `(2^53 - 1) / 2^53` — the draw most likely to fall off the end of a
+    /// rounded-down f64 CDF.
+    struct MaxRng;
+
+    impl Rng for MaxRng {
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    #[test]
+    fn cdf_fallback_skips_trailing_explicit_zero() {
+        // Ten 0.1 probabilities accumulate in f64 to exactly 1 - 2^-53,
+        // which equals the maximal draw, so the walk falls through to the
+        // fallback. The pre-fix fallback tracked *every* entry and so
+        // returned the trailing zero-probability entry.
+        let entries: Vec<(u32, f64)> = (0..10).map(|i| (i, 0.1)).chain([(99, 0.0)]).collect();
+        let u = ((u64::MAX >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        let mut acc = 0.0;
+        for &(_, p) in &entries {
+            acc += p;
+        }
+        assert!(u >= acc, "the draw must fall past the accumulated CDF");
+        let picked =
+            pick_by_cdf(entries.iter().map(|(s, p)| (s, *p)), u).expect("positive entries exist");
+        assert_ne!(*picked, 99, "zero-probability entries are unsampleable");
+        assert_eq!(*picked, 9, "fallback is the last positive entry");
+    }
+
+    #[test]
+    fn cdf_walk_never_selects_interior_zeros() {
+        let entries = [(0u8, 0.5), (1, 0.0), (2, 0.5)];
+        for u in [0.0, 0.25, 0.49999, 0.5, 0.75, 0.99999] {
+            let picked = pick_by_cdf(entries.iter().map(|(s, p)| (s, *p)), u).unwrap();
+            assert_ne!(*picked, 1, "u = {u}");
+        }
+        assert!(pick_by_cdf([(&7u8, 0.0)].into_iter(), 0.3).is_none());
+    }
+
+    #[test]
+    fn sampler_fallback_returns_positive_entry_end_to_end() {
+        // A strategy whose ten-entry f64 CDF lands short of 1.0: MaxRng
+        // forces the fallback path through the public sampling loop.
+        let support: Vec<VertexId> = (0..10).map(VertexId::new).collect();
+        let strategy = MixedStrategy::uniform(support);
+        let mut rng = MaxRng;
+        let v = sample(&strategy, &mut rng);
+        assert!(
+            strategy.probability(v) > defender_num::Ratio::ZERO,
+            "sampled {v:?} must be in the support"
+        );
+        assert_eq!(v.index(), 9, "fallback lands on the last positive entry");
     }
 }

@@ -50,23 +50,33 @@ pub fn enumerate_equilibria(game: &TwoPlayerMatrixGame) -> Vec<BimatrixEquilibri
         "support enumeration limited to {MAX_STRATEGIES} strategies per player"
     );
     let _span = defender_obs::span!("enumerate_equilibria");
-    let mut out: Vec<BimatrixEquilibrium> = Vec::new();
-    for row_mask in 1u32..(1 << rows) {
-        let support_r: Vec<usize> = (0..rows).filter(|&i| row_mask & (1 << i) != 0).collect();
-        for col_mask in 1u32..(1 << cols) {
-            let support_c: Vec<usize> = (0..cols).filter(|&j| col_mask & (1 << j) != 0).collect();
-            if support_r.len() != support_c.len() {
-                defender_obs::counter!("game.support_enum.pruned_size_mismatch").incr();
-                continue;
+    // Fan the outer row-support loop over the worker pool: each candidate
+    // row support scans every column support independently, and the
+    // per-mask result blocks are merged in mask order, so the returned
+    // list is identical for every pool width. The `game.support_enum.*`
+    // counters are atomic sums over all cells and therefore equally
+    // order-insensitive.
+    let blocks: Vec<Vec<BimatrixEquilibrium>> =
+        defender_par::par_for_indexed((1usize << rows) - 1, |idx| {
+            let row_mask = idx as u32 + 1;
+            let support_r: Vec<usize> = (0..rows).filter(|&i| row_mask & (1 << i) != 0).collect();
+            let mut block = Vec::new();
+            for col_mask in 1u32..(1 << cols) {
+                let support_c: Vec<usize> =
+                    (0..cols).filter(|&j| col_mask & (1 << j) != 0).collect();
+                if support_r.len() != support_c.len() {
+                    defender_obs::counter!("game.support_enum.pruned_size_mismatch").incr();
+                    continue;
+                }
+                defender_obs::counter!("game.support_enum.supports_tested").incr();
+                if let Some(eq) = try_supports(game, &support_r, &support_c) {
+                    defender_obs::counter!("game.support_enum.equilibria_found").incr();
+                    block.push(eq);
+                }
             }
-            defender_obs::counter!("game.support_enum.supports_tested").incr();
-            if let Some(eq) = try_supports(game, &support_r, &support_c) {
-                defender_obs::counter!("game.support_enum.equilibria_found").incr();
-                out.push(eq);
-            }
-        }
-    }
-    out
+            block
+        });
+    blocks.into_iter().flatten().collect()
 }
 
 /// Attempts to place an equilibrium exactly on `(support_r, support_c)`.
@@ -243,6 +253,35 @@ mod tests {
         let eqs = enumerate_equilibria(&game);
         assert!(!eqs.is_empty());
         assert!(eqs.iter().all(|e| e.row_payoff == int(1)));
+    }
+
+    #[test]
+    fn enumeration_is_identical_for_every_pool_width() {
+        let game = TwoPlayerMatrixGame::new(
+            vec![
+                vec![int(4), int(1), int(0)],
+                vec![int(2), int(3), int(1)],
+                vec![int(0), int(1), int(2)],
+            ],
+            vec![
+                vec![int(1), int(2), int(0)],
+                vec![int(0), int(3), int(2)],
+                vec![int(3), int(0), int(4)],
+            ],
+        );
+        defender_par::set_jobs(1);
+        let serial = enumerate_equilibria(&game);
+        defender_par::set_jobs(4);
+        let parallel = enumerate_equilibria(&game);
+        defender_par::set_jobs(1);
+        assert!(!serial.is_empty());
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.row, b.row);
+            assert_eq!(a.col, b.col);
+            assert_eq!(a.row_payoff, b.row_payoff);
+            assert_eq!(a.col_payoff, b.col_payoff);
+        }
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub enum Graph6Error {
     Truncated,
     /// The size header announces a graph too large to handle.
     TooLarge,
+    /// The payload continues past the last sextet the upper triangle
+    /// needs — well-formed encoders never emit extra bytes.
+    TrailingData {
+        /// Byte offset (in the trimmed string) of the first extra byte.
+        position: usize,
+    },
+    /// The unused low bits of the final sextet are not zero, which the
+    /// format requires of every encoder.
+    NonzeroPadding,
 }
 
 impl fmt::Display for Graph6Error {
@@ -37,6 +46,15 @@ impl fmt::Display for Graph6Error {
             }
             Graph6Error::Truncated => write!(f, "graph6 payload shorter than the upper triangle"),
             Graph6Error::TooLarge => write!(f, "graph6 size header exceeds the supported range"),
+            Graph6Error::TrailingData { position } => {
+                write!(
+                    f,
+                    "graph6 payload continues past the upper triangle at byte {position}"
+                )
+            }
+            Graph6Error::NonzeroPadding => {
+                write!(f, "graph6 final sextet carries nonzero padding bits")
+            }
         }
     }
 }
@@ -119,8 +137,23 @@ pub fn from_graph6(text: &str) -> Result<Graph, Graph6Error> {
     };
 
     let needed_bits = n.saturating_sub(1) * n / 2;
-    if payload.len() * 6 < needed_bits {
+    let needed_bytes = needed_bits.div_ceil(6);
+    if payload.len() < needed_bytes {
         return Err(Graph6Error::Truncated);
+    }
+    if payload.len() > needed_bytes {
+        // A lax decoder would silently drop the extra sextets, decoding
+        // two different strings to the same graph; reject instead.
+        return Err(Graph6Error::TrailingData {
+            position: bytes.len() - payload.len() + needed_bytes,
+        });
+    }
+    if needed_bits % 6 != 0 {
+        let used = needed_bits % 6;
+        let padding_mask = (1u8 << (6 - used)) - 1;
+        if (payload[needed_bytes - 1] - 63) & padding_mask != 0 {
+            return Err(Graph6Error::NonzeroPadding);
+        }
     }
     let mut b = GraphBuilder::new(n);
     let mut bit_index = 0usize;
@@ -198,6 +231,71 @@ mod tests {
         );
         assert_eq!(from_graph6("~~????"), Err(Graph6Error::TooLarge));
         assert!(from_graph6("~?").is_err());
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        // "C~" (K4) with one spare sextet appended: a lax decoder reads
+        // the graph and silently ignores the rest.
+        assert_eq!(
+            from_graph6("C~?"),
+            Err(Graph6Error::TrailingData { position: 2 })
+        );
+        // Zero-vertex and one-vertex graphs need no payload at all.
+        assert_eq!(
+            from_graph6("??"),
+            Err(Graph6Error::TrailingData { position: 1 })
+        );
+        assert_eq!(
+            from_graph6("@?"),
+            Err(Graph6Error::TrailingData { position: 1 })
+        );
+        // The multi-byte header path: cycle(63) plus a spare byte.
+        let mut oversized = to_graph6(&generators::cycle(63));
+        let expected_position = oversized.len();
+        oversized.push('?');
+        assert_eq!(
+            from_graph6(&oversized),
+            Err(Graph6Error::TrailingData {
+                position: expected_position
+            })
+        );
+    }
+
+    #[test]
+    fn nonzero_padding_bits_rejected() {
+        // C5 is "Dhc": n = 5 needs 10 bits, so the final sextet uses 4
+        // bits and pads 2. Setting a padding bit must be rejected.
+        assert_eq!(from_graph6("Dhc").unwrap(), generators::cycle(5));
+        assert_eq!(from_graph6("Dhd"), Err(Graph6Error::NonzeroPadding));
+        // Same check through the multi-byte header path: n = 63 needs
+        // 1953 bits = 325 sextets + 3 bits, leaving 3 padding bits.
+        let mut encoded = to_graph6(&generators::cycle(63)).into_bytes();
+        let last = encoded.last_mut().unwrap();
+        *last += 1; // flips the lowest padding bit, stays printable
+        assert_eq!(
+            from_graph6(std::str::from_utf8(&encoded).unwrap()),
+            Err(Graph6Error::NonzeroPadding)
+        );
+    }
+
+    #[test]
+    fn strict_roundtrip_is_bijective_on_encodings() {
+        // Every encoder output decodes, and every decodable string
+        // re-encodes to itself — strictness makes the map injective.
+        let mut rng = StdRng::seed_from_u64(11);
+        for g in [
+            generators::complete(4),
+            generators::cycle(63),
+            generators::cycle(100),
+            generators::gnp(30, 0.4, &mut rng),
+            crate::GraphBuilder::new(2).build(),
+        ] {
+            let encoded = to_graph6(&g);
+            let decoded = from_graph6(&encoded).unwrap();
+            assert_eq!(decoded, g);
+            assert_eq!(to_graph6(&decoded), encoded);
+        }
     }
 
     #[test]

@@ -171,6 +171,19 @@ impl Metric {
     }
 }
 
+/// Creates a counter whose name is only known at runtime (e.g. one cell
+/// per pool worker), leaking both the name and the cell so the handle
+/// satisfies the registry's `'static` contract.
+///
+/// Intended for small, bounded families of names (worker indices, shard
+/// ids) — each distinct name leaks once for the life of the process, so
+/// callers should cache the returned handle. Prefer [`counter!`] whenever
+/// the name is a compile-time constant.
+#[must_use]
+pub fn leaked_counter(name: String) -> &'static Metric {
+    Box::leak(Box::new(Metric::new_counter(name.leak())))
+}
+
 /// A static log2-bucket value histogram; create via [`histogram!`].
 #[derive(Debug)]
 pub struct Histogram {

@@ -334,6 +334,9 @@ pub struct TraceCheck {
     pub max_depth: usize,
     /// Drop count the exporter reported (`otherData.droppedEvents`).
     pub dropped: u64,
+    /// Distinct thread ids carrying events — a parallel run (`--jobs N`,
+    /// N > 1) shows the main thread plus one lane per worker.
+    pub threads: usize,
 }
 
 /// Parses and structurally validates a Chrome trace-event JSON document:
@@ -422,6 +425,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         events: events.len(),
         max_depth,
         dropped,
+        threads: last_ts.len(),
     })
 }
 
@@ -523,6 +527,20 @@ mod tests {
         assert_eq!(check.events, 5);
         assert!(check.max_depth >= 2);
         assert_eq!(check.dropped, 0);
+        assert!(check.threads >= 1);
+    }
+
+    #[test]
+    fn validator_counts_distinct_threads() {
+        let doc = r#"{"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 1, "tid": 1},
+            {"name": "w", "ph": "B", "ts": 2, "tid": 2},
+            {"name": "w", "ph": "E", "ts": 3, "tid": 2},
+            {"name": "w", "ph": "B", "ts": 2, "tid": 3},
+            {"name": "w", "ph": "E", "ts": 4, "tid": 3},
+            {"name": "a", "ph": "E", "ts": 5, "tid": 1}]}"#;
+        let check = validate_chrome_trace(doc).unwrap();
+        assert_eq!(check.threads, 3);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! The pool's trace story, end to end in a dedicated process: a parallel
+//! map under event tracing exports a Chrome timeline whose per-thread
+//! span stacks are balanced and which really spans multiple threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn parallel_trace_is_balanced_and_multi_threaded() {
+    defender_obs::trace::start();
+    defender_par::set_jobs(4);
+    // Tasks spin until at least two workers have arrived, so the timeline
+    // provably spans more than one thread even on a single-core host.
+    let arrived = AtomicUsize::new(0);
+    let results = defender_par::par_for_indexed(8, |i| {
+        arrived.fetch_add(1, Ordering::SeqCst);
+        while arrived.load(Ordering::SeqCst) < 2 {
+            std::thread::yield_now();
+        }
+        let _inner = defender_obs::span!("task_body");
+        i * 3
+    });
+    defender_par::set_jobs(1);
+    defender_obs::trace::stop();
+    assert_eq!(results, (0..8).map(|i| i * 3).collect::<Vec<_>>());
+
+    let doc = defender_obs::trace::chrome_trace_json();
+    let check = defender_obs::trace::validate_chrome_trace(&doc)
+        .expect("parallel trace must keep per-thread stack discipline");
+    assert_eq!(check.dropped, 0, "nothing should be dropped here");
+    assert!(
+        check.threads >= 2,
+        "expected worker lanes beyond the main thread, saw {} ({doc})",
+        check.threads
+    );
+    // Every worker lane wraps its tasks in a `par.worker` span.
+    assert!(doc.contains(r#""name": "par.worker""#), "{doc}");
+}
