@@ -44,4 +44,14 @@ target/release/defender bench diff \
   "$SMOKE_DIR/BENCH_e1_pure_frontier.json" \
   --counters-only
 
+# Second baseline: the value atlas drives the support-enumeration and
+# deferred-reduction kernels, so its sidecar pins `se.pairs_tested` /
+# `num.*` — any counter growing past the threshold (a pruning or fast-path
+# regression) fails the gate. The suite smoke run above already wrote the
+# fresh sidecar.
+target/release/defender bench diff \
+  baselines/BENCH_e15_value_atlas.json \
+  "$SUITE_DIR/BENCH_e15_value_atlas.json" \
+  --counters-only
+
 echo "CI OK"

@@ -131,7 +131,15 @@ pub fn matching_ne_from_config(
 /// matching NE — `IS` independent and `VC` matchable into `IS`.
 #[must_use]
 pub fn partition_admits_matching_ne(graph: &Graph, is: &[VertexId]) -> bool {
-    if !independent_set::is_independent_set(graph, is) {
+    let mut scratch = Vec::new();
+    partition_admits_with_scratch(graph, is, &mut scratch)
+}
+
+/// [`partition_admits_matching_ne`] with a caller-owned scratch buffer for
+/// the independence test, so sweeps over many candidate sets (like
+/// [`find_partition_small`]) stay allocation-free word arithmetic.
+fn partition_admits_with_scratch(graph: &Graph, is: &[VertexId], scratch: &mut Vec<u64>) -> bool {
+    if !independent_set::is_independent_set_with_scratch(graph, is, scratch) {
         return false;
     }
     let vc = vertex_cover::complement(graph, is);
@@ -250,12 +258,13 @@ pub fn find_partition_small(graph: &Graph) -> Option<VertexSet> {
         n <= 20,
         "brute-force partition search limited to 20 vertices, got {n}"
     );
+    let mut scratch = Vec::new();
     for mask in 0u32..(1u32 << n) {
         let is: VertexSet = (0..n)
             .filter(|&i| mask & (1 << i) != 0)
             .map(VertexId::new)
             .collect();
-        if partition_admits_matching_ne(graph, &is) {
+        if partition_admits_with_scratch(graph, &is, &mut scratch) {
             return Some(is);
         }
     }

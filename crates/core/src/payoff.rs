@@ -2,7 +2,7 @@
 //! (equations (1) and (2) of the paper), all in exact rationals.
 
 use defender_graph::{EdgeId, VertexId};
-use defender_num::Ratio;
+use defender_num::{Ratio, RatioAccum};
 
 use crate::model::{MixedConfig, TupleGame};
 use crate::tuple::Tuple;
@@ -15,36 +15,43 @@ use crate::tuple::Tuple;
 #[must_use]
 pub fn hit_probabilities(game: &TupleGame<'_>, config: &MixedConfig) -> Vec<Ratio> {
     let graph = game.graph();
-    let mut hit = vec![Ratio::ZERO; graph.vertex_count()];
+    // Per-vertex deferred accumulators: one gcd per vertex at the end
+    // instead of one per support-tuple increment.
+    let mut hit: Vec<RatioAccum> = (0..graph.vertex_count())
+        .map(|_| RatioAccum::new())
+        .collect();
     for (t, p) in config.defender().iter() {
         for v in t.vertices(graph) {
-            hit[v.index()] += p;
+            hit[v.index()].add(p);
         }
     }
-    hit
+    hit.into_iter().map(RatioAccum::finish).collect()
 }
 
 /// `P_s(Hit(v))` for a single vertex.
 #[must_use]
 pub fn hit_probability(game: &TupleGame<'_>, config: &MixedConfig, v: VertexId) -> Ratio {
-    config
-        .tuples_hitting(game.graph(), v)
-        .into_iter()
-        .map(|t| config.defender().probability(t))
-        .sum()
+    Ratio::sum_iter(
+        config
+            .tuples_hitting(game.graph(), v)
+            .into_iter()
+            .map(|t| config.defender().probability(t)),
+    )
 }
 
 /// `m_s(v)` for every vertex: the expected number of vertex players
 /// choosing `v` (sum of per-attacker probabilities).
 #[must_use]
 pub fn vertex_mass(game: &TupleGame<'_>, config: &MixedConfig) -> Vec<Ratio> {
-    let mut mass = vec![Ratio::ZERO; game.graph().vertex_count()];
+    let mut mass: Vec<RatioAccum> = (0..game.graph().vertex_count())
+        .map(|_| RatioAccum::new())
+        .collect();
     for s in config.attackers() {
         for (v, p) in s.iter() {
-            mass[v.index()] += p;
+            mass[v.index()].add(p);
         }
     }
-    mass
+    mass.into_iter().map(RatioAccum::finish).collect()
 }
 
 /// `m_s(e) = m_s(u) + m_s(v)` for an edge `e = (u, v)`.
@@ -67,10 +74,11 @@ pub fn tuple_mass(game: &TupleGame<'_>, config: &MixedConfig, t: &Tuple) -> Rati
 /// recomputation in sweeps over many tuples).
 #[must_use]
 pub fn tuple_mass_with(mass: &[Ratio], game: &TupleGame<'_>, t: &Tuple) -> Ratio {
-    t.vertices(game.graph())
-        .into_iter()
-        .map(|v| mass[v.index()])
-        .sum()
+    Ratio::sum_iter(
+        t.vertices(game.graph())
+            .into_iter()
+            .map(|v| mass[v.index()]),
+    )
 }
 
 /// Equation (1): the expected Individual Profit of vertex player `i`,
@@ -82,11 +90,12 @@ pub fn tuple_mass_with(mass: &[Ratio], game: &TupleGame<'_>, t: &Tuple) -> Ratio
 #[must_use]
 pub fn expected_ip_vertex_player(game: &TupleGame<'_>, config: &MixedConfig, i: usize) -> Ratio {
     let hit = hit_probabilities(game, config);
-    config
-        .attacker(i)
-        .iter()
-        .map(|(v, p)| p * (Ratio::ONE - hit[v.index()]))
-        .sum()
+    Ratio::dot_iter(
+        config
+            .attacker(i)
+            .iter()
+            .map(|(v, p)| (p, Ratio::ONE - hit[v.index()])),
+    )
 }
 
 /// Equation (2): the expected Individual Profit of the tuple player,
@@ -94,17 +103,18 @@ pub fn expected_ip_vertex_player(game: &TupleGame<'_>, config: &MixedConfig, i: 
 #[must_use]
 pub fn expected_ip_tuple_player(game: &TupleGame<'_>, config: &MixedConfig) -> Ratio {
     let mass = vertex_mass(game, config);
-    config
-        .defender()
-        .iter()
-        .map(|(t, p)| p * tuple_mass_with(&mass, game, t))
-        .sum()
+    Ratio::dot_iter(
+        config
+            .defender()
+            .iter()
+            .map(|(t, p)| (p, tuple_mass_with(&mass, game, t))),
+    )
 }
 
 /// Conservation check behind Claim 3.7: total vertex mass equals `ν`.
 #[must_use]
 pub fn total_mass(game: &TupleGame<'_>, config: &MixedConfig) -> Ratio {
-    vertex_mass(game, config).into_iter().sum()
+    Ratio::sum_iter(vertex_mass(game, config))
 }
 
 #[cfg(test)]

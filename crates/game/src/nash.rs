@@ -6,7 +6,7 @@
 //! `defender-core` on tiny instances, with exact rational arithmetic and no
 //! tolerance parameters.
 
-use defender_num::Ratio;
+use defender_num::{Ratio, RatioAccum};
 
 use crate::{MixedStrategy, StrategicGame};
 
@@ -65,10 +65,12 @@ pub fn expected_payoff<G: StrategicGame>(
     profile: &[MixedStrategy<G::Strategy>],
 ) -> Ratio {
     assert_eq!(profile.len(), game.player_count(), "profile size mismatch");
-    let mut total = Ratio::ZERO;
+    // Accumulate the product-distribution expectation without reducing per
+    // term; one gcd at the end produces the identical canonical Ratio.
+    let mut total = RatioAccum::new();
     let mut pure: Vec<G::Strategy> = Vec::with_capacity(profile.len());
     product_walk(game, player, profile, 0, Ratio::ONE, &mut pure, &mut total);
-    total
+    total.finish()
 }
 
 fn product_walk<G: StrategicGame>(
@@ -78,10 +80,10 @@ fn product_walk<G: StrategicGame>(
     depth: usize,
     weight: Ratio,
     pure: &mut Vec<G::Strategy>,
-    total: &mut Ratio,
+    total: &mut RatioAccum,
 ) {
     if depth == profile.len() {
-        *total += weight * game.payoff(player, pure);
+        total.add_mul(weight, game.payoff(player, pure));
         return;
     }
     for (s, p) in profile[depth].iter() {

@@ -33,9 +33,157 @@ pub struct BimatrixEquilibrium {
 
 const MAX_STRATEGIES: usize = 12;
 
+/// Precomputed dominance/duplication structure of a bimatrix game, used to
+/// discard candidate support pairs that provably carry no equilibrium
+/// *before* their indifference systems are built and solved.
+///
+/// Every pruning rule is output-preserving: each one certifies that
+/// [`try_supports`] would have returned `None` for the pair, either because
+/// the pair's linear system is singular (duplicate rows/columns restricted
+/// to the supports) or because dominance — weak on the support with at
+/// least one strict coordinate inside it — contradicts the best-response
+/// conditions that the positivity/deviation checks enforce.
+/// The enumeration therefore returns the exact same equilibrium list, in
+/// the same order, as the unpruned sweep.
+struct PruneTables {
+    /// Entry `cm`: bitmask of rows `i` dominated on the column set `cm` —
+    /// some `i' ≠ i` has `A[i'][j] ≥ A[i][j]` for all `j ∈ cm` with at
+    /// least one strict. Any equilibrium mixture `y` with support `cm` is
+    /// strictly positive there, so `i'` pays strictly more than `i`
+    /// against it; `i` supported then contradicts either row indifference
+    /// (`i'` supported too) or the deviation bound (`i'` outside), and the
+    /// pair dies in the positivity or deviation checks.
+    dom_rows_by_colmask: Vec<u32>,
+    /// `[j][j']`: bitmask of rows `i` with `B[i][j] < B[i][j']`. Column
+    /// `j` is dominated on a row support `R` if some `j'` is nowhere
+    /// worse on `R` and strictly better somewhere on `R` — the same
+    /// weak-dominance-with-a-strict-coordinate rule, transposed.
+    col_lt_rows: Vec<Vec<u32>>,
+    /// Row pairs `(i, i', eq)` with `eq` the columns where the two A-rows
+    /// agree. If both rows are supported and the column support lies
+    /// inside `eq`, the y-system has two identical equations — singular,
+    /// so `solve_linear` would return `None`.
+    row_eq_cols: Vec<(usize, usize, u32)>,
+    /// Column pairs `(j, j', eq)` with `eq` the rows where the two
+    /// B-columns agree; singular x-system when the row support fits.
+    col_eq_rows: Vec<(usize, usize, u32)>,
+    /// Rows strictly dominated on the *full* column set: every equal-size
+    /// pair of any row support containing one is skipped wholesale.
+    globally_dominated_rows: u32,
+}
+
+impl PruneTables {
+    fn build(game: &TwoPlayerMatrixGame) -> PruneTables {
+        let rows = game.rows();
+        let cols = game.cols();
+        let a: Vec<Vec<Ratio>> = (0..rows)
+            .map(|i| (0..cols).map(|j| game.payoff(0, &[i, j])).collect())
+            .collect();
+        let b: Vec<Vec<Ratio>> = (0..rows)
+            .map(|i| (0..cols).map(|j| game.payoff(1, &[i, j])).collect())
+            .collect();
+
+        // lt_a[i][i']: columns where row i pays strictly less than row i'.
+        let lt_a: Vec<Vec<u32>> = (0..rows)
+            .map(|i| {
+                (0..rows)
+                    .map(|i2| {
+                        (0..cols)
+                            .filter(|&j| a[i][j] < a[i2][j])
+                            .fold(0u32, |m, j| m | (1 << j))
+                    })
+                    .collect()
+            })
+            .collect();
+        // Row `i` is dominated on `cm` by `i'` when `i'` is nowhere worse
+        // (`lt_a[i'][i]` misses `cm`) and strictly better somewhere in it.
+        let dom_rows_by_colmask: Vec<u32> = (0..(1usize << cols))
+            .map(|cm| {
+                let cm = cm as u32;
+                (0..rows)
+                    .filter(|&i| {
+                        (0..rows)
+                            .any(|i2| i2 != i && lt_a[i2][i] & cm == 0 && lt_a[i][i2] & cm != 0)
+                    })
+                    .fold(0u32, |m, i| m | (1 << i))
+            })
+            .collect();
+
+        let col_lt_rows: Vec<Vec<u32>> = (0..cols)
+            .map(|j| {
+                (0..cols)
+                    .map(|j2| {
+                        (0..rows)
+                            .filter(|&i| b[i][j] < b[i][j2])
+                            .fold(0u32, |m, i| m | (1 << i))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut row_eq_cols = Vec::new();
+        for i in 0..rows {
+            for i2 in i + 1..rows {
+                let eq = (0..cols)
+                    .filter(|&j| a[i][j] == a[i2][j])
+                    .fold(0u32, |m, j| m | (1 << j));
+                if eq != 0 {
+                    row_eq_cols.push((i, i2, eq));
+                }
+            }
+        }
+        let mut col_eq_rows = Vec::new();
+        for j in 0..cols {
+            for j2 in j + 1..cols {
+                let eq = (0..rows)
+                    .filter(|&i| b[i][j] == b[i][j2])
+                    .fold(0u32, |m, i| m | (1 << i));
+                if eq != 0 {
+                    col_eq_rows.push((j, j2, eq));
+                }
+            }
+        }
+
+        // The wholesale row-support skip needs dominance that survives
+        // restriction to *every* column subset, i.e. strict on every
+        // single column — weak-with-one-strict does not restrict.
+        let all_cols = ((1u64 << cols) - 1) as u32;
+        let globally_dominated_rows = (0..rows)
+            .filter(|&i| (0..rows).any(|i2| i2 != i && lt_a[i][i2] == all_cols))
+            .fold(0u32, |m, i| m | (1 << i));
+        PruneTables {
+            dom_rows_by_colmask,
+            col_lt_rows,
+            row_eq_cols,
+            col_eq_rows,
+            globally_dominated_rows,
+        }
+    }
+}
+
+/// `C(n, k)` for the tiny ranges of the enumeration (`n ≤ 12`).
+fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let mut out = 1u64;
+    for i in 0..k.min(n - k) {
+        out = out * (n - i) as u64 / (i + 1) as u64;
+    }
+    out
+}
+
 /// Enumerates the equilibria of `game` with equal-size supports.
 ///
 /// For nondegenerate games this is the complete equilibrium set.
+///
+/// Candidate support pairs are filtered through [`PruneTables`] before
+/// their indifference systems are solved; the skipped pairs are exactly
+/// pairs that cannot carry an equilibrium, so the returned list — and the
+/// legacy `game.support_enum.*` counters — are identical to the unpruned
+/// sweep ([`enumerate_equilibria_unpruned`] checks this differentially).
+/// The new `se.pairs_tested` / `se.pairs_skipped` counters quantify the
+/// cut.
 ///
 /// # Panics
 ///
@@ -50,33 +198,127 @@ pub fn enumerate_equilibria(game: &TwoPlayerMatrixGame) -> Vec<BimatrixEquilibri
         "support enumeration limited to {MAX_STRATEGIES} strategies per player"
     );
     let _span = defender_obs::span!("enumerate_equilibria");
+    let tables = PruneTables::build(game);
+    let all_col_masks = (1u64 << cols) - 1;
     // Fan the outer row-support loop over the worker pool: each candidate
     // row support scans every column support independently, and the
     // per-mask result blocks are merged in mask order, so the returned
     // list is identical for every pool width. The `game.support_enum.*`
     // counters are atomic sums over all cells and therefore equally
-    // order-insensitive.
+    // order-insensitive; each worker batches its tallies locally and
+    // flushes once per row mask to keep atomics off the hot path.
     let blocks: Vec<Vec<BimatrixEquilibrium>> =
         defender_par::par_for_indexed((1usize << rows) - 1, |idx| {
             let row_mask = idx as u32 + 1;
-            let support_r: Vec<usize> = (0..rows).filter(|&i| row_mask & (1 << i) != 0).collect();
+            let support_size = row_mask.count_ones() as usize;
+            let mut size_mismatch = 0u64;
+            let mut tested_legacy = 0u64;
+            let mut pairs_tested = 0u64;
+            let mut pairs_skipped = 0u64;
+            let mut found = 0u64;
             let mut block = Vec::new();
-            for col_mask in 1u32..(1 << cols) {
-                let support_c: Vec<usize> =
-                    (0..cols).filter(|&j| col_mask & (1 << j) != 0).collect();
-                if support_r.len() != support_c.len() {
-                    defender_obs::counter!("game.support_enum.pruned_size_mismatch").incr();
-                    continue;
-                }
-                defender_obs::counter!("game.support_enum.supports_tested").incr();
-                if let Some(eq) = try_supports(game, &support_r, &support_c) {
-                    defender_obs::counter!("game.support_enum.equilibria_found").incr();
-                    block.push(eq);
+
+            if row_mask & tables.globally_dominated_rows != 0 {
+                // Every equal-size pair for this row support is dead; the
+                // legacy counters advance by the pair counts they would
+                // have seen.
+                let equal_size = binomial(cols, support_size);
+                tested_legacy = equal_size;
+                size_mismatch = all_col_masks - equal_size;
+                pairs_skipped = equal_size;
+            } else {
+                let support_r: Vec<usize> =
+                    (0..rows).filter(|&i| row_mask & (1 << i) != 0).collect();
+                // Columns dominated on this row support (rule 1): some
+                // `j'` is nowhere worse on the support and strictly
+                // better on at least one supported row.
+                let dominated_cols = (0..cols)
+                    .filter(|&j| {
+                        (0..cols).any(|j2| {
+                            j2 != j
+                                && tables.col_lt_rows[j2][j] & row_mask == 0
+                                && tables.col_lt_rows[j][j2] & row_mask != 0
+                        })
+                    })
+                    .fold(0u32, |m, j| m | (1 << j));
+                // Supported row pairs with duplicate A-rows (rule 3): any
+                // column support inside `eq` makes the y-system singular.
+                let dup_row_eqs: Vec<u32> = tables
+                    .row_eq_cols
+                    .iter()
+                    .filter(|&&(i, i2, _)| row_mask & (1 << i) != 0 && row_mask & (1 << i2) != 0)
+                    .map(|&(_, _, eq)| eq)
+                    .collect();
+                // Column pairs with duplicate B-columns on this row
+                // support (rule 4): both columns supported makes the
+                // x-system singular.
+                let dup_col_pairs: Vec<u32> = tables
+                    .col_eq_rows
+                    .iter()
+                    .filter(|&&(_, _, eq)| row_mask & !eq == 0)
+                    .map(|&(j, j2, _)| (1 << j) | (1 << j2))
+                    .collect();
+
+                for col_mask in 1u32..(1 << cols) {
+                    if col_mask.count_ones() as usize != support_size {
+                        size_mismatch += 1;
+                        continue;
+                    }
+                    tested_legacy += 1;
+                    let prunable = col_mask & dominated_cols != 0
+                        || tables.dom_rows_by_colmask[col_mask as usize] & row_mask != 0
+                        || dup_row_eqs.iter().any(|&eq| col_mask & !eq == 0)
+                        || dup_col_pairs.iter().any(|&pm| pm & !col_mask == 0);
+                    if prunable {
+                        pairs_skipped += 1;
+                        continue;
+                    }
+                    pairs_tested += 1;
+                    let support_c: Vec<usize> =
+                        (0..cols).filter(|&j| col_mask & (1 << j) != 0).collect();
+                    if let Some(eq) = try_supports(game, &support_r, &support_c) {
+                        found += 1;
+                        block.push(eq);
+                    }
                 }
             }
+
+            defender_obs::counter!("game.support_enum.pruned_size_mismatch").add(size_mismatch);
+            defender_obs::counter!("game.support_enum.supports_tested").add(tested_legacy);
+            defender_obs::counter!("game.support_enum.equilibria_found").add(found);
+            defender_obs::counter!("se.pairs_tested").add(pairs_tested);
+            defender_obs::counter!("se.pairs_skipped").add(pairs_skipped);
             block
         });
     blocks.into_iter().flatten().collect()
+}
+
+/// The pre-pruning sweep: every equal-size support pair goes straight to
+/// [`try_supports`]. Emits no counters. Kept as the differential oracle
+/// for the pruned enumeration; not part of the public API surface.
+#[doc(hidden)]
+#[must_use]
+pub fn enumerate_equilibria_unpruned(game: &TwoPlayerMatrixGame) -> Vec<BimatrixEquilibrium> {
+    let rows = game.rows();
+    let cols = game.cols();
+    assert!(
+        rows <= MAX_STRATEGIES && cols <= MAX_STRATEGIES,
+        "support enumeration limited to {MAX_STRATEGIES} strategies per player"
+    );
+    let mut out = Vec::new();
+    for row_mask in 1u32..(1 << rows) {
+        let support_r: Vec<usize> = (0..rows).filter(|&i| row_mask & (1 << i) != 0).collect();
+        for col_mask in 1u32..(1 << cols) {
+            let support_c: Vec<usize> = (0..cols).filter(|&j| col_mask & (1 << j) != 0).collect();
+            if support_r.len() != support_c.len() {
+                continue;
+            }
+            if let Some(eq) = try_supports(game, &support_r, &support_c) {
+                out.push(eq);
+            }
+        }
+    }
+    out
 }
 
 /// Attempts to place an equilibrium exactly on `(support_r, support_c)`.
@@ -132,16 +374,18 @@ fn try_supports(
         return None;
     }
 
-    // No profitable deviation outside the supports.
+    // No profitable deviation outside the supports. The deferred-reduction
+    // dot kernel reduces once per deviation row instead of once per term.
     for i in 0..game.rows() {
         if support_r.contains(&i) {
             continue;
         }
-        let payoff: Ratio = support_c
-            .iter()
-            .zip(y)
-            .map(|(&j, &p)| game.payoff(0, &[i, j]) * p)
-            .sum();
+        let payoff = Ratio::dot_iter(
+            support_c
+                .iter()
+                .zip(y)
+                .map(|(&j, &p)| (game.payoff(0, &[i, j]), p)),
+        );
         if payoff > v {
             return None;
         }
@@ -150,11 +394,12 @@ fn try_supports(
         if support_c.contains(&j) {
             continue;
         }
-        let payoff: Ratio = support_r
-            .iter()
-            .zip(x)
-            .map(|(&i, &p)| game.payoff(1, &[i, j]) * p)
-            .sum();
+        let payoff = Ratio::dot_iter(
+            support_r
+                .iter()
+                .zip(x)
+                .map(|(&i, &p)| (game.payoff(1, &[i, j]), p)),
+        );
         if payoff > w {
             return None;
         }

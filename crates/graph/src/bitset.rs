@@ -1,0 +1,191 @@
+//! Packed `u64`-word adjacency bitmap: O(1) edge tests and word-parallel
+//! set kernels.
+//!
+//! Built lazily per [`Graph`](crate::Graph) (see
+//! [`Graph::adjacency_bits`](crate::Graph::adjacency_bits)) and gated to
+//! [`BITSET_MAX_VERTICES`](crate::Graph::BITSET_MAX_VERTICES) vertices so
+//! the O(n²/8)-byte footprint never bites the large sparse instances the
+//! experiments sweep (E5 runs cycles up to n = 32 000).
+
+use crate::{Graph, VertexId};
+
+/// Number of vertices packed per word.
+const WORD_BITS: usize = 64;
+
+/// A dense adjacency matrix packed into `u64` words, one row per vertex.
+///
+/// Row `v` has bit `w` set iff `{v, w}` is an edge. Rows are
+/// `words_per_row` words long; bits at positions `>= n` are always zero.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdjacencyBits {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl AdjacencyBits {
+    /// Packs the adjacency of `graph` into a bitmap.
+    #[must_use]
+    pub(crate) fn build(graph: &Graph) -> AdjacencyBits {
+        let n = graph.vertex_count();
+        let words_per_row = n.div_ceil(WORD_BITS);
+        let mut bits = vec![0u64; n * words_per_row];
+        for e in graph.edges() {
+            let ep = graph.endpoints(e);
+            let (u, v) = (ep.u().index(), ep.v().index());
+            bits[u * words_per_row + v / WORD_BITS] |= 1u64 << (v % WORD_BITS);
+            bits[v * words_per_row + u / WORD_BITS] |= 1u64 << (u % WORD_BITS);
+        }
+        AdjacencyBits {
+            n,
+            words_per_row,
+            bits,
+        }
+    }
+
+    /// Number of words in each row.
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed neighbor row of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn row(&self, v: VertexId) -> &[u64] {
+        let lo = v.index() * self.words_per_row;
+        &self.bits[lo..lo + self.words_per_row]
+    }
+
+    /// O(1) adjacency test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of range.
+    #[must_use]
+    pub fn contains(&self, a: VertexId, b: VertexId) -> bool {
+        let (bi, bw) = (b.index() / WORD_BITS, b.index() % WORD_BITS);
+        self.bits[a.index() * self.words_per_row + bi] & (1u64 << bw) != 0
+    }
+
+    /// Word-parallel test: does the neighborhood of `v` intersect the
+    /// vertex set packed in `set_words`?
+    ///
+    /// `set_words` must be at least `words_per_row` long (extra words are
+    /// ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_words` is shorter than a row.
+    #[must_use]
+    pub fn row_intersects(&self, v: VertexId, set_words: &[u64]) -> bool {
+        self.row(v).iter().zip(set_words).any(|(&r, &s)| r & s != 0)
+    }
+
+    /// Word-parallel neighborhood intersection: the number of common
+    /// neighbors of `u` and `v`.
+    #[must_use]
+    pub fn common_neighbor_count(&self, u: VertexId, v: VertexId) -> usize {
+        self.row(u)
+            .iter()
+            .zip(self.row(v))
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates the neighbors of `v` in increasing id order by scanning
+    /// the set bits of its packed row.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.row(v).iter().enumerate().flat_map(|(wi, &word)| {
+            let base = wi * WORD_BITS;
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(VertexId::new(base + bit))
+            })
+        })
+    }
+}
+
+/// Packs a vertex set into `words` (cleared and resized to `word_len`).
+pub(crate) fn pack_set(set: &[VertexId], word_len: usize, words: &mut Vec<u64>) {
+    words.clear();
+    words.resize(word_len, 0);
+    for &v in set {
+        words[v.index() / WORD_BITS] |= 1u64 << (v.index() % WORD_BITS);
+    }
+}
+
+/// Whether `v` is a member of the packed set.
+pub(crate) fn set_contains(words: &[u64], v: VertexId) -> bool {
+    words[v.index() / WORD_BITS] & (1u64 << (v.index() % WORD_BITS)) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bitmap_matches_incidence_lists() {
+        for g in [
+            generators::petersen(),
+            generators::complete(9),
+            generators::star(70), // spills into a second word
+            generators::grid(5, 13),
+        ] {
+            let bits = AdjacencyBits::build(&g);
+            for a in g.vertices() {
+                let from_bits: Vec<VertexId> = bits.neighbors(a).collect();
+                let from_lists: Vec<VertexId> = g.neighbors(a).collect();
+                assert_eq!(from_bits, from_lists, "row {a}");
+                for b in g.vertices() {
+                    assert_eq!(bits.contains(a, b), g.has_edge(a, b), "({a}, {b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_intersects_is_word_parallel_membership() {
+        let g = generators::cycle(130);
+        let bits = AdjacencyBits::build(&g);
+        let mut words = Vec::new();
+        pack_set(
+            &[VertexId::new(0), VertexId::new(64), VertexId::new(129)],
+            bits.words_per_row(),
+            &mut words,
+        );
+        // v1 neighbors {0, 2}: intersects; v66 neighbors {65, 67}: does not.
+        assert!(bits.row_intersects(VertexId::new(1), &words));
+        assert!(!bits.row_intersects(VertexId::new(66), &words));
+        // 129 is adjacent to 0 on the cycle.
+        assert!(bits.row_intersects(VertexId::new(129), &words));
+        assert!(set_contains(&words, VertexId::new(64)));
+        assert!(!set_contains(&words, VertexId::new(65)));
+    }
+
+    #[test]
+    fn common_neighbors_count() {
+        let g = generators::complete(6);
+        let bits = AdjacencyBits::build(&g);
+        // In K6 two distinct vertices share the other four.
+        assert_eq!(
+            bits.common_neighbor_count(VertexId::new(0), VertexId::new(1)),
+            4
+        );
+        let p = generators::path(3);
+        let pbits = AdjacencyBits::build(&p);
+        assert_eq!(
+            pbits.common_neighbor_count(VertexId::new(0), VertexId::new(2)),
+            1
+        );
+    }
+}

@@ -1,6 +1,9 @@
 //! The core immutable [`Graph`] type and its id newtypes.
 
 use core::fmt;
+use std::sync::OnceLock;
+
+use crate::bitset::AdjacencyBits;
 
 /// Identifier of a vertex in a [`Graph`].
 ///
@@ -175,7 +178,7 @@ impl fmt::Display for Endpoints {
 /// let neighbors: Vec<_> = g.neighbors(v1).collect();
 /// assert_eq!(neighbors, vec![VertexId::new(0), VertexId::new(2)]);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Graph {
     /// CSR row offsets: vertex `v`'s incidence list is
     /// `adjacency[offsets[v] .. offsets[v + 1]]`.
@@ -184,7 +187,23 @@ pub struct Graph {
     adjacency: Vec<(VertexId, EdgeId)>,
     /// Endpoints of each edge, indexed by `EdgeId`.
     edges: Vec<Endpoints>,
+    /// Lazily built packed adjacency bitmap (see [`Graph::adjacency_bits`]).
+    /// `None` inside the lock means the graph exceeds
+    /// [`Graph::BITSET_MAX_VERTICES`] and the bitmap is never materialized.
+    bits: OnceLock<Option<AdjacencyBits>>,
 }
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Graph) -> bool {
+        // The bitmap is a cache derived from the CSR data; whether it has
+        // been built must not affect structural equality.
+        self.offsets == other.offsets
+            && self.adjacency == other.adjacency
+            && self.edges == other.edges
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     pub(crate) fn from_parts(vertex_count: usize, edges: Vec<Endpoints>) -> Graph {
@@ -218,7 +237,38 @@ impl Graph {
             offsets,
             adjacency,
             edges,
+            bits: OnceLock::new(),
         }
+    }
+
+    /// Largest vertex count for which [`Graph::adjacency_bits`] will build
+    /// the packed adjacency bitmap.
+    ///
+    /// At this bound the bitmap costs `n²/8 = 512 KiB`; beyond it the
+    /// quadratic footprint would dwarf the CSR representation for the
+    /// large sparse instances the experiments sweep (E5 runs cycles up to
+    /// `n = 32 000`, where a bitmap would be 128 MB).
+    pub const BITSET_MAX_VERTICES: usize = 2048;
+
+    /// The packed adjacency bitmap, building it on first call.
+    ///
+    /// Returns `None` when the graph has more than
+    /// [`Graph::BITSET_MAX_VERTICES`] vertices (or none at all); callers
+    /// must then fall back to the CSR incidence lists. The bitmap is built
+    /// at most once per graph and shared by all subsequent callers.
+    #[must_use]
+    pub fn adjacency_bits(&self) -> Option<&AdjacencyBits> {
+        self.bits
+            .get_or_init(|| {
+                let n = self.vertex_count();
+                (n > 0 && n <= Graph::BITSET_MAX_VERTICES).then(|| AdjacencyBits::build(self))
+            })
+            .as_ref()
+    }
+
+    /// The bitmap if some caller has already forced its construction.
+    pub(crate) fn built_bits(&self) -> Option<&AdjacencyBits> {
+        self.bits.get().and_then(Option::as_ref)
     }
 
     /// Number of vertices `n = |V|`.
@@ -293,14 +343,27 @@ impl Graph {
     }
 
     /// Whether vertices `a` and `b` are adjacent.
+    ///
+    /// O(1) single-word test when the adjacency bitmap has been built (see
+    /// [`Graph::adjacency_bits`]); O(log deg) binary search otherwise.
     #[must_use]
     pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        if let Some(bits) = self.built_bits() {
+            return bits.contains(a, b);
+        }
         self.find_edge(a, b).is_some()
     }
 
     /// The id of the edge joining `a` and `b`, if present.
     #[must_use]
     pub fn find_edge(&self, a: VertexId, b: VertexId) -> Option<EdgeId> {
+        // An already-built bitmap settles the (common) negative case with
+        // one word test before the binary search.
+        if let Some(bits) = self.built_bits() {
+            if !bits.contains(a, b) {
+                return None;
+            }
+        }
         let (probe, other) = if self.degree(a) <= self.degree(b) {
             (a, b)
         } else {
@@ -470,6 +533,63 @@ mod tests {
         let g = b.build();
         assert_eq!(g.max_degree(), 3);
         assert_eq!(g.min_degree(), 1);
+    }
+
+    #[test]
+    fn adjacency_bits_gate_and_reuse() {
+        let g = triangle();
+        let bits = g.adjacency_bits().expect("small graph builds a bitmap");
+        assert!(bits.contains(VertexId::new(0), VertexId::new(1)));
+        // Second call returns the same cached bitmap.
+        assert!(std::ptr::eq(bits, g.adjacency_bits().unwrap()));
+
+        let empty = GraphBuilder::new(0).build();
+        assert!(empty.adjacency_bits().is_none());
+
+        let mut big = GraphBuilder::new(Graph::BITSET_MAX_VERTICES + 1);
+        big.add_edge(0, 1);
+        let big = big.build();
+        assert!(big.adjacency_bits().is_none(), "above the size gate");
+        // CSR fallbacks still answer queries.
+        assert!(big.has_edge(VertexId::new(0), VertexId::new(1)));
+        assert!(!big.has_edge(VertexId::new(1), VertexId::new(2)));
+    }
+
+    #[test]
+    fn equality_ignores_bitmap_cache_state() {
+        let a = triangle();
+        let b = triangle();
+        let _ = a.adjacency_bits();
+        assert_eq!(a, b, "built bitmap on one side must not break equality");
+        let c = a.clone();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn edge_queries_agree_with_and_without_bitmap() {
+        // High-degree regression corpus for the find_edge binary search:
+        // star (one hub of degree n-1) and complete graphs, queried both
+        // before and after the bitmap exists.
+        for g in [crate::generators::star(80), crate::generators::complete(20)] {
+            let plain: Vec<Option<EdgeId>> = g
+                .vertices()
+                .flat_map(|a| g.vertices().map(move |b| (a, b)))
+                .map(|(a, b)| g.find_edge(a, b))
+                .collect();
+            g.adjacency_bits().expect("within size gate");
+            let with_bits: Vec<Option<EdgeId>> = g
+                .vertices()
+                .flat_map(|a| g.vertices().map(move |b| (a, b)))
+                .map(|(a, b)| g.find_edge(a, b))
+                .collect();
+            assert_eq!(plain, with_bits);
+            for (a, b) in g.vertices().flat_map(|a| g.vertices().map(move |b| (a, b))) {
+                assert_eq!(g.has_edge(a, b), g.find_edge(a, b).is_some());
+                if let Some(e) = g.find_edge(a, b) {
+                    assert!(g.endpoints(e).contains(a) && g.endpoints(e).contains(b));
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,11 +5,20 @@
 //! Nash equilibrium is an independent set (condition (1) of Definitions 2.2
 //! and 4.1).
 
+use std::collections::BTreeSet;
+
+use crate::bitset::{pack_set, set_contains};
 use crate::{Graph, VertexId, VertexSet};
 
 /// Whether `set` is an independent set of `graph`: no two members adjacent.
 ///
-/// `set` need not be sorted.
+/// `set` need not be sorted. The set is packed into a word bitset; when the
+/// graph's adjacency bitmap has already been built (see
+/// [`Graph::adjacency_bits`]) each member costs a handful of word-AND
+/// tests, otherwise its CSR neighbor list is scanned against the packed
+/// set. Hot loops that test many candidate sets on one graph should prefer
+/// [`is_independent_set_with_scratch`], which also reuses the packing
+/// buffer.
 ///
 /// # Examples
 ///
@@ -22,16 +31,32 @@ use crate::{Graph, VertexId, VertexSet};
 /// ```
 #[must_use]
 pub fn is_independent_set(graph: &Graph, set: &[VertexId]) -> bool {
-    let mut member = vec![false; graph.vertex_count()];
-    for &v in set {
-        member[v.index()] = true;
+    let mut scratch = Vec::new();
+    independent_against_packed(graph, set, &mut scratch)
+}
+
+/// [`is_independent_set`] for hot loops: forces the adjacency bitmap
+/// (within the [`Graph::BITSET_MAX_VERTICES`] gate) and reuses `scratch`
+/// as the packed-set buffer, so repeated candidate tests on one graph are
+/// allocation-free word arithmetic.
+#[must_use]
+pub fn is_independent_set_with_scratch(
+    graph: &Graph,
+    set: &[VertexId],
+    scratch: &mut Vec<u64>,
+) -> bool {
+    let _ = graph.adjacency_bits();
+    independent_against_packed(graph, set, scratch)
+}
+
+fn independent_against_packed(graph: &Graph, set: &[VertexId], scratch: &mut Vec<u64>) -> bool {
+    pack_set(set, graph.vertex_count().div_ceil(64), scratch);
+    if let Some(bits) = graph.built_bits() {
+        set.iter().all(|&v| !bits.row_intersects(v, scratch))
+    } else {
+        set.iter()
+            .all(|&v| !graph.neighbors(v).any(|w| set_contains(scratch, w)))
     }
-    for &v in set {
-        if graph.neighbors(v).any(|w| member[w.index()]) {
-            return false;
-        }
-    }
-    true
 }
 
 /// Greedy maximal independent set: repeatedly pick the lowest-id vertex not
@@ -56,28 +81,67 @@ pub fn greedy_maximal(graph: &Graph) -> VertexSet {
 }
 
 /// Greedy maximal independent set with a minimum-degree heuristic: at each
-/// step pick a not-yet-excluded vertex of smallest remaining degree. Tends
-/// to produce larger sets than [`greedy_maximal`].
+/// step pick a not-yet-excluded vertex of smallest remaining degree
+/// (smallest id on ties), exclude its neighbors, and discount the degrees
+/// of the neighbors' neighbors. Tends to produce larger sets than
+/// [`greedy_maximal`].
+///
+/// Runs in `O((n + m) log n)` via a degree-bucket queue: active vertices
+/// sit in per-degree ordered buckets and a floor pointer tracks the lowest
+/// non-empty bucket, replacing the former full `O(n)` min-scan per pick.
+/// Output is identical to that scan for every graph.
 #[must_use]
 pub fn greedy_min_degree(graph: &Graph) -> VertexSet {
     let n = graph.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
     let mut excluded = vec![false; n];
     let mut remaining_degree: Vec<usize> = graph.vertices().map(|v| graph.degree(v)).collect();
+    // Bucket b holds the active vertices of remaining degree b, ordered by
+    // id so `first()` reproduces the smallest-id tie-break of a linear
+    // min-scan. Degrees never exceed n - 1.
+    let mut buckets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    for v in 0..n {
+        buckets[remaining_degree[v]].insert(v as u32);
+    }
+    // Lowest possibly-non-empty bucket: advances by scanning, retreats when
+    // a decrement drops a vertex below it.
+    let mut floor = 0usize;
     let mut out = Vec::new();
     loop {
-        let pick = graph
-            .vertices()
-            .filter(|v| !excluded[v.index()])
-            .min_by_key(|v| remaining_degree[v.index()]);
-        let Some(v) = pick else { break };
-        out.push(v);
-        excluded[v.index()] = true;
-        for w in graph.neighbors(v) {
-            if !excluded[w.index()] {
-                excluded[w.index()] = true;
-                for x in graph.neighbors(w) {
-                    remaining_degree[x.index()] = remaining_degree[x.index()].saturating_sub(1);
+        while floor < n && buckets[floor].is_empty() {
+            floor += 1;
+        }
+        if floor == n {
+            break;
+        }
+        let vi = *buckets[floor].first().expect("floor bucket is non-empty") as usize;
+        buckets[floor].remove(&(vi as u32));
+        excluded[vi] = true;
+        out.push(VertexId::new(vi));
+        for w in graph.neighbors(VertexId::new(vi)) {
+            let wi = w.index();
+            if excluded[wi] {
+                continue;
+            }
+            excluded[wi] = true;
+            buckets[remaining_degree[wi]].remove(&(wi as u32));
+            for x in graph.neighbors(w) {
+                let xi = x.index();
+                // Excluded vertices never re-enter the queue; their stored
+                // degree is dead state and needs no bucket move.
+                if excluded[xi] {
+                    continue;
                 }
+                let d = remaining_degree[xi];
+                if d == 0 {
+                    continue;
+                }
+                buckets[d].remove(&(xi as u32));
+                remaining_degree[xi] = d - 1;
+                buckets[d - 1].insert(xi as u32);
+                floor = floor.min(d - 1);
             }
         }
     }
@@ -103,14 +167,19 @@ pub fn maximum_exact(graph: &Graph) -> VertexSet {
     if n == 0 {
         return Vec::new();
     }
-    let masks: Vec<u64> = graph
-        .vertices()
-        .map(|v| {
-            graph
-                .neighbors(v)
-                .fold(0u64, |acc, w| acc | (1u64 << w.index()))
-        })
-        .collect();
+    // With n <= 64 each packed adjacency row is exactly one word, so the
+    // branch-and-bound masks are the bitmap rows verbatim.
+    let masks: Vec<u64> = match graph.adjacency_bits() {
+        Some(bits) => graph.vertices().map(|v| bits.row(v)[0]).collect(),
+        None => graph
+            .vertices()
+            .map(|v| {
+                graph
+                    .neighbors(v)
+                    .fold(0u64, |acc, w| acc | (1u64 << w.index()))
+            })
+            .collect(),
+    };
 
     fn solve(candidates: u64, chosen: u64, best: &mut u64, masks: &[u64]) {
         if candidates == 0 {
@@ -153,6 +222,7 @@ pub fn independence_number_exact(graph: &Graph) -> usize {
 mod tests {
     use super::*;
     use crate::generators;
+    use defender_num::rng::Rng;
 
     #[test]
     fn predicate_basics() {
@@ -221,6 +291,101 @@ mod tests {
         assert!(maximum_exact(&empty).is_empty());
         let edgeless = crate::GraphBuilder::new(4).build();
         assert_eq!(maximum_exact(&edgeless).len(), 4);
+    }
+
+    /// The pre-bucket-queue `greedy_min_degree`: full min-scan per pick.
+    /// Kept verbatim as the reference the optimized version is pinned to.
+    fn reference_min_degree(graph: &Graph) -> VertexSet {
+        let mut excluded = vec![false; graph.vertex_count()];
+        let mut remaining_degree: Vec<usize> = graph.vertices().map(|v| graph.degree(v)).collect();
+        let mut out = Vec::new();
+        loop {
+            let pick = graph
+                .vertices()
+                .filter(|v| !excluded[v.index()])
+                .min_by_key(|v| remaining_degree[v.index()]);
+            let Some(v) = pick else { break };
+            out.push(v);
+            excluded[v.index()] = true;
+            for w in graph.neighbors(v) {
+                if !excluded[w.index()] {
+                    excluded[w.index()] = true;
+                    for x in graph.neighbors(w) {
+                        remaining_degree[x.index()] = remaining_degree[x.index()].saturating_sub(1);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn bucket_queue_greedy_matches_min_scan_on_generator_corpus() {
+        use crate::generators as gen;
+        let mut rng = defender_num::rng::StdRng::seed_from_u64(0x6D1D);
+        let mut corpus = vec![
+            gen::path(1),
+            gen::path(9),
+            gen::cycle(3),
+            gen::cycle(17),
+            gen::star(1),
+            gen::star(40),
+            gen::wheel(8),
+            gen::complete(7),
+            gen::complete_bipartite(3, 6),
+            gen::grid(4, 7),
+            gen::hypercube(4),
+            gen::petersen(),
+            gen::ladder(6),
+            gen::circulant(11, &[1, 3]),
+            crate::GraphBuilder::new(0).build(),
+            crate::GraphBuilder::new(5).build(),
+        ];
+        for _ in 0..8 {
+            corpus.push(gen::gnp(24, 0.2, &mut rng));
+            corpus.push(gen::random_tree(16, &mut rng));
+        }
+        corpus.push(gen::random_regular(18, 4, &mut rng));
+        for (i, g) in corpus.iter().enumerate() {
+            assert_eq!(
+                greedy_min_degree(g),
+                reference_min_degree(g),
+                "graph #{i} (n = {}, m = {})",
+                g.vertex_count(),
+                g.edge_count()
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_variant_agrees_with_plain_predicate() {
+        let mut rng = defender_num::rng::StdRng::seed_from_u64(0x15C4);
+        for g in [
+            generators::cycle(9),
+            generators::petersen(),
+            generators::gnp(70, 0.15, &mut rng), // spills into a second word
+        ] {
+            let mut scratch = Vec::new();
+            let n = g.vertex_count();
+            for _ in 0..200 {
+                let size = rng.gen_range(0..(n / 2 + 1));
+                let mut set: Vec<VertexId> = (0..size)
+                    .map(|_| VertexId::new(rng.gen_range(0..n)))
+                    .collect();
+                set.sort_unstable();
+                set.dedup();
+                assert_eq!(
+                    is_independent_set(&g, &set),
+                    is_independent_set_with_scratch(&g, &set, &mut scratch),
+                    "set {set:?}"
+                );
+            }
+            // After the scratch variant forced the bitmap, the plain
+            // predicate takes the word-parallel path; answers must hold.
+            assert!(g.built_bits().is_some());
+            assert!(is_independent_set(&g, &[]));
+        }
     }
 
     #[test]

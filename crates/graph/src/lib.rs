@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod bitset;
 mod builder;
 mod error;
 mod graph;
@@ -46,6 +47,7 @@ pub mod subgraph;
 pub mod traversal;
 pub mod vertex_cover;
 
+pub use bitset::AdjacencyBits;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeId, Endpoints, Graph, VertexId};

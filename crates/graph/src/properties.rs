@@ -73,6 +73,35 @@ impl Bipartition {
 /// ```
 pub fn bipartition(graph: &Graph) -> Result<Bipartition, GraphError> {
     let mut color: Vec<Option<u8>> = vec![None; graph.vertex_count()];
+    // Both neighbor sources enumerate in increasing id order, so the
+    // coloring (and hence the returned sides) is identical either way; the
+    // packed rows just trade pointer-chasing for word scans when a bitmap
+    // already exists.
+    match graph.built_bits() {
+        Some(bits) => two_color(graph, |v| bits.neighbors(v), &mut color)?,
+        None => two_color(graph, |v| graph.neighbors(v), &mut color)?,
+    }
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for v in graph.vertices() {
+        match color[v.index()] {
+            Some(0) => left.push(v),
+            _ => right.push(v),
+        }
+    }
+    Ok(Bipartition { left, right })
+}
+
+/// BFS two-coloring over an arbitrary neighbor source.
+fn two_color<'a, I, F>(
+    graph: &Graph,
+    neighbors: F,
+    color: &mut [Option<u8>],
+) -> Result<(), GraphError>
+where
+    F: Fn(VertexId) -> I,
+    I: Iterator<Item = VertexId> + 'a,
+{
     for source in graph.vertices() {
         if color[source.index()].is_some() {
             continue;
@@ -81,7 +110,7 @@ pub fn bipartition(graph: &Graph) -> Result<Bipartition, GraphError> {
         let mut queue = VecDeque::from([source]);
         while let Some(v) = queue.pop_front() {
             let cv = color[v.index()].expect("queued vertices are colored");
-            for w in graph.neighbors(v) {
+            for w in neighbors(v) {
                 match color[w.index()] {
                     None => {
                         color[w.index()] = Some(1 - cv);
@@ -93,15 +122,7 @@ pub fn bipartition(graph: &Graph) -> Result<Bipartition, GraphError> {
             }
         }
     }
-    let mut left = Vec::new();
-    let mut right = Vec::new();
-    for v in graph.vertices() {
-        match color[v.index()] {
-            Some(0) => left.push(v),
-            _ => right.push(v),
-        }
-    }
-    Ok(Bipartition { left, right })
+    Ok(())
 }
 
 /// Whether the graph is bipartite.
@@ -199,6 +220,22 @@ mod tests {
         b.add_edge(0, 1).add_edge(2, 3);
         let bp = bipartition(&b.build()).unwrap();
         assert_eq!(bp.left, vec![VertexId::new(0), VertexId::new(2)]);
+    }
+
+    #[test]
+    fn bipartition_identical_with_and_without_bitmap() {
+        for g in [
+            generators::complete_bipartite(4, 9),
+            generators::grid(6, 11), // 66 vertices: rows span two words
+            generators::hypercube(4),
+        ] {
+            let before = bipartition(&g).unwrap();
+            g.adjacency_bits().expect("within size gate");
+            assert_eq!(bipartition(&g).unwrap(), before);
+        }
+        let odd = generators::cycle(9);
+        odd.adjacency_bits().unwrap();
+        assert!(bipartition(&odd).is_err());
     }
 
     #[test]

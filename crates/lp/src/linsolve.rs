@@ -5,7 +5,7 @@
 //! linear system whose exact solution decides whether the support carries
 //! an equilibrium.
 
-use defender_num::Ratio;
+use defender_num::{row_eliminate, row_scale_div, Ratio};
 
 /// Solves the square system `A x = b` exactly.
 ///
@@ -54,18 +54,14 @@ pub fn solve_linear(a: &[Vec<Ratio>], b: &[Ratio]) -> Option<Vec<Ratio>> {
         let pivot_row = (col..n).find(|&r| !m[r][col].is_zero())?;
         m.swap(col, pivot_row);
         let pivot = m[col][col];
-        for value in m[col].iter_mut() {
-            *value /= pivot;
-        }
+        row_scale_div(&mut m[col], pivot);
         let pivot_row: Vec<Ratio> = m[col][col..=n].to_vec();
         for (r, row) in m.iter_mut().enumerate() {
             if r == col || row[col].is_zero() {
                 continue;
             }
             let factor = row[col];
-            for (value, &pv) in row[col..=n].iter_mut().zip(&pivot_row) {
-                *value -= factor * pv;
-            }
+            row_eliminate(&mut row[col..=n], factor, &pivot_row);
         }
     }
     Some(m.into_iter().map(|row| row[n]).collect())
@@ -101,9 +97,7 @@ pub fn determinant(a: &[Vec<Ratio>]) -> Ratio {
                 continue;
             }
             let factor = row[col] / pivot;
-            for (value, &pv) in row[col..n].iter_mut().zip(&pivot_row) {
-                *value -= factor * pv;
-            }
+            row_eliminate(&mut row[col..n], factor, &pivot_row);
         }
     }
     det

@@ -15,7 +15,7 @@
 
 use core::fmt;
 
-use defender_num::Ratio;
+use defender_num::{row_eliminate, row_scale_div, Ratio};
 
 /// Errors from [`maximize`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -136,11 +136,11 @@ pub fn maximize(c: &[Ratio], a: &[Vec<Ratio>], b: &[Ratio]) -> Result<LpSolution
             defender_obs::counter!("lp.simplex.degenerate_pivots").incr();
         }
 
-        // Pivot on (pivot_row, entering).
+        // Pivot on (pivot_row, entering) with the deferred-reduction row
+        // kernels: one gcd per updated element instead of two, and none at
+        // all on the zero/integer fast paths.
         let pivot = tableau[pivot_row][entering];
-        for value in tableau[pivot_row].iter_mut() {
-            *value /= pivot;
-        }
+        row_scale_div(&mut tableau[pivot_row], pivot);
         let pivot_values = tableau[pivot_row].clone();
         for (i, row) in tableau.iter_mut().enumerate() {
             if i == pivot_row {
@@ -150,9 +150,7 @@ pub fn maximize(c: &[Ratio], a: &[Vec<Ratio>], b: &[Ratio]) -> Result<LpSolution
             if factor.is_zero() {
                 continue;
             }
-            for (value, &pv) in row.iter_mut().zip(&pivot_values) {
-                *value -= factor * pv;
-            }
+            row_eliminate(row, factor, &pivot_values);
         }
         basis[pivot_row] = entering;
     }

@@ -22,9 +22,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod accum;
 mod ratio;
 pub mod rng;
 
+pub use accum::{row_eliminate, row_scale_div, RatioAccum};
 pub use ratio::{ParseRatioError, Ratio, RatioError};
 
 /// Greatest common divisor of two non-negative integers (Euclid).

@@ -64,7 +64,7 @@ impl fmt::Display for RatioError {
 impl std::error::Error for RatioError {}
 
 /// Reduce an `i128` fraction and convert it to `Ratio`, reporting overflow.
-fn make(num: i128, den: i128) -> Result<Ratio, RatioError> {
+pub(crate) fn make(num: i128, den: i128) -> Result<Ratio, RatioError> {
     if den == 0 {
         return Err(RatioError::ZeroDenominator);
     }

@@ -1,0 +1,117 @@
+//! Differential properties of the deferred-reduction kernels: on seeded
+//! random inputs, `RatioAccum` / `dot` / the slice kernels must agree
+//! *exactly* with the naive per-op `Ratio` arithmetic.
+
+use defender_num::rng::{Rng, StdRng};
+use defender_num::{row_eliminate, row_scale_div, Ratio, RatioAccum};
+
+fn random_ratio(rng: &mut StdRng) -> Ratio {
+    let num = rng.gen_range(0..41) as i64 - 20;
+    let den = rng.gen_range(1..13) as i64;
+    Ratio::new(num, den)
+}
+
+#[test]
+fn accum_sum_agrees_with_naive_on_random_sequences() {
+    let mut rng = StdRng::seed_from_u64(0xACC0);
+    for _ in 0..500 {
+        let len = rng.gen_range(0..24);
+        let parts: Vec<Ratio> = (0..len).map(|_| random_ratio(&mut rng)).collect();
+        let naive: Ratio = parts.iter().sum();
+        let mut acc = RatioAccum::new();
+        for &p in &parts {
+            acc.add(p);
+        }
+        assert_eq!(acc.finish(), naive, "sequence {parts:?}");
+        assert_eq!(Ratio::sum_iter(parts.iter().copied()), naive);
+    }
+}
+
+#[test]
+fn accum_mixed_ops_agree_with_naive() {
+    let mut rng = StdRng::seed_from_u64(0xACC1);
+    for _ in 0..500 {
+        let mut acc = RatioAccum::new();
+        let mut naive = Ratio::ZERO;
+        for _ in 0..rng.gen_range(1..20) {
+            let a = random_ratio(&mut rng);
+            match rng.gen_range(0..3) {
+                0 => {
+                    acc.add(a);
+                    naive += a;
+                }
+                1 => {
+                    acc.sub(a);
+                    naive -= a;
+                }
+                _ => {
+                    let b = random_ratio(&mut rng);
+                    acc.add_mul(a, b);
+                    naive += a * b;
+                }
+            }
+        }
+        assert_eq!(acc.finish(), naive);
+    }
+}
+
+#[test]
+fn dot_agrees_with_naive_on_random_vectors() {
+    let mut rng = StdRng::seed_from_u64(0xACC2);
+    for _ in 0..500 {
+        let len = rng.gen_range(0..16);
+        let xs: Vec<Ratio> = (0..len).map(|_| random_ratio(&mut rng)).collect();
+        let ys: Vec<Ratio> = (0..len).map(|_| random_ratio(&mut rng)).collect();
+        let naive: Ratio = xs.iter().zip(&ys).map(|(&x, &y)| x * y).sum();
+        assert_eq!(Ratio::dot(&xs, &ys), naive);
+        assert_eq!(Ratio::dot_iter(xs.iter().copied().zip(ys)), naive);
+    }
+}
+
+#[test]
+fn row_kernels_agree_with_naive_on_random_rows() {
+    let mut rng = StdRng::seed_from_u64(0xACC3);
+    for _ in 0..500 {
+        let len = rng.gen_range(1..12);
+        let pivot: Vec<Ratio> = (0..len).map(|_| random_ratio(&mut rng)).collect();
+        let row: Vec<Ratio> = (0..len).map(|_| random_ratio(&mut rng)).collect();
+        let factor = random_ratio(&mut rng);
+
+        let mut eliminated = row.clone();
+        row_eliminate(&mut eliminated, factor, &pivot);
+        let naive: Vec<Ratio> = row
+            .iter()
+            .zip(&pivot)
+            .map(|(&v, &p)| v - factor * p)
+            .collect();
+        assert_eq!(eliminated, naive);
+
+        let mut divisor = random_ratio(&mut rng);
+        if divisor.is_zero() {
+            divisor = Ratio::ONE;
+        }
+        let mut scaled = row.clone();
+        row_scale_div(&mut scaled, divisor);
+        let naive_scaled: Vec<Ratio> = row.iter().map(|&v| v / divisor).collect();
+        assert_eq!(scaled, naive_scaled);
+    }
+}
+
+#[test]
+fn accum_survives_magnitudes_that_stress_renormalization() {
+    // Large coprime denominators force the unreduced product of dens to
+    // blow through i128 quickly; the accumulator must renormalize and
+    // still land on the exact total.
+    // Cycling through three coprime ~10^6 denominators keeps the *reduced*
+    // total inside i64 (so the naive path succeeds) while the *unreduced*
+    // denominator product blows through i128 after a handful of merges.
+    let dens = [1_000_003i64, 1_000_033, 1_000_037];
+    let mut rng = StdRng::seed_from_u64(0xACC4);
+    for _ in 0..50 {
+        let parts: Vec<Ratio> = (0..40)
+            .map(|i| Ratio::new(rng.gen_range(1..1000) as i64, dens[i % dens.len()]))
+            .collect();
+        let naive: Ratio = parts.iter().sum();
+        assert_eq!(Ratio::sum_iter(parts.iter().copied()), naive);
+    }
+}
