@@ -16,6 +16,25 @@ cargo build --workspace --release
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== defender lint =="
+# Workspace static analysis (exactness, determinism, panic-freedom,
+# metric-registry audit — see DESIGN.md §12). Hard gate: an unregistered
+# counter or an un-annotated library unwrap fails CI before the bench
+# gates run.
+target/release/defender lint
+
+if [[ "${CI_MIRI:-0}" == "1" ]]; then
+  echo "== miri (CI_MIRI=1) =="
+  # Optional UB sweep over the unsafe-adjacent crates (the worker pool and
+  # the rational kernel). Miri needs a nightly component that offline
+  # containers usually lack, so skip gracefully when it is not installed.
+  if cargo miri --version > /dev/null 2>&1; then
+    cargo miri test -p defender-par -p defender-num
+  else
+    echo "miri not installed; skipping (install with: rustup component add miri)"
+  fi
+fi
+
 echo "== trace smoke test =="
 # Run one experiment with event tracing on and make sure the exported
 # Chrome trace parses and has balanced begin/end pairs.

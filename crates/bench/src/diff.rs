@@ -20,7 +20,10 @@
 //! Counters are deterministic algorithm work (simplex pivots, blossom
 //! augmentations), so they get no noise floor: any growth beyond the
 //! threshold — or a counter appearing from zero — is a real change in
-//! work done.
+//! work done. A baseline counter *missing* from the fresh run is also a
+//! failure ([`Verdict::Orphaned`]): a gate that silently stops measuring
+//! a quantity would pass forever after, so lost instrumentation must be
+//! acknowledged by refreshing the baseline, not ignored.
 
 use std::path::Path;
 
@@ -144,9 +147,15 @@ pub enum Verdict {
     Improved,
     /// Grew beyond the threshold — fails the gate.
     Regressed,
-    /// Present in the baseline, absent in the current run (warning only —
-    /// renames and removed phases are not regressions).
+    /// A *phase* present in the baseline, absent in the current run
+    /// (warning only — renames and removed phases are not regressions).
     MissingInCurrent,
+    /// A *counter* present in the baseline, absent in the current run —
+    /// fails the gate. Counters are deterministic algorithm work; one
+    /// disappearing means instrumentation was dropped (or the baseline is
+    /// stale), and a gate that silently stops measuring a quantity would
+    /// pass forever after.
+    Orphaned,
     /// Present only in the current run (informational).
     NewInCurrent,
 }
@@ -158,6 +167,7 @@ impl Verdict {
             Verdict::Improved => "improved",
             Verdict::Regressed => "REGRESSED",
             Verdict::MissingInCurrent => "missing",
+            Verdict::Orphaned => "ORPHANED",
             Verdict::NewInCurrent => "new",
         }
     }
@@ -210,10 +220,19 @@ impl DiffReport {
             .count()
     }
 
-    /// Whether the gate passes (no regressions).
+    /// Number of baseline counters absent from the current run.
+    #[must_use]
+    pub fn orphans(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Orphaned)
+            .count()
+    }
+
+    /// Whether the gate passes (no regressions and no orphaned counters).
     #[must_use]
     pub fn passed(&self) -> bool {
-        self.regressions() == 0
+        self.regressions() == 0 && self.orphans() == 0
     }
 
     /// Renders the verdict table plus a one-line summary.
@@ -252,12 +271,22 @@ impl DiffReport {
         }
         out.push_str(&table.render());
         let regressions = self.regressions();
-        if regressions == 0 {
+        let orphans = self.orphans();
+        if regressions == 0 && orphans == 0 {
             out.push_str("verdict: PASS — no phase or counter regressed\n");
         } else {
-            out.push_str(&format!(
-                "verdict: FAIL — {regressions} row(s) regressed beyond the threshold\n"
-            ));
+            let mut causes = Vec::new();
+            if regressions > 0 {
+                causes.push(format!(
+                    "{regressions} row(s) regressed beyond the threshold"
+                ));
+            }
+            if orphans > 0 {
+                causes.push(format!(
+                    "{orphans} baseline counter(s) missing from the current run"
+                ));
+            }
+            out.push_str(&format!("verdict: FAIL — {}\n", causes.join("; ")));
         }
         out
     }
@@ -308,7 +337,13 @@ fn compare_section(
                 name: name.clone(),
                 baseline: Some(*base),
                 current: None,
-                verdict: Verdict::MissingInCurrent,
+                // Dropped phases are renames or restructuring (warn);
+                // dropped counters mean lost instrumentation (fail).
+                verdict: if noisy {
+                    Verdict::MissingInCurrent
+                } else {
+                    Verdict::Orphaned
+                },
             }),
         }
     }
@@ -421,6 +456,27 @@ mod tests {
         assert!(report.passed());
         let rendered = report.render();
         assert!(rendered.contains("missing") && rendered.contains("new"));
+    }
+
+    #[test]
+    fn baseline_counter_missing_from_current_fails() {
+        let base = sidecar(&[], &[("lp.pivots", 100), ("se.supports", 7)]);
+        let cur = sidecar(&[], &[("lp.pivots", 100)]);
+        let report = diff(&base, &cur, DiffConfig::default());
+        assert_eq!(report.orphans(), 1);
+        assert_eq!(report.regressions(), 0);
+        assert!(!report.passed());
+        let rendered = report.render();
+        assert!(
+            rendered.contains("ORPHANED") && rendered.contains("missing from the current run"),
+            "{rendered}"
+        );
+        // counters-only mode (the CI gate) must also catch it.
+        let config = DiffConfig {
+            counters_only: true,
+            ..DiffConfig::default()
+        };
+        assert!(!diff(&base, &cur, config).passed());
     }
 
     #[test]

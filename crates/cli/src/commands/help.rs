@@ -13,9 +13,10 @@ USAGE:
   defender convert  --in <file> --out <file> [--from <fmt>] [--to <fmt>]
   defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001] [--counters-only]
   defender bench validate-trace <trace.json> [--min-threads 1]
+  defender lint [--root <dir>] [--config <file>] [--format text|json] [--sidecar] [--dump-registry]
   defender help
 
-Every command (except `bench`) also accepts:
+Every command (except `bench` and `lint`) also accepts:
   --metrics json|table    run instrumented; dump the counter/span registry
                           (with p50/p90/p99 estimates) afterwards
   --metrics-out <FILE>    write the metrics JSON to FILE instead of stdout,
@@ -33,6 +34,10 @@ wall time or counter regresses beyond the threshold; `--counters-only`
 judges only the deterministic counters (for cross-machine CI gates).
 `bench validate-trace --min-threads N` additionally requires the timeline
 to span at least N threads.
+
+`lint` runs the workspace static-analysis pass (exactness, determinism,
+panic-freedom, metric-registry audit; configured by lint.toml) and exits
+with code 2 on findings — see DESIGN.md §12.
 
 FORMATS: edges (default; `u v` per line) and graph6.
 

@@ -5,5 +5,6 @@ pub mod bench;
 pub mod convert;
 pub mod generate;
 pub mod help;
+pub mod lint;
 pub mod simulate;
 pub mod value;

@@ -35,10 +35,14 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         commands::help::print();
         return Ok(ExitCode::SUCCESS);
     };
-    // `bench` takes positional file arguments, which `Options::parse`
-    // rejects by design; dispatch it before the uniform option pass.
+    // `bench` and `lint` manage their own argument grammars (positional
+    // files, value-less flags), which `Options::parse` rejects by design;
+    // dispatch them before the uniform option pass.
     if command == "bench" {
         return commands::bench::run(rest);
+    }
+    if command == "lint" {
+        return commands::lint::run(rest);
     }
     let options = args::Options::parse(rest)?;
     if options.get("jobs").is_some() {

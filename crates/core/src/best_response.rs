@@ -27,6 +27,7 @@ pub fn attacker_best_response(game: &TupleGame<'_>, config: &MixedConfig) -> (Ve
         .graph()
         .vertices()
         .min_by_key(|v| hit[v.index()])
+        // lint: allow(panic) game graphs are validated non-empty
         .expect("game graphs are non-empty");
     (v, Ratio::ONE - hit[v.index()])
 }
@@ -50,6 +51,7 @@ pub fn defender_best_response_exact(
             (t, value)
         })
         .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+        // lint: allow(panic) k <= m guarantees at least one candidate tuple
         .expect("k ≤ m guarantees at least one tuple");
     Ok(best)
 }
@@ -82,6 +84,7 @@ pub fn defender_best_response_greedy(game: &TupleGame<'_>, mass: &[Ratio]) -> (T
                 best = Some((e, marginal));
             }
         }
+        // lint: allow(panic) k <= m leaves an unpicked edge each greedy round
         let (e, marginal) = best.expect("k ≤ m leaves an unpicked edge");
         picked[e.index()] = true;
         let ep = graph.endpoints(e);
@@ -91,6 +94,7 @@ pub fn defender_best_response_greedy(game: &TupleGame<'_>, mass: &[Ratio]) -> (T
         total += marginal;
     }
     (
+        // lint: allow(panic) greedy picks k distinct edges by construction
         Tuple::new(chosen).expect("greedy picks distinct edges"),
         total,
     )

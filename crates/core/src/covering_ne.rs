@@ -104,6 +104,7 @@ pub fn covering_ne(game: &TupleGame<'_>) -> Result<CoveringNe, CoreError> {
         .into_iter()
         .map(|window| {
             Tuple::new(window.into_iter().map(|i| edges[i]).collect())
+                // lint: allow(panic) cyclic windows over a matching are distinct edges
                 .expect("cyclic windows over a matching have distinct edges")
         })
         .collect();

@@ -84,10 +84,12 @@ pub fn fictitious_play(
         let attacker_vertex = graph
             .vertices()
             .min_by_key(|v| coverage_counts[v.index()])
+            // lint: allow(panic) game graphs are validated non-empty
             .expect("non-empty graph");
         // Defender: best response to the attacker's empirical mass.
         let mass: Vec<Ratio> = vertex_counts
             .iter()
+            // lint: allow(panic) round counts are bounded far below i64::MAX
             .map(|&c| Ratio::from(i64::try_from(c).expect("counts fit i64")))
             .collect();
         let tuple: Tuple = match mode {

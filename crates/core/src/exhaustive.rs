@@ -62,6 +62,7 @@ impl<'a, 'g> GameAdapter<'a, 'g> {
             .iter()
             .map(|s| {
                 MixedStrategy::from_entries(s.iter().map(|(v, p)| (Move::Vertex(*v), p)).collect())
+                    // lint: allow(panic) re-keying a valid distribution preserves validity
                     .expect("valid distribution lifts to a valid distribution")
             })
             .collect();
@@ -73,6 +74,7 @@ impl<'a, 'g> GameAdapter<'a, 'g> {
                     .map(|(t, p)| (Move::Tuple(t.clone()), p))
                     .collect(),
             )
+            // lint: allow(panic) re-keying a valid distribution preserves validity
             .expect("valid distribution lifts to a valid distribution"),
         );
         profile
@@ -146,11 +148,13 @@ impl StrategicGame for GameAdapter<'_, '_> {
 
     fn payoff(&self, player: usize, profile: &[Move]) -> Ratio {
         let Move::Tuple(tuple) = &profile[self.game.attacker_count()] else {
+            // lint: allow(panic) profile layout invariant: the last slot holds the defender tuple
             panic!("defender slot must hold a tuple");
         };
         let graph = self.game.graph();
         if player < self.game.attacker_count() {
             let Move::Vertex(v) = profile[player] else {
+                // lint: allow(panic) profile layout invariant: attacker slots hold vertices
                 panic!("attacker slot must hold a vertex");
             };
             if tuple.covers(graph, v) {
@@ -163,6 +167,7 @@ impl StrategicGame for GameAdapter<'_, '_> {
                 .iter()
                 .filter(|m| {
                     let Move::Vertex(v) = m else {
+                        // lint: allow(panic) profile layout invariant: attacker slots hold vertices
                         panic!("attacker slot must hold a vertex");
                     };
                     tuple.covers(graph, *v)

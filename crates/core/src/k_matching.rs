@@ -79,6 +79,7 @@ impl KMatchingConfig {
             .iter()
             .copied()
             .find(|&c| c > 0)
+            // lint: allow(panic) non-empty support has a positive count
             .expect("non-empty support has edges");
         for &e in &support_edges {
             if counts[e.index()] != expected {

@@ -189,11 +189,13 @@ pub fn algorithm_a(
     let mut support: Vec<EdgeId> = Vec::with_capacity(is.len());
     let mut matched_is = vec![false; graph.vertex_count()];
     for &u in vc {
+        // lint: allow(panic) Konig-style saturated matching covers every VC vertex
         let partner = matching.partner(u).expect("saturated matching covers VC");
         matched_is[partner.index()] = true;
         support.push(
             graph
                 .find_edge(u, partner)
+                // lint: allow(panic) matched pairs are edges of the graph
                 .expect("matched pairs are edges"),
         );
     }

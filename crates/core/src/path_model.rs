@@ -103,6 +103,7 @@ pub fn all_paths(graph: &Graph, k: usize, limit: usize) -> Result<Vec<PathStrate
         out: &mut std::collections::BTreeSet<PathStrategy>,
     ) -> Result<(), CoreError> {
         if stack.len() == k + 1 {
+            // lint: allow(panic) DFS extends along edges only, so the stack is a valid path
             let path = PathStrategy::new(graph, stack.clone()).expect("DFS builds valid paths");
             out.insert(path);
             if out.len() > limit {
@@ -113,6 +114,7 @@ pub fn all_paths(graph: &Graph, k: usize, limit: usize) -> Result<Vec<PathStrate
             }
             return Ok(());
         }
+        // lint: allow(panic) the stack starts with the source and never empties
         let current = *stack.last().expect("stack starts non-empty");
         let neighbors: Vec<VertexId> = graph.neighbors(current).collect();
         for w in neighbors {
@@ -244,6 +246,7 @@ pub fn pure_ne_existence_path(game: &TupleGame<'_>) -> Result<PathPureOutcome, C
     }
     match hamiltonian_path_small(graph) {
         Some(vertices) => Ok(PathPureOutcome::Exists {
+            // lint: allow(panic) the Hamiltonian DP reconstructs an edge-connected order
             path: PathStrategy::new(graph, vertices).expect("DP emits a valid path"),
         }),
         None => Ok(PathPureOutcome::None {
@@ -296,6 +299,7 @@ pub fn cycle_path_ne(game: &TupleGame<'_>) -> Result<PathModelNe, CoreError> {
     let arcs: Vec<PathStrategy> = (0..n)
         .map(|start| {
             let vertices: Vec<VertexId> = (0..=k).map(|j| order[(start + j) % n]).collect();
+            // lint: allow(panic) consecutive cycle vertices are adjacent, so arcs are paths
             PathStrategy::new(graph, vertices).expect("arcs of a cycle are paths")
         })
         .collect();
@@ -314,12 +318,14 @@ fn cycle_order(graph: &Graph) -> Vec<VertexId> {
     let start = VertexId::new(0);
     let mut order = vec![start];
     let mut prev = start;
+    // lint: allow(panic) cycle graphs are 2-regular; every vertex has neighbors
     let mut current = graph.neighbors(start).next().expect("cycles have edges");
     while current != start {
         order.push(current);
         let next = graph
             .neighbors(current)
             .find(|&w| w != prev)
+            // lint: allow(panic) cycle vertices have exactly two neighbors
             .expect("cycle vertices have two neighbors");
         prev = current;
         current = next;

@@ -64,6 +64,7 @@ pub fn pure_ne_existence(game: &TupleGame<'_>) -> PureNeOutcome {
     match edge_cover_of_size(graph, game.k()) {
         Some(cover) => {
             let defender =
+                // lint: allow(panic) edge_cover_of_size returns k distinct edges
                 Tuple::new(cover.clone()).expect("edge_cover_of_size returns k distinct edges");
             let equilibrium = PureConfig {
                 attacker_choices: vec![VertexId::new(0); game.attacker_count()],
@@ -73,6 +74,7 @@ pub fn pure_ne_existence(game: &TupleGame<'_>) -> PureNeOutcome {
         }
         None => PureNeOutcome::None {
             min_cover_size: edge_cover_number(graph)
+                // lint: allow(panic) game-ready graphs are validated to have no isolated vertices
                 .expect("game-ready graphs have no isolated vertices"),
         },
     }

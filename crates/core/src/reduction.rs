@@ -69,6 +69,7 @@ pub fn expand_to_k_matching(
         .into_iter()
         .map(|window| {
             Tuple::new(window.into_iter().map(|i| labeled[i]).collect())
+                // lint: allow(panic) cyclic windows with k <= E_num are distinct edges
                 .expect("cyclic windows with k ≤ E_num have distinct edges")
         })
         .collect();

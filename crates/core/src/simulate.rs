@@ -115,6 +115,7 @@ fn sample<'s, S: Clone + Ord, R: Rng + ?Sized>(
     // Draw u uniform in [0, 1) as a rational with 2^53 granularity.
     let u = rng.gen_f64();
     pick_by_cdf(strategy.iter().map(|(s, p)| (s, p.to_f64())), u)
+        // lint: allow(panic) distributions sum to one, so the CDF scan always lands
         .expect("mixed strategies have a positive-probability entry")
 }
 

@@ -77,8 +77,10 @@ pub fn solve_exact(
         .filter(|(_, p)| !p.is_zero())
         .collect();
     let defender =
+        // lint: allow(panic) the LP returns a normalized distribution
         MixedStrategy::from_entries(defender_entries).expect("LP strategies are distributions");
     let attacker =
+        // lint: allow(panic) the LP returns a normalized distribution
         MixedStrategy::from_entries(attacker_entries).expect("LP strategies are distributions");
     let config = MixedConfig::symmetric(game, attacker, defender)?;
     let defender_gain = solution.value * Ratio::from(game.attacker_count());

@@ -86,6 +86,7 @@ impl StrategicGame for TwoPlayerMatrixGame {
         match player {
             0 => (0..self.rows()).collect(),
             1 => (0..self.cols()).collect(),
+            // lint: allow(panic) documented two-player contract of the Game trait
             _ => panic!("two-player game has players 0 and 1, not {player}"),
         }
     }
@@ -95,6 +96,7 @@ impl StrategicGame for TwoPlayerMatrixGame {
         match player {
             0 => self.row_payoff[i][j],
             1 => self.col_payoff[i][j],
+            // lint: allow(panic) documented two-player contract of the Game trait
             _ => panic!("two-player game has players 0 and 1, not {player}"),
         }
     }

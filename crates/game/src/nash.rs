@@ -126,6 +126,7 @@ pub fn best_response<G: StrategicGame>(
             (s, value)
         })
         .max_by(|a, b| a.1.cmp(&b.1))
+        // lint: allow(panic) strategy sets are non-empty by Game construction
         .expect("players have non-empty strategy sets")
 }
 

@@ -81,6 +81,7 @@ impl<S: Clone + Ord> MixedStrategy<S> {
         );
         let p = Ratio::new(
             1,
+            // lint: allow(panic) support sizes are far below i64::MAX
             i64::try_from(support.len()).expect("support fits in i64"),
         );
         MixedStrategy {

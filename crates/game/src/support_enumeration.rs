@@ -406,8 +406,10 @@ fn try_supports(
     }
 
     let row = MixedStrategy::from_entries(support_r.iter().zip(x).map(|(&i, &p)| (i, p)).collect())
+        // lint: allow(panic) linsolve returned a verified positive distribution
         .expect("positive probabilities summing to one");
     let col = MixedStrategy::from_entries(support_c.iter().zip(y).map(|(&j, &p)| (j, p)).collect())
+        // lint: allow(panic) linsolve returned a verified positive distribution
         .expect("positive probabilities summing to one");
     debug_assert!(nash::verify_two_player(game, &row, &col).is_equilibrium());
     Some(BimatrixEquilibrium {

@@ -16,6 +16,7 @@ impl VertexId {
     /// Creates a vertex id from a raw index.
     #[must_use]
     pub fn new(index: usize) -> VertexId {
+        // lint: allow(panic) graphs are capped far below u32::MAX vertices
         VertexId(u32::try_from(index).expect("vertex index fits in u32"))
     }
 
@@ -54,6 +55,7 @@ impl EdgeId {
     /// Creates an edge id from a raw index.
     #[must_use]
     pub fn new(index: usize) -> EdgeId {
+        // lint: allow(panic) graphs are capped far below u32::MAX edges
         EdgeId(u32::try_from(index).expect("edge index fits in u32"))
     }
 
@@ -122,19 +124,31 @@ impl Endpoints {
         self.u == w || self.v == w
     }
 
+    /// The endpoint different from `w`, or `None` if `w` is not an
+    /// endpoint of this edge.
+    #[must_use]
+    pub fn try_other(self, w: VertexId) -> Option<VertexId> {
+        if self.u == w {
+            Some(self.v)
+        } else if self.v == w {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+
     /// The endpoint different from `w`.
     ///
     /// # Panics
     ///
-    /// Panics if `w` is not an endpoint of this edge.
+    /// Panics if `w` is not an endpoint of this edge; callers that cannot
+    /// prove membership should use [`Endpoints::try_other`].
     #[must_use]
     pub fn other(self, w: VertexId) -> VertexId {
-        if self.u == w {
-            self.v
-        } else if self.v == w {
-            self.u
-        } else {
-            panic!("{w} is not an endpoint of edge ({}, {})", self.u, self.v)
+        match self.try_other(w) {
+            Some(v) => v,
+            // lint: allow(panic) documented contract; try_other is the fallible form
+            None => panic!("{w} is not an endpoint of edge ({}, {})", self.u, self.v),
         }
     }
 }

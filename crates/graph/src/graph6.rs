@@ -103,7 +103,8 @@ pub fn to_graph6(graph: &Graph) -> String {
         }
         out.push(value + 63);
     }
-    String::from_utf8(out).expect("graph6 bytes are printable ASCII")
+    // Every byte is (6-bit value) + 63 ≤ 126, so each is a valid char.
+    out.into_iter().map(char::from).collect()
 }
 
 /// Decodes a graph6 string.

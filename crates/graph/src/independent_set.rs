@@ -116,8 +116,11 @@ pub fn greedy_min_degree(graph: &Graph) -> VertexSet {
         if floor == n {
             break;
         }
-        let vi = *buckets[floor].first().expect("floor bucket is non-empty") as usize;
-        buckets[floor].remove(&(vi as u32));
+        let Some(first) = buckets[floor].pop_first() else {
+            floor += 1;
+            continue;
+        };
+        let vi = first as usize;
         excluded[vi] = true;
         out.push(VertexId::new(vi));
         for w in graph.neighbors(VertexId::new(vi)) {

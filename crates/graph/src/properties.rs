@@ -40,15 +40,27 @@ impl Bipartition {
     /// # Panics
     ///
     /// Panics if `v` appears in neither side (not a vertex of the graph the
-    /// bipartition was computed for).
+    /// bipartition was computed for); use [`Bipartition::try_side_of`] when
+    /// membership is not guaranteed.
     #[must_use]
     pub fn side_of(&self, v: VertexId) -> usize {
+        match self.try_side_of(v) {
+            Some(side) => side,
+            // lint: allow(panic) documented contract; try_side_of is the fallible form
+            None => panic!("{v} is not covered by this bipartition"),
+        }
+    }
+
+    /// The side (0 = left, 1 = right) containing `v`, or `None` if `v` is
+    /// not covered by the bipartition.
+    #[must_use]
+    pub fn try_side_of(&self, v: VertexId) -> Option<usize> {
         if self.left.binary_search(&v).is_ok() {
-            0
+            Some(0)
         } else if self.right.binary_search(&v).is_ok() {
-            1
+            Some(1)
         } else {
-            panic!("{v} is not covered by this bipartition")
+            None
         }
     }
 }
@@ -107,14 +119,15 @@ where
             continue;
         }
         color[source.index()] = Some(0);
-        let mut queue = VecDeque::from([source]);
-        while let Some(v) = queue.pop_front() {
-            let cv = color[v.index()].expect("queued vertices are colored");
+        // The queue carries each vertex's color so no re-lookup (and no
+        // "queued vertices are colored" proof obligation) is needed.
+        let mut queue = VecDeque::from([(source, 0u8)]);
+        while let Some((v, cv)) = queue.pop_front() {
             for w in neighbors(v) {
                 match color[w.index()] {
                     None => {
                         color[w.index()] = Some(1 - cv);
-                        queue.push_back(w);
+                        queue.push_back((w, 1 - cv));
                     }
                     Some(cw) if cw == cv => return Err(GraphError::NotBipartite),
                     Some(_) => {}

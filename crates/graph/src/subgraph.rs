@@ -64,6 +64,7 @@ pub fn spanned_by_edges(graph: &Graph, edges: &[EdgeId]) -> Subgraph {
         VertexId::new(
             vertex_map
                 .binary_search(&parent)
+                // lint: allow(panic) vertex_map is the sorted endpoint set of these exact edges
                 .expect("endpoint is in the endpoint set"),
         )
     };
@@ -98,6 +99,7 @@ pub fn induced_by_vertices(graph: &Graph, vertices: &[VertexId]) -> Subgraph {
         VertexId::new(
             vertex_map
                 .binary_search(&parent)
+                // lint: allow(panic) vertex_map holds every member vertex by construction
                 .expect("vertex is a member"),
         )
     };

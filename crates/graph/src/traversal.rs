@@ -24,13 +24,14 @@ use crate::{Graph, VertexId};
 pub fn bfs_distances(graph: &Graph, source: VertexId) -> Vec<Option<usize>> {
     let mut dist = vec![None; graph.vertex_count()];
     dist[source.index()] = Some(0);
-    let mut queue = VecDeque::from([source]);
-    while let Some(v) = queue.pop_front() {
-        let d = dist[v.index()].expect("queued vertices have distances");
+    // The queue carries each vertex's distance so the loop needs no
+    // fallible re-lookup into `dist`.
+    let mut queue = VecDeque::from([(source, 0usize)]);
+    while let Some((v, d)) = queue.pop_front() {
         for w in graph.neighbors(v) {
             if dist[w.index()].is_none() {
                 dist[w.index()] = Some(d + 1);
-                queue.push_back(w);
+                queue.push_back((w, d + 1));
             }
         }
     }

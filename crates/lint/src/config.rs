@@ -1,0 +1,229 @@
+//! The `lint.toml` configuration: per-rule scopes and allowlists.
+//!
+//! Parsed with a hand-rolled reader for the same reason
+//! `defender_obs::json` exists — the workspace builds offline, so the
+//! config grammar is a deliberately small TOML subset:
+//!
+//! ```toml
+//! # comment
+//! [rule.panic]
+//! scope = ["crates/num/src", "crates/graph/src"]   # string arrays
+//! allow = [
+//!     "crates/num/src/rng.rs",  # may span lines, trailing comments ok
+//! ]
+//!
+//! [rule.metrics]
+//! registry = "crates/obs/metrics_registry.txt"     # plain strings
+//! ```
+//!
+//! Section headers, `key = "string"` and `key = [ "…", … ]` are the whole
+//! grammar; anything else is a parse error with a line number.
+
+use std::collections::BTreeMap;
+
+/// The settings of one `[rule.<id>]` section.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Path prefixes (workspace-relative, `/`-separated) the rule checks.
+    pub scope: Vec<String>,
+    /// Path prefixes exempt from the rule (with the reason kept as a
+    /// comment next to the entry in `lint.toml`).
+    pub allow: Vec<String>,
+    /// Any other string-valued keys (e.g. the metric rule's `registry`).
+    pub extra: BTreeMap<String, Vec<String>>,
+}
+
+impl RuleConfig {
+    /// Whether `path` is inside the rule's scope and not allowlisted.
+    #[must_use]
+    pub fn applies_to(&self, path: &str) -> bool {
+        self.scope.iter().any(|p| path.starts_with(p.as_str()))
+            && !self.allow.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// First value of an extra key, if present.
+    #[must_use]
+    pub fn extra_one(&self, key: &str) -> Option<&str> {
+        self.extra
+            .get(key)
+            .and_then(|v| v.first())
+            .map(String::as_str)
+    }
+}
+
+/// The whole parsed configuration, keyed by rule id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Config {
+    /// `[rule.<id>]` sections in file order, keyed by `<id>`.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// The section for `rule`, or an empty default (empty scope — the rule
+    /// checks nothing unless configured).
+    #[must_use]
+    pub fn rule(&self, rule: &str) -> RuleConfig {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Parses a `lint.toml` document.
+    ///
+    /// # Errors
+    ///
+    /// Reports the 1-based line of the first construct outside the
+    /// supported subset.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut rules: BTreeMap<String, RuleConfig> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        let mut lines = text.lines().enumerate();
+        while let Some((i, raw)) = lines.next() {
+            let line = strip_comment(raw);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or(format!("line {}: unterminated section header", i + 1))?
+                    .trim();
+                let id = header
+                    .strip_prefix("rule.")
+                    .ok_or(format!("line {}: only [rule.<id>] sections exist", i + 1))?;
+                rules.entry(id.to_string()).or_default();
+                current = Some(id.to_string());
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or(format!("line {}: expected `key = value`", i + 1))?;
+            let key = key.trim();
+            let section = current
+                .as_ref()
+                .ok_or(format!("line {}: `{key}` outside any section", i + 1))?;
+            let mut value = value.trim().to_string();
+            // Arrays may span lines: keep consuming until the `]` closes.
+            while value.starts_with('[') && !value.ends_with(']') {
+                let (j, next) = lines
+                    .next()
+                    .ok_or(format!("line {}: unterminated array", i + 1))?;
+                let next = strip_comment(next);
+                let next = next.trim();
+                if !next.is_empty() {
+                    value.push(' ');
+                    value.push_str(next);
+                }
+                let _ = j;
+            }
+            let values = parse_value(&value).map_err(|e| format!("line {}: {e}", i + 1))?;
+            let rule = rules.entry(section.clone()).or_default();
+            match key {
+                "scope" => rule.scope = values,
+                "allow" => rule.allow = values,
+                other => {
+                    rule.extra.insert(other.to_string(), values);
+                }
+            }
+        }
+        Ok(Config { rules })
+    }
+}
+
+/// Removes a trailing `#` comment, respecting `"…"` string values.
+fn strip_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_string = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => break,
+            _ => {}
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Parses `"s"` or `["a", "b", …]` (trailing comma allowed).
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or("unterminated array".to_string())?;
+        let mut out = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            out.push(parse_string(part)?);
+        }
+        return Ok(out);
+    }
+    Ok(vec![parse_string(value)?])
+}
+
+fn parse_string(s: &str) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .map(ToString::to_string)
+        .ok_or(format!("expected a double-quoted string, got `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scopes_and_extras() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[rule.panic]
+scope = ["crates/num/src", "crates/graph/src"]
+allow = [
+    "crates/num/src/rng.rs",   # reason lives here
+]
+
+[rule.metrics]
+scope = ["crates"]
+registry = "crates/obs/metrics_registry.txt"
+docs = ["EXPERIMENTS.md"]
+"#,
+        )
+        .unwrap();
+        let panic = cfg.rule("panic");
+        assert_eq!(panic.scope.len(), 2);
+        assert_eq!(panic.allow, vec!["crates/num/src/rng.rs".to_string()]);
+        assert!(panic.applies_to("crates/graph/src/graph.rs"));
+        assert!(!panic.applies_to("crates/num/src/rng.rs"));
+        assert!(!panic.applies_to("crates/cli/src/main.rs"));
+        let metrics = cfg.rule("metrics");
+        assert_eq!(
+            metrics.extra_one("registry"),
+            Some("crates/obs/metrics_registry.txt")
+        );
+        assert_eq!(metrics.extra["docs"], vec!["EXPERIMENTS.md".to_string()]);
+        assert_eq!(cfg.rule("unknown"), RuleConfig::default());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[rule.x]\nallow = [\"a#b\"]\n").unwrap();
+        assert_eq!(cfg.rule("x").allow, vec!["a#b".to_string()]);
+    }
+
+    #[test]
+    fn rejects_out_of_subset_constructs() {
+        for bad in [
+            "key = 1\n",
+            "[rule.x\n",
+            "[other.section]\n",
+            "[rule.x]\nkey 1\n",
+            "[rule.x]\nkey = [\"a\"\n",
+            "[rule.x]\nkey = bare\n",
+        ] {
+            assert!(Config::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

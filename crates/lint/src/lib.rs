@@ -1,0 +1,528 @@
+//! defender-lint: zero-dependency static analysis for the workspace.
+//!
+//! The reproduction rests on invariants `rustc` cannot see: exact `Ratio`
+//! arithmetic must never silently mix with floats (the NE probabilities of
+//! Π_k(G) are rationals by Theorem 1 of the paper), deterministic replay
+//! forbids wall clock and hash-order containers in library crates, every
+//! potential panic site in a library crate must be justified, and every
+//! obs metric name must be registered, documented, and consistent with the
+//! committed bench baselines. `defender lint` machine-checks all four on
+//! every commit.
+//!
+//! The analysis is deliberately **token-level** (a hand-rolled lexer, no
+//! `syn`, no rustc): see [`rules`] and DESIGN.md §12 for the soundness
+//! caveats this buys the zero-dependency build.
+//!
+//! Exit codes: `0` clean, `2` findings, `1` usage or I/O error.
+
+pub mod config;
+pub mod rules;
+pub mod source;
+pub mod tokenizer;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use defender_obs::json::{JsonArray, JsonObject};
+
+use config::Config;
+use rules::{Finding, MetricUse, MetricsInputs, PanicStats};
+use source::SourceFile;
+
+/// The outcome of linting a workspace.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files tokenized.
+    pub files_scanned: u64,
+    /// Panic-site classification totals.
+    pub panic: PanicStats,
+    /// Every metric call site seen (also drives `--dump-registry`).
+    pub metric_uses: Vec<MetricUse>,
+}
+
+impl LintReport {
+    /// Findings per rule family, for counters and the summary line.
+    #[must_use]
+    pub fn by_rule(&self) -> BTreeMap<&str, u64> {
+        let mut out = BTreeMap::new();
+        for f in &self.findings {
+            *out.entry(f.rule.as_str()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Human-readable rendering: one `path:line: [rule] message` per
+    /// finding plus a summary line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+        }
+        let per_rule: Vec<String> = self
+            .by_rule()
+            .iter()
+            .map(|(rule, n)| format!("{rule}: {n}"))
+            .collect();
+        let breakdown = if per_rule.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", per_rule.join(", "))
+        };
+        out.push_str(&format!(
+            "lint: {} finding(s){} in {} file(s); panic sites: {} ({} annotated), \
+             index sites: {}\n",
+            self.findings.len(),
+            breakdown,
+            self.files_scanned,
+            self.panic.sites,
+            self.panic.annotated,
+            self.panic.index_sites,
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (stable JSON, same writer as the obs
+    /// registry export).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut findings = JsonArray::new();
+        for f in &self.findings {
+            let mut o = JsonObject::new();
+            o.field_str("rule", &f.rule);
+            o.field_str("path", &f.path);
+            o.field_u64("line", u64::from(f.line));
+            o.field_str("message", &f.message);
+            findings.push_raw(&o.finish());
+        }
+        let mut panic = JsonObject::new();
+        panic.field_u64("sites", self.panic.sites);
+        panic.field_u64("annotated", self.panic.annotated);
+        panic.field_u64("index_sites", self.panic.index_sites);
+        let mut root = JsonObject::new();
+        root.field_u64("files_scanned", self.files_scanned);
+        root.field_raw("findings", &findings.finish());
+        root.field_raw("panic", &panic.finish());
+        root.finish()
+    }
+
+    /// A `BENCH_lint.json`-shaped sidecar document (RunReport schema), so
+    /// lint runs can be diffed by `defender bench diff` like any
+    /// experiment.
+    #[must_use]
+    pub fn sidecar_json(&self) -> String {
+        let by_rule = self.by_rule();
+        let count = |rule: &str| by_rule.get(rule).copied().unwrap_or(0);
+        let mut counters = JsonObject::new();
+        counters.field_u64("lint.files_scanned", self.files_scanned);
+        counters.field_u64("lint.findings.annotation", count("annotation"));
+        counters.field_u64("lint.findings.determinism", count("determinism"));
+        counters.field_u64("lint.findings.exactness", count("exactness"));
+        counters.field_u64("lint.findings.metrics", count("metrics"));
+        counters.field_u64("lint.findings.panic", count("panic"));
+        let mut root = JsonObject::new();
+        root.field_str("experiment", "lint");
+        root.field_raw("phases", "[]");
+        root.field_raw("counters", &counters.finish());
+        root.finish()
+    }
+}
+
+/// Records the run's totals in the process-wide obs registry (the
+/// `lint.*` counters), so embedding contexts that harvest snapshots see
+/// lint runs like any other instrumented phase.
+fn record_obs_counters(report: &LintReport) {
+    let by_rule = report.by_rule();
+    let count = |rule: &str| by_rule.get(rule).copied().unwrap_or(0);
+    defender_obs::counter!("lint.files_scanned").add(report.files_scanned);
+    defender_obs::counter!("lint.findings.annotation").add(count("annotation"));
+    defender_obs::counter!("lint.findings.determinism").add(count("determinism"));
+    defender_obs::counter!("lint.findings.exactness").add(count("exactness"));
+    defender_obs::counter!("lint.findings.metrics").add(count("metrics"));
+    defender_obs::counter!("lint.findings.panic").add(count("panic"));
+}
+
+// ---------------------------------------------------------------------------
+// Workspace loading
+// ---------------------------------------------------------------------------
+
+/// Collects every library `.rs` file under `<root>/crates/*/src` (and
+/// `<root>/src` if present), as sorted workspace-relative paths. `tests/`,
+/// `benches/` and `examples/` trees are intentionally out of scope: the
+/// rules govern library code.
+///
+/// # Errors
+///
+/// Propagates filesystem errors with the offending path.
+pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut src_roots: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in read_dir_sorted(&crates_dir)? {
+            let src = entry.join("src");
+            if src.is_dir() {
+                src_roots.push(src);
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        src_roots.push(root_src);
+    }
+    let mut files = Vec::new();
+    for src in src_roots {
+        collect_rs(&src, &mut files)?;
+    }
+    let mut rel: Vec<PathBuf> = files
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).map(Path::to_path_buf).ok())
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// A path rendered workspace-relative with `/` separators (the form the
+/// config's prefix matching and the reports use).
+fn rel_str(path: &Path) -> String {
+    let s = path.to_string_lossy().into_owned();
+    if std::path::MAIN_SEPARATOR == '/' {
+        s
+    } else {
+        s.replace(std::path::MAIN_SEPARATOR, "/")
+    }
+}
+
+/// Runs every rule over the workspace at `root` with `config`.
+///
+/// # Errors
+///
+/// Fails on I/O errors, tokenizer errors (a file the lexer cannot read is
+/// a finding-grade event but reported as an error since nothing else can
+/// be trusted), and a malformed metrics registry.
+pub fn lint(root: &Path, config: &Config) -> Result<LintReport, String> {
+    let exactness = config.rule("exactness");
+    let determinism = config.rule("determinism");
+    let panic_rule = config.rule("panic");
+    let metrics = config.rule("metrics");
+
+    let mut report = LintReport::default();
+    for rel in workspace_files(root)? {
+        let rel_name = rel_str(&rel);
+        let text = fs::read_to_string(root.join(&rel))
+            .map_err(|e| format!("cannot read {rel_name}: {e}"))?;
+        let file = SourceFile::parse(&rel_name, &text)
+            .map_err(|e| format!("{rel_name}: tokenizer: {e}"))?;
+        report.files_scanned += 1;
+        report.findings.extend(rules::check_annotations(&file));
+        report
+            .findings
+            .extend(rules::check_exactness(&file, &exactness));
+        report
+            .findings
+            .extend(rules::check_determinism(&file, &determinism));
+        let (panic_findings, stats) = rules::check_panic(&file, &panic_rule);
+        report.findings.extend(panic_findings);
+        report.panic.sites += stats.sites;
+        report.panic.annotated += stats.annotated;
+        report.panic.index_sites += stats.index_sites;
+        if metrics.applies_to(&file.path) {
+            report.metric_uses.extend(rules::extract_metric_uses(&file));
+        }
+    }
+
+    let inputs = load_metrics_inputs(root, &metrics)?;
+    report
+        .findings
+        .extend(rules::check_metrics(&report.metric_uses, &inputs));
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    record_obs_counters(&report);
+    Ok(report)
+}
+
+/// Reads the registry, documentation and baseline files named by the
+/// `[rule.metrics]` section.
+fn load_metrics_inputs(root: &Path, cfg: &config::RuleConfig) -> Result<MetricsInputs, String> {
+    let mut inputs = MetricsInputs::default();
+    let Some(registry_rel) = cfg.extra_one("registry") else {
+        return Ok(inputs); // no registry configured → audit disabled
+    };
+    inputs.registry_path = registry_rel.to_string();
+    let registry_text = fs::read_to_string(root.join(registry_rel))
+        .map_err(|e| format!("cannot read {registry_rel}: {e}"))?;
+    inputs.registry =
+        rules::parse_registry(&registry_text).map_err(|e| format!("{registry_rel}: {e}"))?;
+    for doc in cfg.extra.get("docs").map(Vec::as_slice).unwrap_or(&[]) {
+        let text =
+            fs::read_to_string(root.join(doc)).map_err(|e| format!("cannot read {doc}: {e}"))?;
+        inputs.docs.push((doc.clone(), text));
+    }
+    for dir in cfg.extra.get("baselines").map(Vec::as_slice).unwrap_or(&[]) {
+        let dir_path = root.join(dir);
+        if !dir_path.is_dir() {
+            continue;
+        }
+        for path in read_dir_sorted(&dir_path)? {
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            let Some(name) = name else { continue };
+            if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+                continue;
+            }
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let keys =
+                baseline_counter_keys(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            inputs.baselines.push((format!("{dir}/{name}"), keys));
+        }
+    }
+    Ok(inputs)
+}
+
+/// The counter-valued key names of a `BENCH_*.json` sidecar: the
+/// `counters` and `parallelism` objects.
+fn baseline_counter_keys(text: &str) -> Result<Vec<String>, String> {
+    let doc = defender_obs::json::parse(text)?;
+    let mut keys = Vec::new();
+    for section in ["counters", "parallelism"] {
+        if let Some(fields) = doc.get(section).and_then(|v| v.as_object()) {
+            keys.extend(fields.iter().map(|(k, _)| k.clone()));
+        }
+    }
+    Ok(keys)
+}
+
+// ---------------------------------------------------------------------------
+// Command-line driver (shared by the standalone binary and `defender lint`)
+// ---------------------------------------------------------------------------
+
+const USAGE: &str = "\
+usage: defender-lint [options]
+  --root <dir>      workspace root (default: nearest ancestor with lint.toml)
+  --config <file>   config path (default: <root>/lint.toml)
+  --format <f>      text | json   (default: text)
+  --sidecar         also write BENCH_lint.json in the current directory
+  --dump-registry   print a metrics_registry.txt for the workspace's
+                    current call sites and exit
+exit status: 0 clean, 2 findings, 1 error";
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, Default)]
+struct Options {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    json: bool,
+    sidecar: bool,
+    dump_registry: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a value".to_string())?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--config" => {
+                let v = it.next().ok_or("--config needs a value".to_string())?;
+                opts.config = Some(PathBuf::from(v));
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value".to_string())?;
+                opts.json = match v.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--sidecar" => opts.sidecar = true,
+            "--dump-registry" => opts.dump_registry = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Finds the workspace root: the nearest ancestor of the current directory
+/// containing `lint.toml`.
+fn find_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no lint.toml found above {} (pass --root)",
+                    start.display()
+                ));
+            }
+        }
+    }
+}
+
+/// A registry document inferred from the workspace's current call sites
+/// (sorted, deduplicated). Dynamic metrics cannot be inferred from static
+/// text — append their wildcard lines by hand.
+#[must_use]
+pub fn dump_registry(uses: &[MetricUse]) -> String {
+    let mut lines: Vec<String> = uses
+        .iter()
+        .map(|u| format!("{} {}", u.kind.label(), u.name))
+        .collect();
+    lines.sort();
+    lines.dedup();
+    let mut out = String::from(
+        "# Metric registry: every obs name the workspace may emit.\n\
+         # Format: <kind> <name> [dynamic]   — `*` suffix = prefix wildcard.\n\
+         # Checked by `defender lint`; regenerate the static part with\n\
+         # `defender lint --dump-registry` (dynamic lines are hand-kept).\n",
+    );
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs the lint CLI with `args` (without the program name), printing to
+/// stdout, and returns the intended exit code.
+///
+/// # Errors
+///
+/// Usage and I/O problems (exit code 1 at the callers).
+pub fn run(args: &[String]) -> Result<u8, String> {
+    let opts = parse_options(args)?;
+    defender_obs::enable();
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => find_root()?,
+    };
+    let config_path = opts
+        .config
+        .clone()
+        .unwrap_or_else(|| root.join("lint.toml"));
+    let config_text = fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let config =
+        Config::parse(&config_text).map_err(|e| format!("{}: {e}", config_path.display()))?;
+    let report = lint(&root, &config)?;
+    if opts.dump_registry {
+        print!("{}", dump_registry(&report.metric_uses));
+        return Ok(0);
+    }
+    if opts.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if opts.sidecar {
+        let path = PathBuf::from("BENCH_lint.json");
+        fs::write(&path, report.sidecar_json() + "\n")
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        // stderr, so `--format json` stdout stays machine-parseable.
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(if report.findings.is_empty() { 0 } else { 2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let report = LintReport {
+            findings: vec![Finding {
+                rule: "panic".into(),
+                path: "crates/x/src/a.rs".into(),
+                line: 7,
+                message: "boom".into(),
+            }],
+            files_scanned: 3,
+            panic: PanicStats {
+                sites: 2,
+                annotated: 1,
+                index_sites: 5,
+            },
+            metric_uses: Vec::new(),
+        };
+        let text = report.render_text();
+        assert!(text.contains("crates/x/src/a.rs:7: [panic] boom"));
+        assert!(text.contains("1 finding(s) (panic: 1) in 3 file(s)"));
+        let json = defender_obs::json::parse(&report.render_json()).unwrap();
+        assert_eq!(json.get("files_scanned").and_then(|v| v.as_u64()), Some(3));
+        let sidecar = defender_obs::json::parse(&report.sidecar_json()).unwrap();
+        assert_eq!(
+            sidecar
+                .get("counters")
+                .and_then(|c| c.get("lint.findings.panic"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            sidecar.get("experiment").and_then(|v| v.as_str()),
+            Some("lint")
+        );
+    }
+
+    #[test]
+    fn options_parse_and_reject() {
+        let ok = parse_options(&["--format".into(), "json".into(), "--sidecar".into()]).unwrap();
+        assert!(ok.json && ok.sidecar);
+        assert!(parse_options(&["--format".into()]).is_err());
+        assert!(parse_options(&["--wat".into()]).is_err());
+    }
+
+    #[test]
+    fn dump_registry_sorts_and_dedups() {
+        let mk = |kind, name: &str| MetricUse {
+            kind,
+            name: name.into(),
+            path: "p".into(),
+            line: 1,
+        };
+        let out = dump_registry(&[
+            mk(rules::MetricKind::Span, "z"),
+            mk(rules::MetricKind::Counter, "a.b"),
+            mk(rules::MetricKind::Counter, "a.b"),
+        ]);
+        let body: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(body, vec!["counter a.b", "span z"]);
+    }
+}

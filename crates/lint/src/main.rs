@@ -1,0 +1,15 @@
+//! Standalone entry point: `cargo run -p defender-lint -- [options]`.
+//! The same driver backs the `defender lint` subcommand.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match defender_lint::run(&args) {
+        Ok(code) => ExitCode::from(code),
+        Err(message) => {
+            eprintln!("defender-lint: {message}");
+            ExitCode::from(1)
+        }
+    }
+}

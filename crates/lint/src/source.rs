@@ -1,0 +1,350 @@
+//! A tokenized source file with test-code masking and `lint:` annotations.
+//!
+//! Two token post-passes feed every rule:
+//!
+//! - **test masking**: tokens under a `#[cfg(test)]` / `#[test]` item
+//!   (attribute through the item's closing `}` or `;`) are marked and
+//!   skipped by all rules — test code is allowed to `unwrap()` freely;
+//! - **annotations**: a line comment of the form
+//!   `// lint: allow(<rule>) <reason>` suppresses findings of `<rule>`.
+//!   A trailing annotation (`x.unwrap() // lint: allow(panic) bounds
+//!   checked`) covers its own line only; an annotation standing on a line
+//!   of its own also covers the line directly below, so it can sit above
+//!   the site. The reason is mandatory: an annotation without one is
+//!   itself a finding.
+
+use crate::tokenizer::{self, Token, TokenKind};
+
+/// One suppression parsed from a `// lint: allow(rule) reason` comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+    /// The rule id being allowed.
+    pub rule: String,
+    /// The mandatory free-text justification.
+    pub reason: String,
+    /// Whether the comment is the only thing on its line (then it also
+    /// covers the line below; a trailing annotation covers only its own).
+    pub standalone: bool,
+}
+
+/// A lexed, masked, annotation-indexed source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Parallel to `tokens`: whether the token is inside test-only code.
+    pub test_mask: Vec<bool>,
+    /// Parsed `lint: allow` annotations outside test code.
+    pub allows: Vec<Allow>,
+    /// Malformed `lint:` comments (missing reason, bad syntax), reported
+    /// as findings by the engine.
+    pub bad_annotations: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    /// Lexes and indexes one file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tokenizer errors (unterminated literals/comments).
+    pub fn parse(path: &str, text: &str) -> Result<SourceFile, String> {
+        let tokens = tokenizer::tokenize(text)?;
+        let test_mask = mark_test_items(&tokens);
+        let mut allows = Vec::new();
+        let mut bad_annotations = Vec::new();
+        for (token, &in_test) in tokens.iter().zip(&test_mask) {
+            if token.kind != TokenKind::LineComment || in_test {
+                continue;
+            }
+            let body = token.text.trim_start_matches('/').trim();
+            let Some(rest) = body.strip_prefix("lint:") else {
+                continue;
+            };
+            let standalone = !tokens
+                .iter()
+                .any(|t| !t.is_comment() && t.line == token.line);
+            match parse_allow(rest.trim()) {
+                Ok((rule, reason)) => allows.push(Allow {
+                    line: token.line,
+                    rule,
+                    reason,
+                    standalone,
+                }),
+                Err(e) => bad_annotations.push((token.line, e)),
+            }
+        }
+        Ok(SourceFile {
+            path: path.to_string(),
+            tokens,
+            test_mask,
+            allows,
+            bad_annotations,
+        })
+    }
+
+    /// Whether a finding of `rule` at `line` is suppressed by an
+    /// annotation on that line, or by a standalone annotation on the line
+    /// directly above.
+    #[must_use]
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == line || (a.standalone && a.line + 1 == line)))
+    }
+
+    /// Iterator over `(index, token)` for non-comment tokens outside test
+    /// code — the stream the token-level rules match against.
+    pub fn code_tokens(&self) -> impl Iterator<Item = (usize, &Token)> + '_ {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|&(i, t)| !t.is_comment() && !self.test_mask[i])
+    }
+}
+
+/// Parses `allow(<rule>) <reason>`.
+fn parse_allow(text: &str) -> Result<(String, String), String> {
+    let rest = text
+        .strip_prefix("allow(")
+        .ok_or("`lint:` comment must be `lint: allow(<rule>) <reason>`".to_string())?;
+    let (rule, reason) = rest
+        .split_once(')')
+        .ok_or("unterminated `allow(` in lint annotation".to_string())?;
+    let rule = rule.trim();
+    let reason = reason.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(format!("bad rule id `{rule}` in lint annotation"));
+    }
+    if reason.is_empty() {
+        return Err(format!(
+            "lint annotation `allow({rule})` needs a reason after the closing parenthesis"
+        ));
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+/// Marks every token belonging to a test-only item: one or more attributes
+/// where some attribute is `#[test]` or a `#[cfg(…)]` mentioning `test`,
+/// followed by the attributed item through its closing `}` (or `;` for
+/// item-less forms like `use`).
+fn mark_test_items(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    // Indices of non-comment tokens: attributes and items are matched on
+    // the code stream, then the mask is painted over the raw range
+    // (comments inside a test item are test code too).
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .map(|(i, _)| i)
+        .collect();
+    let mut k = 0usize;
+    while k < code.len() {
+        match attribute_at(tokens, &code, k) {
+            Some((end_k, is_test)) => {
+                // Gather the full attribute run on the item.
+                let start_k = k;
+                let mut any_test = is_test;
+                let mut next_k = end_k;
+                while let Some((e, t)) = attribute_at(tokens, &code, next_k) {
+                    any_test |= t;
+                    next_k = e;
+                }
+                if !any_test {
+                    k = end_k; // re-scan remaining attributes individually
+                    continue;
+                }
+                let item_end_k = item_end(tokens, &code, next_k);
+                let lo = code[start_k];
+                let hi = code
+                    .get(item_end_k.saturating_sub(1))
+                    .copied()
+                    .unwrap_or(tokens.len() - 1);
+                for slot in mask.iter_mut().take(hi + 1).skip(lo) {
+                    *slot = true;
+                }
+                k = item_end_k;
+            }
+            None => k += 1,
+        }
+    }
+    mask
+}
+
+/// If the code stream at `k` starts an outer attribute `#[…]`, returns
+/// (index just past it, whether it is test-gating).
+fn attribute_at(tokens: &[Token], code: &[usize], k: usize) -> Option<(usize, bool)> {
+    let at = |k: usize| code.get(k).map(|&i| &tokens[i]);
+    if !at(k)?.is_punct('#') || !at(k + 1)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut mentions_test = false;
+    let mut first_ident: Option<&str> = None;
+    let mut j = k + 1;
+    while let Some(token) = at(j) {
+        if token.is_punct('[') {
+            depth += 1;
+        } else if token.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                let is_test = match first_ident {
+                    Some("test") => true,
+                    Some("cfg") => mentions_test,
+                    _ => false,
+                };
+                return Some((j + 1, is_test));
+            }
+        } else if token.kind == TokenKind::Ident {
+            if first_ident.is_none() {
+                first_ident = Some(&token.text);
+            }
+            if token.text == "test" {
+                mentions_test = true;
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index (in the code stream) just past the item starting at `k`: through
+/// the matching `}` of the first top-level brace, or the first `;` before
+/// any brace opens.
+fn item_end(tokens: &[Token], code: &[usize], k: usize) -> usize {
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    let mut brace = 0i64;
+    let mut seen_brace = false;
+    let mut j = k;
+    while let Some(&i) = code.get(j) {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'(') => paren += 1,
+                Some(b')') => paren -= 1,
+                Some(b'[') => bracket += 1,
+                Some(b']') => bracket -= 1,
+                Some(b'{') => {
+                    brace += 1;
+                    seen_brace = true;
+                }
+                Some(b'}') => {
+                    brace -= 1;
+                    if seen_brace && brace == 0 {
+                        return j + 1;
+                    }
+                }
+                Some(b';') if !seen_brace && paren == 0 && bracket == 0 && brace == 0 => {
+                    return j + 1;
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs", src).unwrap()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let file = parse(
+            "pub fn real() { work() }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() { x.unwrap() }\n\
+             }\n\
+             pub fn after() {}\n",
+        );
+        let masked: Vec<&str> = file
+            .tokens
+            .iter()
+            .zip(&file.test_mask)
+            .filter(|(_, &m)| m)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"unwrap"));
+        assert!(!masked.contains(&"real"));
+        assert!(!masked.contains(&"after"), "mask ends at the closing brace");
+        assert!(!file.code_tokens().any(|(_, t)| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn test_attribute_masks_single_fn() {
+        let file = parse(
+            "#[test]\nfn probe() { x.unwrap(); }\n\
+             fn live() { y.unwrap(); }\n",
+        );
+        let unwraps: Vec<u32> = file
+            .code_tokens()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(_, t)| t.line)
+            .collect();
+        assert_eq!(unwraps, vec![3], "only the live fn's unwrap survives");
+    }
+
+    #[test]
+    fn stacked_attributes_and_cfg_all() {
+        let file = parse(
+            "#[cfg(all(test, feature = \"x\"))]\n#[allow(dead_code)]\n\
+             fn gated() { a.unwrap() }\n\
+             #[allow(dead_code)]\nfn kept() { b.unwrap() }\n",
+        );
+        let lines: Vec<u32> = file
+            .code_tokens()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(_, t)| t.line)
+            .collect();
+        assert_eq!(lines, vec![5]);
+    }
+
+    #[test]
+    fn cfg_test_use_item_ends_at_semicolon() {
+        let file = parse("#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n");
+        assert!(!file.code_tokens().any(|(_, t)| t.is_ident("HashMap")));
+        assert!(file.code_tokens().any(|(_, t)| t.is_ident("live")));
+    }
+
+    #[test]
+    fn annotations_trailing_and_above() {
+        let file = parse(
+            "// lint: allow(panic) invariant: index bounded by construction\n\
+             fn a() { x.unwrap() }\n\
+             fn b() { y.unwrap() } // lint: allow(panic) poisoning is unreachable\n\
+             fn c() { z.unwrap() }\n",
+        );
+        assert!(file.is_allowed("panic", 2), "line under the annotation");
+        assert!(file.is_allowed("panic", 3), "trailing annotation");
+        assert!(!file.is_allowed("panic", 4));
+        assert!(!file.is_allowed("exactness", 2), "rule ids do not cross");
+        assert_eq!(file.allows.len(), 2);
+    }
+
+    #[test]
+    fn annotation_without_reason_is_reported() {
+        let file = parse("fn a() {} // lint: allow(panic)\nfn b() {} // lint: nonsense\n");
+        assert_eq!(file.bad_annotations.len(), 2);
+        assert!(file.bad_annotations[0].1.contains("reason"));
+        assert!(!file.is_allowed("panic", 1));
+    }
+
+    #[test]
+    fn annotations_inside_test_code_are_ignored() {
+        let file = parse(
+            "#[cfg(test)]\nmod tests {\n    // lint: allow(panic) irrelevant\n    fn t() {}\n}\n",
+        );
+        assert!(file.allows.is_empty());
+    }
+}

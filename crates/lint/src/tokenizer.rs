@@ -1,0 +1,529 @@
+//! A hand-rolled, comment- and string-aware Rust tokenizer.
+//!
+//! The lint rules are *token-level*, not semantic: they never need types
+//! or name resolution, only a faithful split of a source file into
+//! identifiers, literals, comments and punctuation — faithful enough that
+//! a `HashMap` inside a string literal or a doc-comment example is never
+//! mistaken for code. The tricky lexical corners the rules depend on:
+//!
+//! - line (`//`, `///`, `//!`) and **nested** block comments (`/* /* */ */`);
+//! - string literals with escapes, byte strings, and raw strings with an
+//!   arbitrary hash fence (`r#"…"#`, `br##"…"##`);
+//! - char literals vs. lifetimes (`'a'` vs `'a`);
+//! - float vs. integer literals (`1.5`, `1e3`, `2f64` are floats; `0xeF`,
+//!   `1..n` are not).
+//!
+//! Everything else is a single-character [`TokenKind::Punct`]; rules match
+//! multi-character operators (`::`, `#[`) as adjacent punct tokens.
+
+/// The lexical class of one [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `f64`, `unwrap`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — no closing quote.
+    Lifetime,
+    /// A string literal: `"…"`, `b"…"`, `r#"…"#`, `br"…"`.
+    Str,
+    /// A char or byte literal: `'x'`, `'\n'`, `b'0'`.
+    Char,
+    /// An integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// A float literal (`1.5`, `1e3`, `2.0f64`, `3f32`).
+    Float,
+    /// A `//` comment, text including the slashes.
+    LineComment,
+    /// A `/* … */` comment (possibly nested), text including delimiters.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether the token is a (line or block) comment.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether the token is the identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether the token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// The string literal's contents without quotes/fences/escape decoding,
+    /// for `Str` tokens produced from ordinary (non-raw) literals; raw
+    /// strings strip their fence. Escapes are left verbatim — the metric
+    /// names the rules care about never contain any.
+    #[must_use]
+    pub fn str_contents(&self) -> Option<&str> {
+        if self.kind != TokenKind::Str {
+            return None;
+        }
+        let s = self.text.strip_prefix('b').unwrap_or(&self.text);
+        if let Some(raw) = s.strip_prefix('r') {
+            let hashes = raw.len() - raw.trim_start_matches('#').len();
+            let inner = &raw[hashes..raw.len() - hashes];
+            return inner.strip_prefix('"').and_then(|t| t.strip_suffix('"'));
+        }
+        s.strip_prefix('"').and_then(|t| t.strip_suffix('"'))
+    }
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    src: &'a str,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn take_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if pred(c) {
+                out.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Splits `src` into tokens.
+///
+/// # Errors
+///
+/// Returns a message with the 1-based line of the first unterminated
+/// string, char literal or block comment.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, String> {
+    let mut lexer = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        src,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = lexer.peek(0) {
+        let line = lexer.line;
+        match c {
+            c if c.is_whitespace() => {
+                lexer.bump();
+            }
+            '/' if lexer.peek(1) == Some('/') => {
+                let mut text = String::new();
+                lexer.take_while(&mut text, |c| c != '\n');
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    text,
+                    line,
+                });
+            }
+            '/' if lexer.peek(1) == Some('*') => {
+                tokens.push(block_comment(&mut lexer, line)?);
+            }
+            '"' => tokens.push(string_literal(&mut lexer, line, String::new())?),
+            '\'' => tokens.push(char_or_lifetime(&mut lexer, line)?),
+            c if c.is_ascii_digit() => tokens.push(number(&mut lexer, line)),
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                lexer.take_while(&mut text, is_ident_continue);
+                match ident_prefixed_literal(&mut lexer, line, &text)? {
+                    Some(token) => tokens.push(token),
+                    None => tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text,
+                        line,
+                    }),
+                }
+            }
+            c => {
+                lexer.bump();
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    let _ = lexer.src;
+    Ok(tokens)
+}
+
+/// Handles `r"…"`/`r#"…"#`/`b"…"`/`br#"…"#`/`b'…'` after the identifier
+/// prefix has been consumed; `None` means the identifier was plain.
+fn ident_prefixed_literal(
+    lexer: &mut Lexer<'_>,
+    line: u32,
+    prefix: &str,
+) -> Result<Option<Token>, String> {
+    match prefix {
+        "r" | "br" | "rb" => match lexer.peek(0) {
+            Some('"' | '#') => raw_string(lexer, line, prefix).map(Some),
+            _ => Ok(None),
+        },
+        "b" => match lexer.peek(0) {
+            Some('"') => string_literal(lexer, line, prefix.to_string()).map(Some),
+            Some('\'') => {
+                lexer.bump();
+                char_body(lexer, line, prefix.to_string()).map(Some)
+            }
+            _ => Ok(None),
+        },
+        _ => Ok(None),
+    }
+}
+
+fn block_comment(lexer: &mut Lexer<'_>, line: u32) -> Result<Token, String> {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    loop {
+        match (lexer.peek(0), lexer.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                lexer.bump();
+                lexer.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                text.push('*');
+                text.push('/');
+                lexer.bump();
+                lexer.bump();
+                if depth == 0 {
+                    return Ok(Token {
+                        kind: TokenKind::BlockComment,
+                        text,
+                        line,
+                    });
+                }
+            }
+            (Some(_), _) => {
+                text.push(lexer.bump().unwrap_or('\0'));
+            }
+            (None, _) => return Err(format!("line {line}: unterminated block comment")),
+        }
+    }
+}
+
+fn string_literal(lexer: &mut Lexer<'_>, line: u32, prefix: String) -> Result<Token, String> {
+    let mut text = prefix;
+    text.push('"');
+    lexer.bump(); // opening quote
+    loop {
+        match lexer.bump() {
+            None => return Err(format!("line {line}: unterminated string literal")),
+            Some('\\') => {
+                text.push('\\');
+                match lexer.bump() {
+                    None => return Err(format!("line {line}: unterminated string literal")),
+                    Some(e) => text.push(e),
+                }
+            }
+            Some('"') => {
+                text.push('"');
+                return Ok(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                });
+            }
+            Some(c) => text.push(c),
+        }
+    }
+}
+
+fn raw_string(lexer: &mut Lexer<'_>, line: u32, prefix: &str) -> Result<Token, String> {
+    let mut text = prefix.to_string();
+    let mut hashes = 0usize;
+    while lexer.peek(0) == Some('#') {
+        hashes += 1;
+        text.push('#');
+        lexer.bump();
+    }
+    if lexer.peek(0) != Some('"') {
+        // `r#` that is not a raw string is a raw identifier (`r#type`);
+        // re-lex the identifier body after the hash.
+        let mut ident = text;
+        lexer.take_while(&mut ident, is_ident_continue);
+        return Ok(Token {
+            kind: TokenKind::Ident,
+            text: ident,
+            line,
+        });
+    }
+    text.push('"');
+    lexer.bump();
+    loop {
+        match lexer.bump() {
+            None => return Err(format!("line {line}: unterminated raw string")),
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && lexer.peek(0) == Some('#') {
+                    seen += 1;
+                    lexer.bump();
+                }
+                if seen == hashes {
+                    text.push('"');
+                    text.push_str(&"#".repeat(hashes));
+                    return Ok(Token {
+                        kind: TokenKind::Str,
+                        text,
+                        line,
+                    });
+                }
+                text.push('"');
+                text.push_str(&"#".repeat(seen));
+            }
+            Some(c) => text.push(c),
+        }
+    }
+}
+
+fn char_or_lifetime(lexer: &mut Lexer<'_>, line: u32) -> Result<Token, String> {
+    lexer.bump(); // opening quote
+                  // `'a'` is a char, `'a` (no closing quote right after one ident char
+                  // run) is a lifetime; `'\n'` and `''' are chars.
+    if matches!(lexer.peek(0), Some(c) if is_ident_start(c)) && lexer.peek(1) != Some('\'') {
+        let mut text = String::from("'");
+        lexer.take_while(&mut text, is_ident_continue);
+        return Ok(Token {
+            kind: TokenKind::Lifetime,
+            text,
+            line,
+        });
+    }
+    char_body(lexer, line, String::new())
+}
+
+fn char_body(lexer: &mut Lexer<'_>, line: u32, prefix: String) -> Result<Token, String> {
+    let mut text = prefix;
+    text.push('\'');
+    loop {
+        match lexer.bump() {
+            None => return Err(format!("line {line}: unterminated char literal")),
+            Some('\\') => {
+                text.push('\\');
+                match lexer.bump() {
+                    None => return Err(format!("line {line}: unterminated char literal")),
+                    Some(e) => text.push(e),
+                }
+            }
+            Some('\'') => {
+                text.push('\'');
+                return Ok(Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                });
+            }
+            Some(c) => text.push(c),
+        }
+    }
+}
+
+fn number(lexer: &mut Lexer<'_>, line: u32) -> Token {
+    let mut text = String::new();
+    let mut float = false;
+    if lexer.peek(0) == Some('0') && matches!(lexer.peek(1), Some('x' | 'o' | 'b')) {
+        text.push(lexer.bump().unwrap_or('0'));
+        text.push(lexer.bump().unwrap_or('x'));
+        lexer.take_while(&mut text, |c| c.is_ascii_hexdigit() || c == '_');
+    } else {
+        lexer.take_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+        // A `.` continues the literal only when it is not a range (`1..n`)
+        // or a method call on the literal (`1.max(x)`).
+        if lexer.peek(0) == Some('.')
+            && lexer.peek(1) != Some('.')
+            && !matches!(lexer.peek(1), Some(c) if is_ident_start(c))
+        {
+            float = true;
+            text.push('.');
+            lexer.bump();
+            lexer.take_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+        }
+        if matches!(lexer.peek(0), Some('e' | 'E'))
+            && (matches!(lexer.peek(1), Some(c) if c.is_ascii_digit())
+                || (matches!(lexer.peek(1), Some('+' | '-'))
+                    && matches!(lexer.peek(2), Some(c) if c.is_ascii_digit())))
+        {
+            float = true;
+            text.push(lexer.bump().unwrap_or('e'));
+            lexer.take_while(&mut text, |c| c.is_ascii_digit() || c == '+' || c == '-');
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`).
+    let before_suffix = text.len();
+    lexer.take_while(&mut text, is_ident_continue);
+    let suffix = &text[before_suffix..];
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        float = true;
+    }
+    Token {
+        kind: if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        },
+        text,
+        line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let tokens = tokenize("fn main() {\n    x\n}").unwrap();
+        assert_eq!(tokens[0], token(TokenKind::Ident, "fn", 1));
+        assert_eq!(tokens[4].text, "{");
+        assert_eq!(tokens[5], token(TokenKind::Ident, "x", 2));
+        assert_eq!(tokens[6].line, 3);
+    }
+
+    fn token(kind: TokenKind, text: &str, line: u32) -> Token {
+        Token {
+            kind,
+            text: text.to_string(),
+            line,
+        }
+    }
+
+    #[test]
+    fn line_and_nested_block_comments() {
+        let src = "a // trailing f64\n/* outer /* inner */ still comment */ b";
+        let tokens = tokenize(src).unwrap();
+        assert_eq!(tokens[0].text, "a");
+        assert_eq!(tokens[1].kind, TokenKind::LineComment);
+        assert!(tokens[1].text.contains("f64"));
+        assert_eq!(tokens[2].kind, TokenKind::BlockComment);
+        assert!(tokens[2].text.contains("inner"));
+        assert_eq!(tokens[3], token(TokenKind::Ident, "b", 2));
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(tokenize("/* /* */").unwrap_err().contains("unterminated"));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_raw_fences() {
+        let tokens = kinds(r####""a\"b" r"raw" r#"has "quotes""# br##"x"#y"## b"bytes""####);
+        assert!(tokens.iter().all(|(k, _)| *k == TokenKind::Str));
+        assert_eq!(tokens.len(), 5);
+        let t = tokenize(r###"r#"has "quotes""#"###).unwrap();
+        assert_eq!(t[0].str_contents(), Some(r#"has "quotes""#));
+        let t = tokenize(r#""plain""#).unwrap();
+        assert_eq!(t[0].str_contents(), Some("plain"));
+    }
+
+    #[test]
+    fn forbidden_names_inside_strings_are_strings() {
+        // The determinism rule must not fire on these.
+        let tokens = kinds(r#"let x = "HashMap::new() SystemTime";"#);
+        assert!(!tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let tokens = kinds("r#type r#match");
+        assert_eq!(tokens[0], (TokenKind::Ident, "r#type".to_string()));
+        assert_eq!(tokens[1], (TokenKind::Ident, "r#match".to_string()));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let tokens = kinds(r"'a' '\n' '\'' 'a 'static b'0'");
+        assert_eq!(
+            tokens.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Lifetime,
+                TokenKind::Lifetime,
+                TokenKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn float_vs_integer_literals() {
+        let tokens = kinds("1 1.5 1. 1e3 2E-4 1f64 3f32 0xeF 0b10 1..2 1.max(2) 1_000u64");
+        let floats: Vec<&str> = tokens
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "1.", "1e3", "2E-4", "1f64", "3f32"]);
+        // `0xeF` must not read its `e` as an exponent; `1..2` and
+        // `1.max(2)` keep their integer receivers.
+        assert!(tokens.contains(&(TokenKind::Int, "0xeF".to_string())));
+        assert!(tokens.contains(&(TokenKind::Int, "1_000u64".to_string())));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// let x = y.unwrap();\n//! inner f64\nfn f() {}";
+        let tokens = tokenize(src).unwrap();
+        assert_eq!(tokens[0].kind, TokenKind::LineComment);
+        assert_eq!(tokens[1].kind, TokenKind::LineComment);
+        assert!(!tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+}

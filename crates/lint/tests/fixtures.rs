@@ -1,0 +1,171 @@
+//! Fixture workspaces: a seeded violation for every rule family must make
+//! `defender-lint` exit 2, and the same workspace with the violation
+//! annotated or fixed must exit 0.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Materializes `files` under a fresh temp workspace root and returns it.
+fn workspace(files: &[(&str, &str)]) -> PathBuf {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    let root = std::env::temp_dir().join(format!(
+        "defender-lint-fixture-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    for (rel, text) in files {
+        let path = root.join(rel);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).unwrap();
+        }
+        fs::write(path, text).unwrap();
+    }
+    root
+}
+
+const CONFIG: &str = r#"
+[rule.exactness]
+scope = ["crates/num/src"]
+
+[rule.determinism]
+scope = ["crates/num/src"]
+
+[rule.panic]
+scope = ["crates/num/src"]
+
+[rule.metrics]
+scope = ["crates"]
+registry = "registry.txt"
+docs = ["DOCS.md"]
+baselines = ["baselines"]
+"#;
+
+const REGISTRY: &str = "counter good.counter\n";
+const DOCS: &str = "`good.counter` counts good things\n";
+
+/// Runs the CLI driver against `root` and returns its exit code.
+fn lint_exit(root: &Path) -> u8 {
+    let args = vec!["--root".to_string(), root.to_string_lossy().into_owned()];
+    defender_lint::run(&args).unwrap()
+}
+
+/// A workspace whose only source file is `lib_rs`, with standard
+/// config/registry/docs.
+fn single_file_root(lib_rs: &str) -> PathBuf {
+    workspace(&[
+        ("lint.toml", CONFIG),
+        ("registry.txt", REGISTRY),
+        ("DOCS.md", DOCS),
+        ("crates/num/src/lib.rs", lib_rs),
+    ])
+}
+
+const CLEAN: &str = "pub fn ok(x: i64) -> i64 {\n    defender_obs::counter!(\"good.counter\").incr();\n    x + 1\n}\n";
+
+#[test]
+fn clean_workspace_exits_zero() {
+    assert_eq!(lint_exit(&single_file_root(CLEAN)), 0);
+}
+
+#[test]
+fn exactness_violation_exits_two() {
+    let root = single_file_root("pub fn bad(x: i64) -> f64 {\n    x as f64 * 0.5\n}\n");
+    assert_eq!(lint_exit(&root), 2);
+}
+
+#[test]
+fn determinism_violation_exits_two() {
+    let root = single_file_root(
+        "use std::collections::HashMap;\npub fn bad() -> usize {\n    HashMap::<u8, u8>::new().len()\n}\n",
+    );
+    assert_eq!(lint_exit(&root), 2);
+}
+
+#[test]
+fn panic_violation_exits_two_and_annotation_clears_it() {
+    let bad = format!("{CLEAN}pub fn bad(v: &[u8]) -> u8 {{\n    *v.first().unwrap()\n}}\n");
+    assert_eq!(lint_exit(&single_file_root(&bad)), 2);
+    let annotated = format!(
+        "{CLEAN}pub fn bad(v: &[u8]) -> u8 {{\n    \
+         *v.first().unwrap() // lint: allow(panic) callers pass non-empty slices\n}}\n"
+    );
+    assert_eq!(lint_exit(&single_file_root(&annotated)), 0);
+}
+
+#[test]
+fn unregistered_metric_exits_two() {
+    let root = single_file_root(
+        "pub fn bad() {\n    defender_obs::counter!(\"rogue.counter\").incr();\n}\n",
+    );
+    assert_eq!(lint_exit(&root), 2);
+}
+
+#[test]
+fn orphaned_registry_entry_exits_two() {
+    // Registry declares a counter no code emits.
+    let root = workspace(&[
+        ("lint.toml", CONFIG),
+        (
+            "registry.txt",
+            "counter good.counter\ncounter ghost.counter\n",
+        ),
+        ("DOCS.md", "`good.counter` and `ghost.counter` documented\n"),
+        ("crates/num/src/lib.rs", CLEAN),
+    ]);
+    assert_eq!(lint_exit(&root), 2);
+}
+
+#[test]
+fn undocumented_counter_exits_two() {
+    let root = workspace(&[
+        ("lint.toml", CONFIG),
+        ("registry.txt", REGISTRY),
+        ("DOCS.md", "nothing relevant here\n"),
+        ("crates/num/src/lib.rs", CLEAN),
+    ]);
+    assert_eq!(lint_exit(&root), 2);
+}
+
+#[test]
+fn unknown_baseline_counter_exits_two() {
+    let root = workspace(&[
+        ("lint.toml", CONFIG),
+        ("registry.txt", REGISTRY),
+        ("DOCS.md", DOCS),
+        ("crates/num/src/lib.rs", CLEAN),
+        (
+            "baselines/BENCH_x.json",
+            "{\"experiment\": \"x\", \"phases\": [], \"counters\": {\"mystery.key\": 1}}\n",
+        ),
+    ]);
+    assert_eq!(lint_exit(&root), 2);
+}
+
+#[test]
+fn malformed_annotation_exits_two() {
+    // A reason-less annotation is itself a finding (and suppresses nothing).
+    let root = single_file_root("pub fn f() {} // lint: allow(panic)\n");
+    assert_eq!(lint_exit(&root), 2);
+}
+
+#[test]
+fn cfg_test_code_is_exempt() {
+    let src = format!(
+        "{CLEAN}#[cfg(test)]\nmod tests {{\n    #[test]\n    fn t() {{\n        \
+         let v: Vec<u8> = vec![1];\n        assert_eq!(*v.first().unwrap(), 1);\n    }}\n}}\n"
+    );
+    assert_eq!(lint_exit(&single_file_root(&src)), 0);
+}
+
+#[test]
+fn json_format_reports_findings() {
+    let root = single_file_root("pub fn bad(v: &[u8]) -> u8 {\n    *v.first().unwrap()\n}\n");
+    let args = vec![
+        "--root".to_string(),
+        root.to_string_lossy().into_owned(),
+        "--format".to_string(),
+        "json".to_string(),
+    ];
+    assert_eq!(defender_lint::run(&args).unwrap(), 2);
+}

@@ -1,0 +1,23 @@
+//! Self-test: the workspace at HEAD must be lint-clean, so a regression
+//! (a stray float, an un-annotated unwrap, an unregistered counter) fails
+//! `cargo test` locally — not just the CI gate.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let config_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("workspace lint.toml exists");
+    let config = defender_lint::config::Config::parse(&config_text).expect("lint.toml parses");
+    let report = defender_lint::lint(&root, &config).expect("lint run succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 50, "walker found the workspace");
+    // Every potential panic site in scope is annotated (or it would have
+    // been a finding above); the counts agree by construction.
+    assert_eq!(report.panic.sites, report.panic.annotated);
+}

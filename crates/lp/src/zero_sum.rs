@@ -42,11 +42,11 @@ pub fn solve_zero_sum(m: &[Vec<Ratio>]) -> Result<ZeroSumSolution, LpError> {
     }
 
     // Shift strictly positive.
-    let min_entry = m
-        .iter()
-        .flat_map(|r| r.iter().copied())
-        .min()
-        .expect("non-empty matrix");
+    let Some(min_entry) = m.iter().flat_map(|r| r.iter().copied()).min() else {
+        return Err(LpError::ShapeMismatch {
+            reason: "empty matrix".into(),
+        });
+    };
     let sigma = Ratio::ONE - min_entry.min(Ratio::ZERO);
     let shifted: Vec<Vec<Ratio>> = m
         .iter()
@@ -61,7 +61,14 @@ pub fn solve_zero_sum(m: &[Vec<Ratio>]) -> Result<ZeroSumSolution, LpError> {
         solution.objective > Ratio::ZERO,
         "M' > 0 makes the optimum positive"
     );
-    let shifted_value = solution.objective.recip().expect("positive optimum");
+    let Ok(shifted_value) = solution.objective.recip() else {
+        // M' > 0 makes the optimum positive, so a zero objective here means
+        // the simplex produced an infeasible tableau — surface it as a
+        // shape-grade error instead of panicking.
+        return Err(LpError::ShapeMismatch {
+            reason: "zero optimum for a strictly positive shifted matrix".into(),
+        });
+    };
 
     let col_strategy: Vec<Ratio> = solution.primal.iter().map(|&w| w * shifted_value).collect();
     let row_strategy: Vec<Ratio> = solution.dual.iter().map(|&y| y * shifted_value).collect();

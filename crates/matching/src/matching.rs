@@ -105,6 +105,7 @@ impl Matching {
                 if v < w {
                     let e = graph
                         .find_edge(v, w)
+                        // lint: allow(panic) matched pairs are edges of the graph
                         .expect("matched pair must be an edge of the graph");
                     edges.push(e);
                 }

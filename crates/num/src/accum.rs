@@ -84,6 +84,7 @@ impl RatioAccum {
         if g <= 1 {
             return false;
         }
+        // lint: allow(panic) g <= min(|num|,|den|) <= 2^127 only when both are i128::MIN, which den > 0 excludes
         let g = i128::try_from(g).expect("gcd of i128 magnitudes fits i128");
         self.num /= g;
         self.den /= g;
@@ -152,6 +153,7 @@ impl RatioAccum {
     #[must_use]
     pub fn finish(mut self) -> Ratio {
         self.reductions += 1;
+        // lint: allow(panic) documented # Panics overflow contract, same as the per-op Ratio path
         let out = make(self.num, self.den).expect("RatioAccum total fits in 64-bit components");
         flush(self.gcd_skipped, self.reductions);
         out
@@ -243,6 +245,7 @@ pub fn row_eliminate(row: &mut [Ratio], factor: Ratio, pivot: &[Ratio]) {
         }
         // Fused general path: one gcd instead of two. `vn·td`, `tn·vd` and
         // `vd·td` all fit in i128 for i64 components.
+        // lint: allow(panic) documented # Panics overflow contract, same as the per-op Ratio path
         *value = make(vn * td - tn * vd, vd * td).expect("row update fits in 64-bit components");
         reductions += 1;
     }
@@ -270,6 +273,7 @@ pub fn row_scale_div(row: &mut [Ratio], pivot: Ratio) {
             continue;
         }
         let (vn, vd) = (i128::from(value.numer()), i128::from(value.denom()));
+        // lint: allow(panic) documented # Panics overflow contract, same as the per-op Ratio path
         *value = make(vn * pd, vd * pn).expect("row normalization fits in 64-bit components");
         reductions += 1;
     }

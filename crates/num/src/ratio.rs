@@ -106,6 +106,7 @@ impl Ratio {
     /// ```
     #[must_use]
     pub fn new(num: i64, den: i64) -> Ratio {
+        // lint: allow(panic) documented contract; checked_new is the fallible form
         Ratio::checked_new(num, den).expect("Ratio::new: denominator must be non-zero")
     }
 
@@ -288,7 +289,9 @@ impl Ratio {
     /// assert_eq!(Ratio::new(1, 4).to_f64(), 0.25);
     /// ```
     #[must_use]
+    // lint: allow(exactness) reporting-only conversion, excluded from all NE logic
     pub fn to_f64(self) -> f64 {
+        // lint: allow(exactness) reporting-only conversion, excluded from all NE logic
         self.num as f64 / self.den as f64
     }
 
@@ -345,6 +348,7 @@ impl From<usize> for Ratio {
     /// Panics if `value` exceeds `i64::MAX` (impossible for the graph sizes
     /// this workspace handles).
     fn from(value: usize) -> Ratio {
+        // lint: allow(panic) documented contract: counts here are graph sizes, far below i64::MAX
         Ratio::from_integer(i64::try_from(value).expect("count fits in i64"))
     }
 }
@@ -352,6 +356,7 @@ impl From<usize> for Ratio {
 impl Add for Ratio {
     type Output = Ratio;
     fn add(self, rhs: Ratio) -> Ratio {
+        // lint: allow(panic) operator contract: overflow aborts the run; checked_add is the fallible form
         self.checked_add(rhs).expect("Ratio addition overflow")
     }
 }
@@ -359,6 +364,7 @@ impl Add for Ratio {
 impl Sub for Ratio {
     type Output = Ratio;
     fn sub(self, rhs: Ratio) -> Ratio {
+        // lint: allow(panic) operator contract: overflow aborts the run; checked_sub is the fallible form
         self.checked_sub(rhs).expect("Ratio subtraction overflow")
     }
 }
@@ -367,6 +373,7 @@ impl Mul for Ratio {
     type Output = Ratio;
     fn mul(self, rhs: Ratio) -> Ratio {
         self.checked_mul(rhs)
+            // lint: allow(panic) operator contract: overflow aborts the run; checked_mul is the fallible form
             .expect("Ratio multiplication overflow")
     }
 }
@@ -375,6 +382,7 @@ impl Div for Ratio {
     type Output = Ratio;
     fn div(self, rhs: Ratio) -> Ratio {
         self.checked_div(rhs)
+            // lint: allow(panic) operator contract; checked_div is the fallible form
             .expect("Ratio division by zero or overflow")
     }
 }

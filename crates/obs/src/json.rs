@@ -318,6 +318,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     {
         *pos += 1;
     }
+    // lint: allow(panic) the scanned range matched ASCII number bytes only
     let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii slice");
     text.parse::<f64>()
         .map(JsonValue::Number)
@@ -366,6 +367,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 // boundaries are safe to re-derive).
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
+                // lint: allow(panic) the Some(_) arm guarantees at least one byte remains
                 let c = rest.chars().next().expect("non-empty");
                 out.push(c);
                 *pos += c.len_utf8();

@@ -54,6 +54,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+// lint: allow(determinism) span timing is the obs layer's purpose; durations never feed counter values
 use std::time::{Duration, Instant};
 
 /// Number of log2 buckets in every histogram: bucket `i` counts values
@@ -130,7 +131,7 @@ impl Metric {
             registry()
                 .metrics
                 .lock()
-                .expect("obs registry poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push(self);
         }
     }
@@ -236,7 +237,7 @@ impl Histogram {
             registry()
                 .histograms
                 .lock()
-                .expect("obs registry poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push(self);
         }
     }
@@ -365,17 +366,30 @@ fn registry() -> &'static Registry {
 /// measured run.
 pub fn reset() {
     let reg = registry();
-    for m in reg.metrics.lock().expect("obs registry poisoned").iter() {
+    for m in reg
+        .metrics
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+    {
         m.value.store(0, Ordering::Relaxed);
     }
-    for h in reg.histograms.lock().expect("obs registry poisoned").iter() {
+    for h in reg
+        .histograms
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+    {
         for b in &h.buckets {
             b.store(0, Ordering::Relaxed);
         }
         h.count.store(0, Ordering::Relaxed);
         h.sum.store(0, Ordering::Relaxed);
     }
-    reg.spans.lock().expect("obs registry poisoned").clear();
+    reg.spans
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -394,6 +408,7 @@ thread_local! {
 #[derive(Debug)]
 #[must_use = "a span measures the scope it is bound to; bind it to a named guard"]
 pub struct SpanGuard {
+    // lint: allow(determinism) span timing is the obs layer's purpose; durations never feed counter values
     start: Option<Instant>,
     name: &'static str,
     traced: bool,
@@ -422,6 +437,7 @@ pub fn enter_span(name: &'static str) -> SpanGuard {
     }
     SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
     SpanGuard {
+        // lint: allow(determinism) span timing is the obs layer's purpose; durations never feed counter values
         start: Some(Instant::now()),
         name,
         traced,
@@ -445,7 +461,10 @@ impl Drop for SpanGuard {
             path
         });
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        let mut spans = registry().spans.lock().expect("obs registry poisoned");
+        let mut spans = registry()
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let stat = spans.entry(path).or_default();
         stat.count += 1;
         stat.total_ns = stat.total_ns.saturating_add(ns);
@@ -523,7 +542,12 @@ pub fn snapshot() -> Snapshot {
     let reg = registry();
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
-    for m in reg.metrics.lock().expect("obs registry poisoned").iter() {
+    for m in reg
+        .metrics
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+    {
         let slot = match m.kind {
             Kind::Counter => counters.entry(m.name.to_string()).or_insert(0),
             Kind::Gauge => gauges.entry(m.name.to_string()).or_insert(0),
@@ -531,7 +555,12 @@ pub fn snapshot() -> Snapshot {
         *slot += m.get();
     }
     let mut histograms: BTreeMap<String, HistStat> = BTreeMap::new();
-    for h in reg.histograms.lock().expect("obs registry poisoned").iter() {
+    for h in reg
+        .histograms
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+    {
         let stat = histograms
             .entry(h.name.to_string())
             .or_insert_with(|| HistStat {
@@ -554,7 +583,7 @@ pub fn snapshot() -> Snapshot {
     let spans = reg
         .spans
         .lock()
-        .expect("obs registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(path, s)| HistStat {
             name: path.clone(),

@@ -44,6 +44,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+// lint: allow(determinism) span timing is the obs layer's purpose; durations never feed counter values
 use std::time::Instant;
 
 use crate::json::{JsonArray, JsonObject};
@@ -63,6 +64,7 @@ pub enum EventKind {
     /// A span was exited (`"ph": "E"`).
     End,
     /// A point-in-time marker (`"ph": "i"`).
+    // lint: allow(determinism) span timing is the obs layer's purpose; durations never feed counter values
     Instant,
 }
 
@@ -73,6 +75,7 @@ impl EventKind {
         match self {
             EventKind::Begin => "B",
             EventKind::End => "E",
+            // lint: allow(determinism) span timing is the obs layer's purpose; durations never feed counter values
             EventKind::Instant => "i",
         }
     }
@@ -128,8 +131,11 @@ fn registry() -> &'static Mutex<Vec<Arc<ThreadBuffer>>> {
 
 /// The process-wide trace epoch: fixed on first use so timestamps from
 /// every thread and every start/stop cycle share one origin.
+// lint: allow(determinism) span timing is the obs layer's purpose; durations never feed counter values
 fn epoch() -> Instant {
+    // lint: allow(determinism) span timing is the obs layer's purpose; durations never feed counter values
     static EPOCH: OnceLock<Instant> = OnceLock::new();
+    // lint: allow(determinism) span timing is the obs layer's purpose; durations never feed counter values
     *EPOCH.get_or_init(Instant::now)
 }
 
@@ -148,7 +154,7 @@ fn with_local_buffer(f: impl FnOnce(&ThreadBuffer)) {
             });
             registry()
                 .lock()
-                .expect("trace registry poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push(Arc::clone(&buffer));
             buffer
         });
@@ -192,8 +198,15 @@ pub fn capacity() -> usize {
 /// Discards every recorded event and zeroes the drop counters. Buffers
 /// stay registered so thread ids remain stable across clears.
 pub fn clear() {
-    for buffer in registry().lock().expect("trace registry poisoned").iter() {
-        let mut ring = buffer.ring.lock().expect("trace ring poisoned");
+    for buffer in registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+    {
+        let mut ring = buffer
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         ring.events.clear();
         ring.dropped = 0;
         buffer.contended.store(0, Ordering::Relaxed);
@@ -238,6 +251,7 @@ pub(crate) fn record_end(name: &'static str) {
 /// ```
 pub fn instant(name: &'static str) {
     if enabled() {
+        // lint: allow(determinism) span timing is the obs layer's purpose; durations never feed counter values
         record(EventKind::Instant, name);
     }
 }
@@ -248,10 +262,13 @@ pub fn instant(name: &'static str) {
 pub fn dropped_events() -> u64 {
     registry()
         .lock()
-        .expect("trace registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|b| {
-            let ring = b.ring.lock().expect("trace ring poisoned");
+            let ring = b
+                .ring
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             ring.dropped + b.contended.load(Ordering::Relaxed)
         })
         .sum()
@@ -262,9 +279,15 @@ pub fn dropped_events() -> u64 {
 pub fn buffered_events() -> u64 {
     registry()
         .lock()
-        .expect("trace registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
-        .map(|b| b.ring.lock().expect("trace ring poisoned").events.len() as u64)
+        .map(|b| {
+            b.ring
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .events
+                .len() as u64
+        })
         .sum()
 }
 
@@ -280,7 +303,7 @@ pub fn buffered_events() -> u64 {
 pub fn chrome_trace_json() -> String {
     let buffers: Vec<Arc<ThreadBuffer>> = registry()
         .lock()
-        .expect("trace registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(Arc::clone)
         .collect();
@@ -289,7 +312,10 @@ pub fn chrome_trace_json() -> String {
     let mut events = JsonArray::new();
     let mut total_dropped = 0u64;
     for buffer in sorted {
-        let ring = buffer.ring.lock().expect("trace ring poisoned");
+        let ring = buffer
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         total_dropped += ring.dropped + buffer.contended.load(Ordering::Relaxed);
         for event in &ring.events {
             let mut obj = JsonObject::new();
@@ -300,6 +326,7 @@ pub fn chrome_trace_json() -> String {
             obj.field_f64("ts", event.ts_ns as f64 / 1_000.0);
             obj.field_u64("pid", 1);
             obj.field_u64("tid", buffer.tid);
+            // lint: allow(determinism) span timing is the obs layer's purpose; durations never feed counter values
             if event.kind == EventKind::Instant {
                 obj.field_str("s", "t");
             }

@@ -96,7 +96,9 @@ pub fn is_worker() -> bool {
 fn task_counter(worker: usize) -> &'static defender_obs::Metric {
     static CELLS: OnceLock<Mutex<Vec<&'static defender_obs::Metric>>> = OnceLock::new();
     let cells = CELLS.get_or_init(|| Mutex::new(Vec::new()));
-    let mut cells = cells.lock().expect("par counter registry poisoned");
+    let mut cells = cells
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     while cells.len() <= worker {
         let name = format!("par.tasks.w{}", cells.len());
         cells.push(defender_obs::leaked_counter(name));
@@ -170,6 +172,7 @@ where
     }
     slots
         .into_iter()
+        // lint: allow(panic) pool invariant: par_for_indexed covers 0..n exactly once
         .map(|slot| slot.expect("every index computed exactly once"))
         .collect()
 }
