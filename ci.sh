@@ -36,19 +36,56 @@ if [[ "${CI_MIRI:-0}" == "1" ]]; then
 fi
 
 echo "== trace smoke test =="
-# Run one experiment with event tracing on and make sure the exported
-# Chrome trace parses and has balanced begin/end pairs.
+# Run one experiment with event tracing and in-process profiling on and
+# make sure the exported Chrome trace parses, has balanced begin/end
+# pairs, and dropped nothing (--strict-drops: a truncated timeline would
+# silently skew every profile number downstream).
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
-(cd "$SMOKE_DIR" && "$OLDPWD"/target/release/exp_e1_pure_frontier --trace trace.json > /dev/null)
-target/release/defender bench validate-trace "$SMOKE_DIR/trace.json"
+(cd "$SMOKE_DIR" && "$OLDPWD"/target/release/exp_e1_pure_frontier --profile --trace e1.json > /dev/null 2> /dev/null)
+target/release/defender bench validate-trace "$SMOKE_DIR/e1.json" --strict-drops
+
+echo "== profile analytics gate =="
+# Replay the fresh trace through defender-profile. `defender profile`
+# exits 2 if the wall-clock accounting invariant fails (some lane's root
+# spans sum past the trace duration — a broken clock or replay), so this
+# is an end-to-end sanity gate on the obs -> trace -> profile pipeline.
+target/release/defender profile "$SMOKE_DIR/e1.json" > /dev/null
+# Span-level regression gate: the --sidecar profile (BENCH_profile_e1.json)
+# diffs against the committed baseline, counters only. The baseline is
+# pruned to the jobs-invariant `prof.calls.*` rows — self-times are
+# machine-sensitive and show up as informational NEW rows.
+(cd "$SMOKE_DIR" && "$OLDPWD"/target/release/defender profile e1.json --sidecar > /dev/null)
+target/release/defender bench diff \
+  baselines/BENCH_profile_e1.json \
+  "$SMOKE_DIR/BENCH_profile_e1.json" \
+  --counters-only
+
+echo "== profile jobs-invariance check =="
+# The profile of a run must be independent of the pool width for every
+# jobs-invariant field: `par.worker` frames are elided, so a --jobs 1
+# and a --jobs 4 trace of the same experiment must agree on the span
+# set, call counts, and flamegraph shape (worker utilization is allowed
+# to differ and lives in the parallelism sidecar section instead).
+JOBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$JOBS_DIR"' EXIT
+(cd "$JOBS_DIR" && "$OLDPWD"/target/release/exp_e1_pure_frontier --jobs 1 --trace j1.json > /dev/null)
+(cd "$JOBS_DIR" && "$OLDPWD"/target/release/exp_e1_pure_frontier --jobs 4 --trace j4.json > /dev/null)
+target/release/defender profile "$JOBS_DIR/j1.json" --format json > "$JOBS_DIR/p1.json"
+target/release/defender profile "$JOBS_DIR/j4.json" --format json > "$JOBS_DIR/p4.json"
+for p in p1 p4; do
+  grep -o '"name": "[^"]*", "calls": [0-9]*' "$JOBS_DIR/$p.json" > "$JOBS_DIR/$p.spans"
+  grep -o '"path": "[^"]*", "calls": [0-9]*' "$JOBS_DIR/$p.json" > "$JOBS_DIR/$p.flame"
+done
+diff "$JOBS_DIR/p1.spans" "$JOBS_DIR/p4.spans"
+diff "$JOBS_DIR/p1.flame" "$JOBS_DIR/p4.flame"
 
 echo "== parallel suite smoke test =="
 # Run the whole suite on a two-worker pool with tracing on: the exported
 # timeline must keep per-thread stack discipline and really span the
 # worker lanes (main thread + at least one worker).
 SUITE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR" "$SUITE_DIR"' EXIT
+trap 'rm -rf "$SMOKE_DIR" "$JOBS_DIR" "$SUITE_DIR"' EXIT
 (cd "$SUITE_DIR" && "$OLDPWD"/target/release/run_all_experiments --jobs 2 --trace trace.json > /dev/null)
 target/release/defender bench validate-trace "$SUITE_DIR/trace.json" --min-threads 2
 

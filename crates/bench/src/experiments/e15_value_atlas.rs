@@ -38,7 +38,13 @@ pub fn run() {
     // The fold is commutative anyway, and the `lp.*`/`core.*` counters are
     // atomic sums, so the sidecar counters come out identical for every
     // `--jobs` width.
+    let sweep_progress = defender_profile::Progress::with_default_stride(
+        "e15.atlas_sweep",
+        1 << pairs.len(),
+        crate::profiling_enabled(),
+    );
     let values: Vec<Option<Ratio>> = defender_par::par_for_indexed(1 << pairs.len(), |mask| {
+        sweep_progress.tick();
         let mut b = GraphBuilder::new(N);
         for (bit, &(i, j)) in pairs.iter().enumerate() {
             if mask & (1 << bit) != 0 {
@@ -70,7 +76,13 @@ pub fn run() {
     // value. This drives the `se.pairs_skipped` / `se.pairs_tested`
     // pruning counters at experiment scale.
     let crosscheck_start = std::time::Instant::now();
+    let check_progress = defender_profile::Progress::with_default_stride(
+        "e15.enumeration_crosscheck",
+        1 << pairs.len(),
+        crate::profiling_enabled(),
+    );
     let checks: Vec<Option<usize>> = defender_par::par_for_indexed(1 << pairs.len(), |mask| {
+        check_progress.tick();
         let value = values[mask]?;
         if (mask as u32).count_ones() > 6 {
             return None;

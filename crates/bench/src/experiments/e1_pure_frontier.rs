@@ -33,6 +33,11 @@ pub fn run() {
     // theorem panics inside a task and propagates, failing the run just
     // as the sequential sweep did.
     let families = deterministic_families();
+    let progress = defender_profile::Progress::with_default_stride(
+        "e1",
+        families.len() as u64,
+        crate::profiling_enabled(),
+    );
     let results = defender_par::par_map(&families, |(name, graph)| {
         let family_start = std::time::Instant::now();
         let rho = edge_cover_number(graph).expect("zoo graphs are game-ready");
@@ -57,6 +62,7 @@ pub fn run() {
             observed_frontier.map_or("none".into(), |k| k.to_string()),
             "ok".into(),
         ];
+        progress.tick();
         (row, family_start.elapsed())
     });
     for ((name, _), (row, elapsed)) in families.iter().zip(results) {

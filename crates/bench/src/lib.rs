@@ -14,6 +14,20 @@ pub mod timing;
 pub use report::{RunReport, Table};
 pub use timing::{linear_fit, median_time};
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Whether `--profile` was passed to the running experiment binary.
+/// Consulted by [`RunReport::harvest_and_write`] (append the in-process
+/// profile to the sidecar) and by the heartbeat reporters in the sweep
+/// loops.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Whether the current experiment run was started with `--profile`.
+#[must_use]
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
 /// Shared entry point for every `exp_*` binary: parses the flags all
 /// experiments share, runs the experiment, and exports artifacts.
 ///
@@ -25,6 +39,11 @@ pub use timing::{linear_fit, median_time};
 /// - `--jobs <N>` — worker-pool width for the parallel inner loops
 ///   (default: the machine's available parallelism). Results are
 ///   byte-identical for every `N`; only wall-clock time changes.
+/// - `--profile` — record the trace in-process, harvest it with
+///   `defender-profile` at the end of the run, append a `profile`
+///   section (`prof.calls.*` / `prof.self_ns.*`) to the `BENCH_*.json`
+///   sidecar, and emit live heartbeat lines from the sweep loops.
+///   Composes with `--trace`: one recording serves both.
 ///
 /// Exits with status 2 on a usage or export error (experiment assertion
 /// failures panic, as before).
@@ -38,6 +57,7 @@ pub fn experiment_main(run: impl FnOnce()) {
 
 fn experiment_main_with(argv: &[String], run: impl FnOnce()) -> Result<(), String> {
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut profile = false;
     let mut iter = argv.iter();
     while let Some(token) = iter.next() {
         match token.as_str() {
@@ -55,14 +75,16 @@ fn experiment_main_with(argv: &[String], run: impl FnOnce()) -> Result<(), Strin
                 }
                 defender_par::set_jobs(n);
             }
+            "--profile" => profile = true,
             other => {
                 return Err(format!(
-                    "unknown option `{other}` (supported: --trace <FILE>, --jobs <N>)"
+                    "unknown option `{other}` (supported: --trace <FILE>, --jobs <N>, --profile)"
                 ))
             }
         }
     }
-    if trace_path.is_some() {
+    PROFILING.store(profile, Ordering::Relaxed);
+    if trace_path.is_some() || profile {
         defender_obs::trace::start();
     }
     run();
@@ -71,6 +93,8 @@ fn experiment_main_with(argv: &[String], run: impl FnOnce()) -> Result<(), Strin
         defender_obs::trace::write_chrome_trace(&path)
             .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
         eprintln!("wrote trace {}", path.display());
+    } else if profile {
+        defender_obs::trace::stop();
     }
     Ok(())
 }
@@ -102,5 +126,25 @@ mod tests {
         assert!(experiment_main_with(&args(&["--jobs", "zero"]), run).is_err());
         assert!(experiment_main_with(&args(&["--jobs", "0"]), run).is_err());
         assert!(experiment_main_with(&args(&["--bogus"]), run).is_err());
+    }
+
+    #[test]
+    fn profile_flag_starts_tracing_and_sets_the_gate() {
+        let mut observed = (false, false);
+        experiment_main_with(&args(&["--profile"]), || {
+            observed = (profiling_enabled(), defender_obs::trace::enabled());
+        })
+        .unwrap();
+        assert_eq!(observed, (true, true), "gate + recording during run");
+        assert!(
+            !defender_obs::trace::enabled(),
+            "recording stops after the run"
+        );
+        PROFILING.store(false, Ordering::Relaxed);
+        defender_obs::trace::clear();
+        experiment_main_with(&args(&[]), || {
+            assert!(!profiling_enabled());
+        })
+        .unwrap();
     }
 }

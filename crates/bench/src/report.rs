@@ -86,6 +86,7 @@ pub struct RunReport {
     phases: Vec<(String, Duration)>,
     counters: Vec<(String, u64)>,
     parallelism: Vec<(String, u64)>,
+    profile: Vec<(String, u64)>,
 }
 
 impl RunReport {
@@ -97,6 +98,7 @@ impl RunReport {
             phases: Vec::new(),
             counters: Vec::new(),
             parallelism: Vec::new(),
+            profile: Vec::new(),
         }
     }
 
@@ -142,6 +144,29 @@ impl RunReport {
         self
     }
 
+    /// Appends the span attribution of a trace profile: `prof.calls.*`
+    /// and `prof.self_ns.*` into the `profile` section (self-times are
+    /// machine-sensitive, so they stay out of the jobs-invariant
+    /// `counters` object), and the jobs-variant `prof.worker_busy_ppm.*`
+    /// into the `parallelism` section next to `par.tasks.w*`.
+    pub fn profile_from(&mut self, profile: &defender_profile::Profile) -> &mut RunReport {
+        for span in &profile.spans {
+            self.profile
+                .push((format!("prof.calls.{}", span.name), span.calls));
+        }
+        for span in &profile.spans {
+            self.profile
+                .push((format!("prof.self_ns.{}", span.name), span.self_ns));
+        }
+        for worker in &profile.workers {
+            self.parallelism.push((
+                format!("prof.worker_busy_ppm.{}", worker.label),
+                worker.busy_ppm,
+            ));
+        }
+        self
+    }
+
     /// The report as a stable JSON document.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -167,6 +192,13 @@ impl RunReport {
             }
             root.field_raw("parallelism", &par.finish());
         }
+        if !self.profile.is_empty() {
+            let mut prof = JsonObject::new();
+            for (name, value) in &self.profile {
+                prof.field_u64(name, *value);
+            }
+            root.field_raw("profile", &prof.finish());
+        }
         root.finish()
     }
 
@@ -186,7 +218,20 @@ impl RunReport {
     /// registry from the current obs snapshot, writes the sidecar, and
     /// reports the outcome (a failed write warns on stderr rather than
     /// failing the run — the experiment result itself still stands).
+    ///
+    /// Publishes the trace-ring drop total into `trace.dropped_events`
+    /// first, so truncated timelines surface in the sidecar. Under
+    /// `--profile` ([`crate::profiling_enabled`]) it also harvests the
+    /// live trace through `defender-profile` and appends the span
+    /// attribution (see [`RunReport::profile_from`]).
     pub fn harvest_and_write(&mut self) {
+        defender_obs::trace::publish_drop_counter();
+        if crate::profiling_enabled() {
+            let profile =
+                defender_profile::Profile::build(&defender_profile::TraceInput::from_live());
+            self.profile_from(&profile);
+            eprint!("{}", defender_profile::to_table(&profile, 10));
+        }
         self.counters_from(&defender_obs::snapshot());
         match self.write_sidecar() {
             Ok(path) => println!("\nwrote {}", path.display()),
@@ -245,5 +290,40 @@ mod tests {
         let mut report = RunReport::new("unit");
         report.counter("algo.steps", 1);
         assert!(!report.to_json().contains("parallelism"));
+        assert!(!report.to_json().contains("profile"));
+    }
+
+    #[test]
+    fn profile_section_segregates_worker_stats() {
+        let profile = defender_profile::Profile {
+            duration_ns: 100,
+            spans: vec![defender_profile::SpanAgg {
+                name: "e1.solve".to_string(),
+                calls: 4,
+                self_ns: 90,
+                total_ns: 95,
+            }],
+            workers: vec![defender_profile::WorkerStat {
+                label: "w1".to_string(),
+                busy_ns: 50,
+                busy_ppm: 500_000,
+                stints: 1,
+                longest_idle_ns: 0,
+            }],
+            ..defender_profile::Profile::default()
+        };
+        let mut report = RunReport::new("unit");
+        report.profile_from(&profile);
+        let json = report.to_json();
+        assert!(
+            json.contains(r#""profile": {"prof.calls.e1.solve": 4, "prof.self_ns.e1.solve": 90}"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""parallelism": {"prof.worker_busy_ppm.w1": 500000}"#),
+            "{json}"
+        );
+        // Span attribution never leaks into the gated counters object.
+        assert!(json.contains(r#""counters": {}"#), "{json}");
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001] [--counters-only]
-//! defender bench validate-trace <trace.json> [--min-threads 1]
+//! defender bench validate-trace <trace.json> [--min-threads 1] [--strict-drops]
 //! ```
 //!
 //! `diff` exits with code 2 when any phase or counter regresses beyond the
@@ -13,7 +13,9 @@
 //! gate). `validate-trace` checks that a `--trace` export is well-formed
 //! Chrome trace-event JSON with balanced begin/end pairs; `--min-threads`
 //! additionally requires the timeline to span at least that many threads
-//! (asserting a `--jobs N` run really fanned out).
+//! (asserting a `--jobs N` run really fanned out). A trace that dropped
+//! events (ring overflow) gets a warning — and exit code 2 under
+//! `--strict-drops`, for runs whose analysis must see the full timeline.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -24,7 +26,7 @@ use crate::args::Options;
 
 const USAGE: &str = "usage:\n  \
     defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001] [--counters-only]\n  \
-    defender bench validate-trace <trace.json> [--min-threads 1]";
+    defender bench validate-trace <trace.json> [--min-threads 1] [--strict-drops]";
 
 /// Dispatches the `bench` subcommands.
 ///
@@ -110,7 +112,22 @@ fn run_validate_trace(argv: &[String]) -> Result<ExitCode, String> {
             "`bench validate-trace` needs one trace file\n{USAGE}"
         ));
     };
-    let options = Options::parse(option_tokens)?;
+    // `--strict-drops` is a bare flag; strip it before the `--key value`
+    // option parser sees the token stream.
+    let mut strict_drops = false;
+    let option_tokens: Vec<String> = option_tokens
+        .iter()
+        .filter(|token| {
+            if token.as_str() == "--strict-drops" {
+                strict_drops = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    let options = Options::parse(&option_tokens)?;
     let min_threads: usize = options.parse_or("min-threads", 1)?;
     let text = std::fs::read_to_string(trace_path)
         .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
@@ -126,5 +143,15 @@ fn run_validate_trace(argv: &[String]) -> Result<ExitCode, String> {
         "{trace_path}: valid Chrome trace ({} events, {} threads, max depth {}, {} dropped)",
         check.events, check.threads, check.max_depth, check.dropped
     );
+    if check.dropped > 0 {
+        eprintln!(
+            "warning: {trace_path}: {} event(s) were dropped (ring overflow) — the timeline \
+             is truncated; raise the ring capacity or shorten the run",
+            check.dropped
+        );
+        if strict_drops {
+            return Ok(ExitCode::from(2));
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }

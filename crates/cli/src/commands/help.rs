@@ -12,7 +12,8 @@ USAGE:
   defender value    --graph <file> --k <K> [--limit <TUPLES>]
   defender convert  --in <file> --out <file> [--from <fmt>] [--to <fmt>]
   defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001] [--counters-only]
-  defender bench validate-trace <trace.json> [--min-threads 1]
+  defender bench validate-trace <trace.json> [--min-threads 1] [--strict-drops]
+  defender profile <trace.json> [--format table|json] [--top N] [--sidecar]
   defender lint [--root <dir>] [--config <file>] [--format text|json] [--sidecar] [--dump-registry]
   defender help
 
@@ -33,7 +34,17 @@ defender-bench experiment binaries) and exits with code 2 when any phase
 wall time or counter regresses beyond the threshold; `--counters-only`
 judges only the deterministic counters (for cross-machine CI gates).
 `bench validate-trace --min-threads N` additionally requires the timeline
-to span at least N threads.
+to span at least N threads; `--strict-drops` exits with code 2 when the
+trace dropped events (ring overflow).
+
+`profile` replays a --trace export through defender-profile: span table
+with self/total times and call counts, text flamegraph, per-worker
+utilization and critical-path estimate. `--sidecar` writes
+BENCH_profile_<stem>.json for `bench diff` span-level gating. Exits with
+code 2 when the wall-clock accounting invariant is violated (a lane's
+root spans sum past the trace duration). The experiment binaries accept
+`--profile` to harvest the same analysis in-process (appended to the run
+sidecar) with live heartbeat lines on stderr.
 
 `lint` runs the workspace static-analysis pass (exactness, determinism,
 panic-freedom, metric-registry audit; configured by lint.toml) and exits

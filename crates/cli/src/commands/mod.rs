@@ -6,5 +6,6 @@ pub mod convert;
 pub mod generate;
 pub mod help;
 pub mod lint;
+pub mod profile;
 pub mod simulate;
 pub mod value;

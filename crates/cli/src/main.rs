@@ -35,14 +35,17 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         commands::help::print();
         return Ok(ExitCode::SUCCESS);
     };
-    // `bench` and `lint` manage their own argument grammars (positional
-    // files, value-less flags), which `Options::parse` rejects by design;
-    // dispatch them before the uniform option pass.
+    // `bench`, `lint` and `profile` manage their own argument grammars
+    // (positional files, value-less flags), which `Options::parse`
+    // rejects by design; dispatch them before the uniform option pass.
     if command == "bench" {
         return commands::bench::run(rest);
     }
     if command == "lint" {
         return commands::lint::run(rest);
+    }
+    if command == "profile" {
+        return commands::profile::run(rest);
     }
     let options = args::Options::parse(rest)?;
     if options.get("jobs").is_some() {

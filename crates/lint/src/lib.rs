@@ -309,11 +309,11 @@ fn load_metrics_inputs(root: &Path, cfg: &config::RuleConfig) -> Result<MetricsI
 }
 
 /// The counter-valued key names of a `BENCH_*.json` sidecar: the
-/// `counters` and `parallelism` objects.
+/// `counters`, `parallelism` and `profile` objects.
 fn baseline_counter_keys(text: &str) -> Result<Vec<String>, String> {
     let doc = defender_obs::json::parse(text)?;
     let mut keys = Vec::new();
-    for section in ["counters", "parallelism"] {
+    for section in ["counters", "parallelism", "profile"] {
         if let Some(fields) = doc.get(section).and_then(|v| v.as_object()) {
             keys.extend(fields.iter().map(|(k, _)| k.clone()));
         }

@@ -248,8 +248,15 @@ impl JsonValue {
     }
 }
 
+/// Maximum container nesting depth [`parse`] accepts. The reader is
+/// recursive-descent, so unbounded nesting would turn a hostile document
+/// (`[[[[…`) into a stack overflow; 512 levels is far beyond anything the
+/// workspace's writers emit while staying well inside the default thread
+/// stack.
+pub const MAX_DEPTH: usize = 512;
+
 /// Parses a complete JSON document (trailing whitespace allowed, trailing
-/// garbage rejected).
+/// garbage rejected, container nesting bounded by [`MAX_DEPTH`]).
 ///
 /// # Errors
 ///
@@ -257,7 +264,7 @@ impl JsonValue {
 pub fn parse(text: &str) -> Result<JsonValue, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -280,12 +287,18 @@ fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     skip_ws(bytes, pos);
+    if depth > MAX_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_DEPTH} levels at byte {}",
+            *pos
+        ));
+    }
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
         Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
@@ -376,7 +389,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -385,7 +398,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         return Ok(JsonValue::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -398,7 +411,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     expect(bytes, pos, b'{')?;
     let mut fields = Vec::new();
     skip_ws(bytes, pos);
@@ -411,7 +424,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         fields.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -511,6 +524,71 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_a_stack_overflow() {
+        // One level under the bound parses; one level over is a clean
+        // error, not a recursion crash. Arrays and objects both count.
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep_ok).is_ok(), "depth {MAX_DEPTH} is accepted");
+        let deep_bad = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&deep_bad).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        // A hostile prefix with no closers must also fail cheaply.
+        let unclosed = "[".repeat(100_000);
+        assert!(parse(&unclosed).unwrap_err().contains("nesting deeper"));
+        let objects = "{\"k\":".repeat(100_000);
+        assert!(parse(&objects).unwrap_err().contains("nesting deeper"));
+    }
+
+    #[test]
+    fn duplicate_keys_keep_both_and_get_returns_first() {
+        let doc = parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(doc.get("k").unwrap().as_u64(), Some(1), "first match wins");
+        assert_eq!(doc.as_object().unwrap().len(), 2, "both pairs retained");
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_chars() {
+        // Unpaired UTF-16 surrogate halves are not valid scalar values;
+        // the reader substitutes U+FFFD instead of failing or panicking.
+        assert_eq!(
+            parse(r#""\ud800""#).unwrap().as_str(),
+            Some("\u{fffd}"),
+            "lone high surrogate"
+        );
+        assert_eq!(
+            parse(r#""\udfff tail""#).unwrap().as_str(),
+            Some("\u{fffd} tail"),
+            "lone low surrogate"
+        );
+    }
+
+    #[test]
+    fn malformed_escapes_are_rejected() {
+        for bad in [
+            r#""\x""#,     // unknown escape letter
+            r#""\u12""#,   // truncated hex
+            r#""\uzzzz""#, // non-hex digits
+            r#""\"#,       // backslash at end of input
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_positioned() {
+        let err = parse("{\"a\": 1}  x").unwrap_err();
+        assert_eq!(err, "trailing data at byte 10");
+        assert!(parse("[1, 2] ,").is_err());
+        assert!(parse("null null").is_err());
+        // Trailing whitespace alone stays fine.
+        assert!(parse("{\"a\": 1}  \n").is_ok());
     }
 
     #[test]

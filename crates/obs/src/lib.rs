@@ -286,12 +286,22 @@ impl HistStat {
     /// by linear interpolation inside the bucket holding the target rank.
     ///
     /// Log2 buckets bound the relative error of the estimate by 2x, which
-    /// is exactly the resolution the regression gate cares about; 0 when
-    /// empty.
+    /// is exactly the resolution the regression gate cares about. Degenerate
+    /// histograms short-circuit: an empty one reports 0, a single sample
+    /// reports its exact value (`sum`), and a single-bucket one reports the
+    /// mean clamped to the bucket — the buckets carry no spread information
+    /// in those cases, so rank interpolation would fabricate p50 < p99.
     #[must_use]
     pub fn percentile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
+        }
+        if self.count == 1 {
+            return self.sum as f64;
+        }
+        if let [(i, _)] = self.buckets[..] {
+            let (lo, hi) = bucket_bounds(i);
+            return self.mean().clamp(lo, hi);
         }
         let rank = q.clamp(0.0, 1.0) * (self.count as f64 - 1.0);
         let mut seen = 0u64;
@@ -869,17 +879,18 @@ mod tests {
             buckets: Vec::new(),
         };
         assert_eq!(empty.p50(), 0.0);
-        // 100 values in bucket 4 ([16, 32)): every percentile lands inside.
+        assert_eq!(empty.p99(), 0.0);
+        // 100 values in bucket 4 ([16, 32)) summing to 2000: one bucket
+        // carries no spread, so every percentile is the mean.
         let uniform = HistStat {
             name: "u".into(),
             count: 100,
-            sum: 0,
+            sum: 2000,
             buckets: vec![(4, 100)],
         };
         for p in [uniform.p50(), uniform.p90(), uniform.p99()] {
-            assert!((16.0..32.0).contains(&p), "{p}");
+            assert_eq!(p, 20.0, "single-bucket percentiles collapse to mean");
         }
-        assert!(uniform.p50() < uniform.p90() && uniform.p90() < uniform.p99());
         // 90 tiny values and 10 huge ones: p50 is tiny, p99 is huge.
         let skewed = HistStat {
             name: "s".into(),
@@ -891,6 +902,37 @@ mod tests {
         let (lo, hi) = bucket_bounds(20);
         let p99 = skewed.p99();
         assert!((lo..hi).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn degenerate_histograms_do_not_extrapolate() {
+        // One sample: percentiles are the sample itself, exactly.
+        let single = HistStat {
+            name: "one".into(),
+            count: 1,
+            sum: 1_000_003,
+            buckets: vec![(bucket_index(1_000_003), 1)],
+        };
+        for p in [single.p50(), single.p90(), single.p99()] {
+            assert_eq!(p, 1_000_003.0);
+        }
+        // All samples in one bucket but with a mean outside the bucket
+        // (possible only via inconsistent inputs): clamp, never escape.
+        let inconsistent = HistStat {
+            name: "clamped".into(),
+            count: 2,
+            sum: 1_000_000,
+            buckets: vec![(4, 2)],
+        };
+        assert_eq!(inconsistent.p99(), 32.0, "clamped to the bucket's top");
+        // Two buckets keep the interpolating path: p50 below p99.
+        let spread = HistStat {
+            name: "two".into(),
+            count: 10,
+            sum: 0,
+            buckets: vec![(2, 5), (8, 5)],
+        };
+        assert!(spread.p50() < spread.p99());
     }
 
     #[test]

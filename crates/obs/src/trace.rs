@@ -122,6 +122,9 @@ struct ThreadBuffer {
     /// Events dropped because an exporter held the ring lock at record
     /// time (the owner thread never blocks — see module docs).
     contended: AtomicU64,
+    /// Human-readable lane name (empty = unnamed); exported as a Chrome
+    /// `thread_name` metadata event and surfaced by [`snapshot_threads`].
+    label: Mutex<String>,
 }
 
 fn registry() -> &'static Mutex<Vec<Arc<ThreadBuffer>>> {
@@ -151,6 +154,7 @@ fn with_local_buffer(f: impl FnOnce(&ThreadBuffer)) {
                 tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
                 ring: Mutex::new(Ring::default()),
                 contended: AtomicU64::new(0),
+                label: Mutex::new(String::new()),
             });
             registry()
                 .lock()
@@ -195,8 +199,9 @@ pub fn capacity() -> usize {
     CAPACITY.load(Ordering::Relaxed)
 }
 
-/// Discards every recorded event and zeroes the drop counters. Buffers
-/// stay registered so thread ids remain stable across clears.
+/// Discards every recorded event, zeroes the drop counters, and forgets
+/// thread labels. Buffers stay registered so thread ids remain stable
+/// across clears.
 pub fn clear() {
     for buffer in registry()
         .lock()
@@ -210,6 +215,11 @@ pub fn clear() {
         ring.events.clear();
         ring.dropped = 0;
         buffer.contended.store(0, Ordering::Relaxed);
+        buffer
+            .label
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 }
 
@@ -238,6 +248,39 @@ pub(crate) fn record_begin(name: &'static str) {
 /// the span was live — exporters never see an unbalanced stack.
 pub(crate) fn record_end(name: &'static str) {
     record(EventKind::End, name);
+}
+
+/// Names the calling thread's trace lane (no-op while tracing is
+/// disabled, so untraced runs never register buffers).
+///
+/// The label is exported as a Chrome `thread_name` metadata event and
+/// carried on [`ThreadSnapshot`]s, which is how `defender-profile`
+/// attributes lanes to pool workers: `defender-par` labels each worker
+/// `w<i>` at spawn, and repeated pool spawns reuse the label even though
+/// every scoped thread gets a fresh tid.
+pub fn set_thread_label(label: &str) {
+    if !enabled() {
+        return;
+    }
+    with_local_buffer(|buffer| {
+        let mut slot = buffer
+            .label
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slot.as_str() != label {
+            slot.clear();
+            slot.push_str(label);
+        }
+    });
+}
+
+/// Nanoseconds elapsed since the trace epoch (the first [`start`] of the
+/// process) — the "now" that in-process consumers such as
+/// `defender-profile` use to close still-open spans when harvesting a
+/// live trace mid-run.
+#[must_use]
+pub fn elapsed_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Records a point-in-time marker (no-op while tracing is disabled).
@@ -272,6 +315,74 @@ pub fn dropped_events() -> u64 {
             ring.dropped + b.contended.load(Ordering::Relaxed)
         })
         .sum()
+}
+
+/// Publishes the cumulative drop total into the `trace.dropped_events`
+/// obs counter (no-op while the metrics gate is off), so harvested
+/// snapshots and `BENCH_*.json` sidecars surface trace truncation
+/// alongside the algorithm counters.
+///
+/// Idempotent: the counter is raised to the current [`dropped_events`]
+/// total, so repeated publishes (or publishes after a metrics
+/// [`crate::reset`]) never double-count.
+pub fn publish_drop_counter() {
+    let counter = crate::counter!("trace.dropped_events");
+    let total = dropped_events();
+    let published = counter.get();
+    if total > published {
+        counter.add(total - published);
+    } else {
+        // Register the name even when no drop occurred, so a traced run's
+        // sidecar pins the zero and a later drop shows up as growth.
+        counter.add(0);
+    }
+}
+
+/// One thread's buffered events, copied out for in-process analysis.
+#[derive(Clone, Debug)]
+pub struct ThreadSnapshot {
+    /// The stable per-thread id (the Chrome `tid`).
+    pub tid: u64,
+    /// The lane label from [`set_thread_label`] (empty = unnamed).
+    pub label: String,
+    /// Buffered events in recording order.
+    pub events: Vec<Event>,
+    /// Events this thread dropped (ring overflow + exporter contention).
+    pub dropped: u64,
+}
+
+/// Copies every thread's buffered events out of the rings (threads sorted
+/// by tid), for in-process consumers like `defender-profile` that analyze
+/// a live trace without a JSON round-trip.
+#[must_use]
+pub fn snapshot_threads() -> Vec<ThreadSnapshot> {
+    let buffers: Vec<Arc<ThreadBuffer>> = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .map(Arc::clone)
+        .collect();
+    let mut out: Vec<ThreadSnapshot> = buffers
+        .iter()
+        .map(|buffer| {
+            let ring = buffer
+                .ring
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            ThreadSnapshot {
+                tid: buffer.tid,
+                label: buffer
+                    .label
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone(),
+                events: ring.events.iter().cloned().collect(),
+                dropped: ring.dropped + buffer.contended.load(Ordering::Relaxed),
+            }
+        })
+        .collect();
+    out.sort_by_key(|s| s.tid);
+    out
 }
 
 /// Total events currently buffered, summed over every thread.
@@ -317,6 +428,24 @@ pub fn chrome_trace_json() -> String {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         total_dropped += ring.dropped + buffer.contended.load(Ordering::Relaxed);
+        let label = buffer
+            .label
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        if !label.is_empty() {
+            // Chrome metadata event: names the lane in Perfetto and
+            // carries the worker identity for `defender profile`.
+            let mut args = JsonObject::new();
+            args.field_str("name", &label);
+            let mut obj = JsonObject::new();
+            obj.field_str("name", "thread_name");
+            obj.field_str("ph", "M");
+            obj.field_u64("pid", 1);
+            obj.field_u64("tid", buffer.tid);
+            obj.field_raw("args", &args.finish());
+            events.push_raw(&obj.finish());
+        }
         for event in &ring.events {
             let mut obj = JsonObject::new();
             obj.field_str("name", event.name);
@@ -401,6 +530,15 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         };
         let name = field_str("name")?;
         let ph = field_str("ph")?;
+        if ph == "M" {
+            // Metadata events (thread names) carry no timestamp and no
+            // stack semantics; they only need a tid to attach to.
+            event
+                .get("tid")
+                .and_then(JsonValue::as_u64)
+                .ok_or(format!("event {i}: missing integer `tid`"))?;
+            continue;
+        }
         let ts = event
             .get("ts")
             .and_then(JsonValue::as_f64)
@@ -590,6 +728,106 @@ mod tests {
         assert!(validate_chrome_trace(regressing)
             .unwrap_err()
             .contains("regress"));
+    }
+
+    #[test]
+    fn thread_labels_export_as_metadata_and_validate() {
+        let _guard = lock();
+        clear();
+        start();
+        set_thread_label("w7");
+        instant("labeled_tick");
+        stop();
+        let doc = chrome_trace_json();
+        let threads = snapshot_threads();
+        clear();
+        assert!(doc.contains(r#""name": "thread_name", "ph": "M""#), "{doc}");
+        assert!(doc.contains(r#""args": {"name": "w7"}"#), "{doc}");
+        let check = validate_chrome_trace(&doc).expect("metadata events validate");
+        assert_eq!(check.events, 2, "M event + instant");
+        let lane = threads
+            .iter()
+            .find(|t| t.label == "w7")
+            .expect("labeled lane snapshot");
+        assert_eq!(lane.events.len(), 1);
+        assert_eq!(lane.events[0].name, "labeled_tick");
+        assert_eq!(lane.dropped, 0);
+    }
+
+    #[test]
+    fn labels_are_ignored_while_disabled_and_cleared_by_clear() {
+        let _guard = lock();
+        clear();
+        stop();
+        set_thread_label("ghost_lane");
+        assert!(
+            !chrome_trace_json().contains("ghost_lane"),
+            "disabled labels must not register buffers"
+        );
+        start();
+        set_thread_label("real_lane");
+        stop();
+        assert!(chrome_trace_json().contains("real_lane"));
+        clear();
+        assert!(!chrome_trace_json().contains("real_lane"));
+    }
+
+    #[test]
+    fn snapshot_threads_carries_events_in_order() {
+        let _guard = lock();
+        clear();
+        start();
+        {
+            let _a = crate::span!("snap_outer");
+            instant("snap_mark");
+        }
+        stop();
+        let threads = snapshot_threads();
+        clear();
+        let lane = threads
+            .iter()
+            .find(|t| t.events.iter().any(|e| e.name == "snap_outer"))
+            .expect("recording lane present");
+        let names: Vec<&str> = lane.events.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["snap_outer", "snap_mark", "snap_outer"]);
+        assert_eq!(lane.events[0].kind, EventKind::Begin);
+        assert_eq!(lane.events[2].kind, EventKind::End);
+        assert!(lane.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn publish_drop_counter_is_idempotent() {
+        let _guard = lock();
+        clear();
+        crate::reset();
+        crate::enable();
+        set_capacity(2);
+        start();
+        for _ in 0..5 {
+            instant("drop_me");
+        }
+        stop();
+        let published = || crate::snapshot().counter("trace.dropped_events");
+        publish_drop_counter();
+        assert_eq!(published(), Some(3));
+        publish_drop_counter();
+        assert_eq!(published(), Some(3), "republishing must not double-count");
+        // After a metrics reset the counter self-heals to the ring total.
+        crate::reset();
+        crate::enable();
+        publish_drop_counter();
+        assert_eq!(published(), Some(3));
+        set_capacity(DEFAULT_CAPACITY);
+        crate::disable();
+        crate::reset();
+        clear();
+    }
+
+    #[test]
+    fn elapsed_ns_is_monotonic() {
+        let a = elapsed_ns();
+        let b = elapsed_ns();
+        assert!(b >= a);
     }
 
     #[test]

@@ -135,6 +135,13 @@ where
                 let cursor = &cursor;
                 scope.spawn(move || {
                     IN_POOL.with(|flag| flag.set(true));
+                    // Label the lane `w<i>` so trace consumers can merge
+                    // a logical worker's stints across pool spawns (every
+                    // scoped thread gets a fresh tid). Gated to avoid the
+                    // allocation when nothing is recording.
+                    if defender_obs::trace::enabled() {
+                        defender_obs::trace::set_thread_label(&format!("w{worker}"));
+                    }
                     let _lane = defender_obs::span!("par.worker");
                     let mut out = Vec::new();
                     loop {
@@ -300,6 +307,27 @@ mod tests {
             assert_eq!(inner, vec![0, 2, 4, 6, 8]);
         }
         set_jobs(1);
+    }
+
+    #[test]
+    fn workers_label_their_trace_lanes() {
+        let _guard = lock();
+        defender_obs::trace::clear();
+        defender_obs::trace::start();
+        set_jobs(2);
+        let _ = par_for_indexed(8, |i| i);
+        defender_obs::trace::stop();
+        let json = defender_obs::trace::chrome_trace_json();
+        defender_obs::trace::clear();
+        set_jobs(1);
+        assert!(json.contains(r#""args": {"name": "w0"}"#), "{json}");
+        assert!(json.contains(r#""args": {"name": "w1"}"#), "{json}");
+        let labels: Vec<String> = defender_obs::trace::snapshot_threads()
+            .into_iter()
+            .filter(|s| !s.label.is_empty())
+            .map(|s| s.label)
+            .collect();
+        assert!(labels.is_empty(), "clear() forgets the labels");
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Live sweep progress: a heartbeat line on stderr every N instances.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::analyze::Profile;
+use crate::input::TraceInput;
+use crate::render::format_ns;
+
+/// A heartbeat reporter for long instance sweeps.
+///
+/// Worker closures call [`Progress::tick`] once per finished instance;
+/// every `stride` completions (and on the final one) a single status line
+/// goes to stderr: instances done, completion rate, ETA, and — when the
+/// trace layer is recording — the hottest span by self time so far,
+/// harvested live from the in-process rings. Construct with
+/// `enabled = false` to make every tick a no-op (the experiment binaries
+/// pass their `--profile` flag here, so undecorated runs stay silent).
+///
+/// Ticks are lock-free; when two workers cross a stride boundary
+/// simultaneously both lines print, which is harmless for a diagnostic.
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: u64,
+    stride: u64,
+    done: AtomicU64,
+    start_ns: u64,
+    enabled: bool,
+}
+
+impl Progress {
+    /// A reporter for `total` instances under `label`, emitting every
+    /// `stride` completions (clamped to at least 1). Disabled reporters
+    /// never print.
+    #[must_use]
+    pub fn new(label: &str, total: u64, stride: u64, enabled: bool) -> Progress {
+        Progress {
+            label: label.to_string(),
+            total,
+            stride: stride.max(1),
+            done: AtomicU64::new(0),
+            start_ns: if enabled {
+                defender_obs::trace::elapsed_ns()
+            } else {
+                0
+            },
+            enabled,
+        }
+    }
+
+    /// A reporter with the default cadence: 16 heartbeats over the sweep
+    /// (every `total/16` instances, at least 1).
+    #[must_use]
+    pub fn with_default_stride(label: &str, total: u64, enabled: bool) -> Progress {
+        Progress::new(label, total, total / 16, enabled)
+    }
+
+    /// Records one finished instance; prints on stride boundaries.
+    pub fn tick(&self) {
+        if !self.enabled {
+            return;
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if done % self.stride == 0 || done == self.total {
+            self.emit(done);
+        }
+    }
+
+    /// Instances recorded so far.
+    #[must_use]
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    fn emit(&self, done: u64) {
+        let elapsed_ns = defender_obs::trace::elapsed_ns().saturating_sub(self.start_ns);
+        let secs = elapsed_ns as f64 / 1e9;
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        let eta = if rate > 0.0 && self.total >= done {
+            format!("{:.1}s", (self.total - done) as f64 / rate)
+        } else {
+            "?".to_string()
+        };
+        let pct = if self.total > 0 {
+            format!("{:.1}%", done as f64 * 100.0 / self.total as f64)
+        } else {
+            "-".to_string()
+        };
+        let top = if defender_obs::trace::enabled() {
+            let profile = Profile::build(&TraceInput::from_live());
+            profile.top_span().map_or(String::new(), |s| {
+                format!(" top {} self {}", s.name, format_ns(s.self_ns))
+            })
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "[{}] {}/{} ({pct}) {rate:.1}/s eta {eta}{top}",
+            self.label, done, self.total
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_reporters_are_no_ops() {
+        let p = Progress::new("e1", 10, 2, false);
+        for _ in 0..10 {
+            p.tick();
+        }
+        assert_eq!(p.done(), 0, "disabled ticks are no-ops");
+    }
+
+    #[test]
+    fn enabled_reporters_count_every_tick() {
+        let p = Progress::new("e1", 4, 100, true);
+        p.tick();
+        p.tick();
+        assert_eq!(p.done(), 2);
+    }
+
+    #[test]
+    fn stride_is_clamped_to_one() {
+        let p = Progress::with_default_stride("e1", 3, true);
+        assert_eq!(p.stride, 1, "total/16 rounds to 0, clamps to 1");
+        let q = Progress::new("e1", 100, 0, true);
+        assert_eq!(q.stride, 1);
+    }
+}

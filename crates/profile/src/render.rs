@@ -1,0 +1,341 @@
+//! Human (table + text flamegraph) and machine (JSON) renderings of a
+//! [`Profile`].
+
+use defender_obs::json::{JsonArray, JsonObject};
+
+use crate::analyze::{PathAgg, Profile};
+
+/// Formats nanoseconds with a human unit (`1.234ms`, `12.3s`, `450ns`).
+#[must_use]
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn percent(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", part as f64 * 100.0 / whole as f64)
+    }
+}
+
+/// Renders the profile as text: a span table sorted by self time, the
+/// depth-prefixed flamegraph, worker utilization, and marks. `top` caps
+/// the span-table and flamegraph row counts (0 = unlimited).
+#[must_use]
+pub fn to_table(profile: &Profile, top: usize) -> String {
+    let cap = if top == 0 { usize::MAX } else { top };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {} lane(s), duration {}, {} dropped event(s)",
+        profile.lanes,
+        format_ns(profile.duration_ns),
+        profile.dropped_events
+    ));
+    if profile.unclosed > 0 || profile.unmatched > 0 {
+        out.push_str(&format!(
+            " [{} unclosed, {} unmatched]",
+            profile.unclosed, profile.unmatched
+        ));
+    }
+    out.push('\n');
+
+    let mut by_self: Vec<_> = profile.spans.iter().collect();
+    by_self.sort_by(|a, b| (b.self_ns, &a.name).cmp(&(a.self_ns, &b.name)));
+    out.push_str("\nspans (by self time):\n");
+    let mut table = vec![vec![
+        "span".to_string(),
+        "calls".to_string(),
+        "self".to_string(),
+        "total".to_string(),
+        "self%".to_string(),
+    ]];
+    let total_self = profile.total_self_ns();
+    for span in by_self.iter().take(cap) {
+        table.push(vec![
+            span.name.clone(),
+            span.calls.to_string(),
+            format_ns(span.self_ns),
+            format_ns(span.total_ns),
+            percent(span.self_ns, total_self),
+        ]);
+    }
+    out.push_str(&render_columns(&table));
+    if by_self.len() > cap {
+        out.push_str(&format!("  … {} more\n", by_self.len() - cap));
+    }
+
+    out.push_str("\nflamegraph (self time, siblings hottest-first):\n");
+    for node in flame_hottest_first(&profile.flame).iter().take(cap) {
+        let name = node.path.rsplit('/').next().unwrap_or(&node.path);
+        out.push_str(&format!(
+            "  {}{} {} ({} call(s), total {})\n",
+            "| ".repeat(node.depth),
+            name,
+            format_ns(node.self_ns),
+            node.calls,
+            format_ns(node.total_ns)
+        ));
+    }
+    if profile.flame.len() > cap {
+        out.push_str(&format!("  … {} more\n", profile.flame.len() - cap));
+    }
+
+    if !profile.workers.is_empty() {
+        out.push_str("\nworkers:\n");
+        let mut table = vec![vec![
+            "worker".to_string(),
+            "busy".to_string(),
+            "busy%".to_string(),
+            "stints".to_string(),
+            "longest idle".to_string(),
+        ]];
+        for w in &profile.workers {
+            table.push(vec![
+                w.label.clone(),
+                format_ns(w.busy_ns),
+                percent(w.busy_ns, profile.duration_ns),
+                w.stints.to_string(),
+                format_ns(w.longest_idle_ns),
+            ]);
+        }
+        out.push_str(&render_columns(&table));
+        out.push_str(&format!(
+            "critical path estimate: {} ({} of wall clock)\n",
+            format_ns(profile.critical_path_ns),
+            percent(profile.critical_path_ns, profile.duration_ns)
+        ));
+    }
+
+    if !profile.marks.is_empty() {
+        out.push_str("\nmarks:\n");
+        for (name, count) in &profile.marks {
+            out.push_str(&format!("  {name} x{count}\n"));
+        }
+    }
+    out
+}
+
+/// The flamegraph in display order: depth-first, siblings sorted by self
+/// time descending (the stored order is name-sorted for determinism).
+fn flame_hottest_first(flame: &[PathAgg]) -> Vec<&PathAgg> {
+    // Children of one parent are contiguous in DFS order; sort each
+    // sibling run by self time while keeping subtrees intact.
+    let mut out: Vec<&PathAgg> = Vec::with_capacity(flame.len());
+    sort_siblings(flame, 0, &mut out);
+    out
+}
+
+fn sort_siblings<'a>(flame: &'a [PathAgg], depth: usize, out: &mut Vec<&'a PathAgg>) {
+    // Index the sibling runs at `depth`: each sibling owns the slice up
+    // to the next entry at the same (or shallower) depth.
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < flame.len() {
+        if flame[i].depth == depth {
+            let mut j = i + 1;
+            while j < flame.len() && flame[j].depth > depth {
+                j += 1;
+            }
+            runs.push((i, j));
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    runs.sort_by(|&(a, _), &(b, _)| {
+        (flame[b].self_ns, &flame[a].path).cmp(&(flame[a].self_ns, &flame[b].path))
+    });
+    for (start, end) in runs {
+        out.push(&flame[start]);
+        sort_siblings(&flame[start + 1..end], depth + 1, out);
+    }
+}
+
+/// Renders rows as space-aligned columns (first row = header).
+fn render_columns(rows: &[Vec<String>]) -> String {
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        out.push_str("  ");
+        for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+            if i == 0 {
+                out.push_str(&format!("{cell:<w$}"));
+            } else {
+                out.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the profile as a stable JSON document.
+///
+/// Field order is part of the contract: span objects lead with
+/// `"name", "calls"` and flamegraph objects with `"path", "calls"`, and
+/// both arrays are name/path-sorted, so the jobs-invariant projection of
+/// two runs can be compared with `grep -o` + `diff` (ci.sh does exactly
+/// that). Jobs-variant worker stats live in their own `workers` array.
+#[must_use]
+pub fn to_json(profile: &Profile) -> String {
+    let mut spans = JsonArray::new();
+    for s in &profile.spans {
+        let mut o = JsonObject::new();
+        o.field_str("name", &s.name);
+        o.field_u64("calls", s.calls);
+        o.field_u64("self_ns", s.self_ns);
+        o.field_u64("total_ns", s.total_ns);
+        spans.push_raw(&o.finish());
+    }
+    let mut flame = JsonArray::new();
+    for f in &profile.flame {
+        let mut o = JsonObject::new();
+        o.field_str("path", &f.path);
+        o.field_u64("calls", f.calls);
+        o.field_u64("depth", f.depth as u64);
+        o.field_u64("self_ns", f.self_ns);
+        o.field_u64("total_ns", f.total_ns);
+        flame.push_raw(&o.finish());
+    }
+    let mut marks = JsonArray::new();
+    for (name, count) in &profile.marks {
+        let mut o = JsonObject::new();
+        o.field_str("name", name);
+        o.field_u64("count", *count);
+        marks.push_raw(&o.finish());
+    }
+    let mut workers = JsonArray::new();
+    for w in &profile.workers {
+        let mut o = JsonObject::new();
+        o.field_str("label", &w.label);
+        o.field_u64("busy_ns", w.busy_ns);
+        o.field_u64("busy_ppm", w.busy_ppm);
+        o.field_u64("stints", w.stints);
+        o.field_u64("longest_idle_ns", w.longest_idle_ns);
+        workers.push_raw(&o.finish());
+    }
+    let mut root = JsonObject::new();
+    root.field_u64("duration_ns", profile.duration_ns);
+    root.field_u64("lanes", profile.lanes as u64);
+    root.field_u64("dropped_events", profile.dropped_events);
+    root.field_u64("unclosed", profile.unclosed);
+    root.field_u64("unmatched", profile.unmatched);
+    root.field_raw("spans", &spans.finish());
+    root.field_raw("flame", &flame.finish());
+    root.field_raw("marks", &marks.finish());
+    root.field_raw("workers", &workers.finish());
+    root.field_u64("critical_path_ns", profile.critical_path_ns);
+    root.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{SpanAgg, WorkerStat};
+
+    fn sample() -> Profile {
+        Profile {
+            duration_ns: 1_000_000,
+            lanes: 2,
+            dropped_events: 0,
+            unclosed: 0,
+            unmatched: 0,
+            spans: vec![
+                SpanAgg {
+                    name: "cold".to_string(),
+                    calls: 3,
+                    self_ns: 10_000,
+                    total_ns: 10_000,
+                },
+                SpanAgg {
+                    name: "hot".to_string(),
+                    calls: 1,
+                    self_ns: 500_000,
+                    total_ns: 510_000,
+                },
+            ],
+            flame: vec![
+                PathAgg {
+                    path: "hot".to_string(),
+                    depth: 0,
+                    calls: 1,
+                    self_ns: 500_000,
+                    total_ns: 510_000,
+                },
+                PathAgg {
+                    path: "hot/cold".to_string(),
+                    depth: 1,
+                    calls: 3,
+                    self_ns: 10_000,
+                    total_ns: 10_000,
+                },
+            ],
+            marks: vec![("tick".to_string(), 2)],
+            workers: vec![WorkerStat {
+                label: "w0".to_string(),
+                busy_ns: 600_000,
+                busy_ppm: 600_000,
+                stints: 2,
+                longest_idle_ns: 1_000,
+            }],
+            critical_path_ns: 700_000,
+            overrun: None,
+        }
+    }
+
+    #[test]
+    fn units_format_readably() {
+        assert_eq!(format_ns(450), "450ns");
+        assert_eq!(format_ns(1_500), "1.500µs");
+        assert_eq!(format_ns(2_345_000), "2.345ms");
+        assert_eq!(format_ns(12_300_000_000), "12.300s");
+    }
+
+    #[test]
+    fn table_lists_spans_hottest_first() {
+        let text = to_table(&sample(), 0);
+        let hot = text.find("hot ").unwrap_or(usize::MAX);
+        let cold = text.find("cold").unwrap_or(0);
+        assert!(hot < cold, "hot before cold:\n{text}");
+        assert!(text.contains("critical path estimate"), "{text}");
+        assert!(text.contains("tick x2"), "{text}");
+        assert!(text.contains("| cold"), "flame child indented:\n{text}");
+    }
+
+    #[test]
+    fn top_caps_the_table() {
+        let text = to_table(&sample(), 1);
+        assert!(text.contains("… 1 more"), "{text}");
+    }
+
+    #[test]
+    fn json_field_order_supports_grep_extraction() {
+        let json = to_json(&sample());
+        assert!(json.contains(r#"{"name": "cold", "calls": 3,"#), "{json}");
+        assert!(json.contains(r#"{"path": "hot/cold", "calls": 3,"#));
+        assert!(json.contains(r#""critical_path_ns": 700000"#));
+        assert!(json.contains(r#""label": "w0", "busy_ns": 600000, "busy_ppm": 600000"#));
+        // The document round-trips through the workspace reader.
+        let doc = defender_obs::json::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("spans").unwrap().as_array().unwrap().len(),
+            2,
+            "{json}"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! The profile sidecar: a `BENCH_*.json`-schema document so
+//! `defender bench diff` gates span-level regressions.
+
+use defender_obs::json::{JsonArray, JsonObject};
+
+use crate::analyze::Profile;
+
+/// Renders `profile` as a `BENCH_*.json` sidecar document for
+/// `experiment` (e.g. `profile_e1`).
+///
+/// Schema (see EXPERIMENTS.md "Profile sidecar schema"):
+///
+/// - `counters` holds `prof.calls.<span>` (jobs-invariant, exact) and
+///   `prof.self_ns.<span>` (machine-sensitive — committed baselines prune
+///   these so the gate judges calls exactly and treats fresh self-times
+///   as informational new rows);
+/// - `parallelism` holds the jobs-variant `prof.worker_busy_ppm.w*`,
+///   segregated exactly like `par.tasks.w*` in experiment sidecars.
+#[must_use]
+pub fn sidecar_json(profile: &Profile, experiment: &str) -> String {
+    let mut counters = JsonObject::new();
+    for s in &profile.spans {
+        counters.field_u64(&format!("prof.calls.{}", s.name), s.calls);
+    }
+    for s in &profile.spans {
+        counters.field_u64(&format!("prof.self_ns.{}", s.name), s.self_ns);
+    }
+    let mut parallelism = JsonObject::new();
+    for w in &profile.workers {
+        parallelism.field_u64(&format!("prof.worker_busy_ppm.{}", w.label), w.busy_ppm);
+    }
+    let mut root = JsonObject::new();
+    root.field_str("experiment", experiment);
+    root.field_raw("phases", &JsonArray::new().finish());
+    root.field_raw("counters", &counters.finish());
+    root.field_raw("parallelism", &parallelism.finish());
+    root.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{SpanAgg, WorkerStat};
+
+    #[test]
+    fn sidecar_matches_the_bench_schema() {
+        let profile = Profile {
+            duration_ns: 100,
+            spans: vec![SpanAgg {
+                name: "e1.solve".to_string(),
+                calls: 7,
+                self_ns: 42,
+                total_ns: 50,
+            }],
+            workers: vec![WorkerStat {
+                label: "w0".to_string(),
+                busy_ns: 80,
+                busy_ppm: 800_000,
+                stints: 1,
+                longest_idle_ns: 0,
+            }],
+            ..Profile::default()
+        };
+        let json = sidecar_json(&profile, "profile_e1");
+        assert!(json.contains(r#""experiment": "profile_e1""#), "{json}");
+        assert!(json.contains(r#""phases": []"#));
+        assert!(json.contains(r#""prof.calls.e1.solve": 7"#));
+        assert!(json.contains(r#""prof.self_ns.e1.solve": 42"#));
+        // Jobs-variant worker stats stay out of `counters`.
+        let doc = defender_obs::json::parse(&json).unwrap();
+        let counters = doc.get("counters").unwrap().as_object().unwrap();
+        assert!(counters.iter().all(|(k, _)| !k.contains("worker_busy")));
+        let par = doc.get("parallelism").unwrap().as_object().unwrap();
+        assert_eq!(par.len(), 1);
+        assert_eq!(par[0].0, "prof.worker_busy_ppm.w0");
+    }
+}
