@@ -110,4 +110,59 @@ target/release/defender bench diff \
   "$SUITE_DIR/BENCH_e15_value_atlas.json" \
   --counters-only
 
+echo "== sweep shard-width identity gate =="
+# Run E1 as a sharded sweep at widths 1 and 3: the merged sidecars'
+# `counters` objects must be byte-identical (every counter increment is
+# attributable to exactly one corpus instance, so per-shard counters sum
+# exactly — DESIGN.md §14). This is the cross-process analogue of the
+# jobs-invariance check above.
+SWEEP_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$JOBS_DIR" "$SUITE_DIR" "$SWEEP_DIR"' EXIT
+target/release/defender sweep e1 --shards 1 --out "$SWEEP_DIR/w1" --quiet \
+  --bin-dir target/release
+target/release/defender sweep e1 --shards 3 --out "$SWEEP_DIR/w3" --quiet \
+  --bin-dir target/release
+for w in w1 w3; do
+  grep -o '"counters": {[^}]*}' "$SWEEP_DIR/$w/BENCH_e1_pure_frontier.json" \
+    > "$SWEEP_DIR/$w.counters"
+done
+diff "$SWEEP_DIR/w1.counters" "$SWEEP_DIR/w3.counters"
+# The sharded counters must also match the unsharded smoke run's sidecar
+# exactly — sharding may not change what is measured.
+grep -o '"counters": {[^}]*}' "$SMOKE_DIR/BENCH_e1_pure_frontier.json" \
+  > "$SWEEP_DIR/plain.counters"
+diff "$SWEEP_DIR/plain.counters" "$SWEEP_DIR/w3.counters"
+
+echo "== sweep kill-and-resume smoke =="
+# Interrupt a 3-shard sweep with a real SIGKILL mid-run (workers
+# serialized with --parallel 1 so at least one shard seals a checkpoint
+# first), then resume it: the resumed merge must be byte-identical to the
+# uninterrupted width-3 merge above. The shard PID files and DONE markers
+# exist for exactly this kind of smoke test.
+target/release/defender sweep e1 --shards 3 --out "$SWEEP_DIR/kr" --quiet \
+  --parallel 1 --bin-dir target/release &
+SWEEP_PID=$!
+for _ in $(seq 1 200); do
+  [[ -f "$SWEEP_DIR/kr/shard_0/DONE" ]] && break
+  sleep 0.05
+done
+[[ -f "$SWEEP_DIR/kr/shard_0/DONE" ]] || { echo "shard 0 never checkpointed"; exit 1; }
+kill -KILL "$SWEEP_PID" 2> /dev/null || true
+wait "$SWEEP_PID" 2> /dev/null || true
+# Reap any orphaned worker the kill left behind before resuming.
+if [[ -f "$SWEEP_DIR/kr/shard_1/PID" ]]; then
+  kill -KILL "$(cat "$SWEEP_DIR/kr/shard_1/PID")" 2> /dev/null || true
+fi
+# On a fast machine the sweep can finish before the kill lands; the
+# resume below then exercises the all-checkpoints path instead (still a
+# valid byte-identity check), so note it rather than fail.
+if [[ -f "$SWEEP_DIR/kr/BENCH_e1_pure_frontier.json" ]]; then
+  echo "note: sweep finished before the kill; resuming a complete sweep"
+fi
+target/release/defender sweep e1 --shards 3 --resume "$SWEEP_DIR/kr" --quiet \
+  --bin-dir target/release
+grep -o '"counters": {[^}]*}' "$SWEEP_DIR/kr/BENCH_e1_pure_frontier.json" \
+  > "$SWEEP_DIR/kr.counters"
+diff "$SWEEP_DIR/w3.counters" "$SWEEP_DIR/kr.counters"
+
 echo "CI OK"

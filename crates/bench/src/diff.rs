@@ -27,7 +27,7 @@
 
 use std::path::Path;
 
-use defender_obs::json::{self, JsonValue};
+use defender_obs::json::{self, JsonArray, JsonObject, JsonValue};
 
 use crate::Table;
 
@@ -47,6 +47,10 @@ pub struct Sidecar {
     pub phases: Vec<(String, f64)>,
     /// Harvested counters as `(name, value)`.
     pub counters: Vec<(String, u64)>,
+    /// Execution-shape metrics (`par.*`, `sw.*`, `prof.worker_busy_ppm.*`)
+    /// as `(name, value)`. Optional section; never judged by the gate —
+    /// these legitimately vary with `--jobs` and `--shards`.
+    pub parallelism: Vec<(String, u64)>,
 }
 
 impl Sidecar {
@@ -93,10 +97,20 @@ impl Sidecar {
                 .ok_or(format!("counter `{name}`: not a non-negative integer"))?;
             counters.push((name.clone(), value));
         }
+        let mut parallelism = Vec::new();
+        if let Some(section) = doc.get("parallelism").and_then(JsonValue::as_object) {
+            for (name, value) in section {
+                let value = value
+                    .as_u64()
+                    .ok_or(format!("parallelism `{name}`: not a non-negative integer"))?;
+                parallelism.push((name.clone(), value));
+            }
+        }
         Ok(Sidecar {
             experiment,
             phases,
             counters,
+            parallelism,
         })
     }
 
@@ -290,6 +304,57 @@ impl DiffReport {
         }
         out
     }
+
+    /// The report as one line of stable JSON (the `--format json` output
+    /// of `defender bench diff`), so the sweep monitor and CI can consume
+    /// gate results without grepping the table.
+    ///
+    /// Field-order contract (stable across releases; consumers may key on
+    /// names but the order will not shift under them):
+    ///
+    /// 1. `experiment` — string;
+    /// 2. `config` — object with `threshold`, `noise_floor_seconds`,
+    ///    `counters_only`, in that order;
+    /// 3. `rows` — array in table order (phases before counters, baseline
+    ///    order within a section, current-only rows last); each row holds
+    ///    `kind`, `name`, `baseline`, `current`, `ratio`, `verdict`, in
+    ///    that order, with `null` for an absent side or undefined ratio.
+    ///    `verdict` uses the table labels (`ok`, `improved`, `REGRESSED`,
+    ///    `missing`, `ORPHANED`, `new`);
+    /// 4. `regressions`, `orphans` — row counts;
+    /// 5. `passed` — the gate outcome.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut config = JsonObject::new();
+        config.field_f64("threshold", self.config.threshold);
+        config.field_f64("noise_floor_seconds", self.config.noise_floor_seconds);
+        config.field_bool("counters_only", self.config.counters_only);
+        let mut rows = JsonArray::new();
+        for row in &self.rows {
+            let mut r = JsonObject::new();
+            r.field_str("kind", row.section);
+            r.field_str("name", &row.name);
+            let side = |r: &mut JsonObject, key: &str, value: Option<f64>| {
+                match value {
+                    Some(v) => r.field_f64(key, v),
+                    None => r.field_raw(key, "null"),
+                };
+            };
+            side(&mut r, "baseline", row.baseline);
+            side(&mut r, "current", row.current);
+            side(&mut r, "ratio", row.ratio());
+            r.field_str("verdict", row.verdict.label());
+            rows.push_raw(&r.finish());
+        }
+        let mut root = JsonObject::new();
+        root.field_str("experiment", &self.experiment);
+        root.field_raw("config", &config.finish());
+        root.field_raw("rows", &rows.finish());
+        root.field_u64("regressions", self.regressions() as u64);
+        root.field_u64("orphans", self.orphans() as u64);
+        root.field_bool("passed", self.passed());
+        root.finish()
+    }
 }
 
 fn judge(baseline: f64, current: f64, config: &DiffConfig, noisy: bool) -> Verdict {
@@ -399,6 +464,7 @@ mod tests {
             experiment: "e_test".to_string(),
             phases: phases.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
             counters: counters.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            parallelism: Vec::new(),
         }
     }
 
@@ -525,6 +591,64 @@ mod tests {
             ..DiffConfig::default()
         };
         assert!(!diff(&base, &cur, config).passed());
+    }
+
+    #[test]
+    fn json_report_follows_the_field_order_contract() {
+        let base = sidecar(&[("sweep", 1.0)], &[("lp.pivots", 100), ("gone", 5)]);
+        let cur = sidecar(&[("sweep", 2.0)], &[("lp.pivots", 100)]);
+        let report = diff(&base, &cur, DiffConfig::default());
+        let text = report.to_json();
+        // Top-level order: experiment, config, rows, regressions, orphans, passed.
+        let order = [
+            "\"experiment\"",
+            "\"config\"",
+            "\"rows\"",
+            "\"regressions\"",
+            "\"orphans\"",
+            "\"passed\"",
+        ];
+        let mut last = 0;
+        for key in order {
+            let at = text.find(key).unwrap_or_else(|| panic!("{key} in {text}"));
+            assert!(at >= last, "{key} out of order in {text}");
+            last = at;
+        }
+        // Rows carry kind..verdict in order, null for absent sides.
+        assert!(
+            text.contains(r#"{"kind": "phase", "name": "sweep", "baseline": 1, "current": 2, "ratio": 2, "verdict": "REGRESSED"}"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#""name": "gone", "baseline": 5, "current": null, "ratio": null, "verdict": "ORPHANED""#),
+            "{text}"
+        );
+        assert!(text.ends_with(r#""passed": false}"#), "{text}");
+        // The document round-trips through the workspace parser.
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("regressions").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(doc.get("orphans").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(
+            doc.get("rows")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(report.rows.len())
+        );
+    }
+
+    #[test]
+    fn sidecar_parses_the_parallelism_section() {
+        let mut rr = crate::RunReport::new("e_par");
+        rr.counter("lp.pivots", 7);
+        rr.parallelism("par.jobs", 4).parallelism("sw.shards", 3);
+        let parsed = Sidecar::parse(&rr.to_json()).unwrap();
+        assert_eq!(
+            parsed.parallelism,
+            vec![("par.jobs".to_string(), 4), ("sw.shards".to_string(), 3)]
+        );
+        // Absent section parses as empty, not an error.
+        let bare = Sidecar::parse(r#"{"experiment": "x", "phases": [], "counters": {}}"#).unwrap();
+        assert!(bare.parallelism.is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 pub mod diff;
 pub mod experiments;
 pub mod report;
+pub mod shard;
 pub mod timing;
 
 pub use report::{RunReport, Table};
@@ -44,6 +45,14 @@ pub fn profiling_enabled() -> bool {
 ///   section (`prof.calls.*` / `prof.self_ns.*`) to the `BENCH_*.json`
 ///   sidecar, and emit live heartbeat lines from the sweep loops.
 ///   Composes with `--trace`: one recording serves both.
+/// - `--shard <i>/<N>` — run only shard `i` of an `N`-way corpus
+///   partition (see [`shard::window`]); used by `defender sweep` to
+///   split one experiment across worker processes. Merged counters over
+///   all `N` shards are byte-identical to a single-process run.
+/// - `--telemetry` — stream NDJSON telemetry events on stdout
+///   (`start`/`window`/`phase`/`instance`/`hb`/`snapshot`/`summary`,
+///   see `defender_obs::telemetry`) so a parent sweep runner can render
+///   live per-shard progress and health.
 ///
 /// Exits with status 2 on a usage or export error (experiment assertion
 /// failures panic, as before).
@@ -58,6 +67,8 @@ pub fn experiment_main(run: impl FnOnce()) {
 fn experiment_main_with(argv: &[String], run: impl FnOnce()) -> Result<(), String> {
     let mut trace_path: Option<std::path::PathBuf> = None;
     let mut profile = false;
+    let mut telemetry = false;
+    let mut shard_spec: Option<(u64, u64)> = None;
     let mut iter = argv.iter();
     while let Some(token) = iter.next() {
         match token.as_str() {
@@ -76,18 +87,43 @@ fn experiment_main_with(argv: &[String], run: impl FnOnce()) -> Result<(), Strin
                 defender_par::set_jobs(n);
             }
             "--profile" => profile = true,
+            "--telemetry" => telemetry = true,
+            "--shard" => {
+                let value = iter.next().ok_or("option `--shard` needs a value")?;
+                shard_spec = Some(shard::parse_shard_flag(value)?);
+            }
             other => {
                 return Err(format!(
-                    "unknown option `{other}` (supported: --trace <FILE>, --jobs <N>, --profile)"
+                    "unknown option `{other}` (supported: --trace <FILE>, --jobs <N>, \
+                     --profile, --shard <i>/<N>, --telemetry)"
                 ))
             }
         }
     }
     PROFILING.store(profile, Ordering::Relaxed);
+    if let Some((index, total)) = shard_spec {
+        shard::set_shard(index, total)?;
+    }
+    if telemetry {
+        let (index, total) = shard_spec.unwrap_or((0, 1));
+        defender_obs::telemetry::enable_for_shard(index, total);
+    }
     if trace_path.is_some() || profile {
         defender_obs::trace::start();
     }
+    let heartbeat = telemetry.then(spawn_heartbeat);
+    defender_obs::telemetry::Event::new("start")
+        .u64("pid", u64::from(std::process::id()))
+        .emit();
     run();
+    if let Some(handle) = heartbeat {
+        handle.stop();
+    }
+    defender_obs::telemetry::Event::new("summary")
+        .bool("ok", true)
+        .u64("elapsed_ns", defender_obs::trace::elapsed_ns())
+        .emit();
+    defender_obs::telemetry::disable();
     if let Some(path) = trace_path {
         defender_obs::trace::stop();
         defender_obs::trace::write_chrome_trace(&path)
@@ -97,6 +133,62 @@ fn experiment_main_with(argv: &[String], run: impl FnOnce()) -> Result<(), Strin
         defender_obs::trace::stop();
     }
     Ok(())
+}
+
+/// Handle for the `--telemetry` heartbeat thread: signals it to stop and
+/// joins it, so the last `hb`/`snapshot` pair never interleaves with the
+/// `summary` event.
+struct HeartbeatHandle {
+    stop: std::sync::Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl HeartbeatHandle {
+    fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.thread.join();
+    }
+}
+
+/// Interval between liveness heartbeats on the telemetry stream. Half a
+/// second keeps the parent dashboard fresh while staying far under any
+/// sane stall-detection timeout.
+const HEARTBEAT_INTERVAL: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// Spawns the `--telemetry` heartbeat thread: every [`HEARTBEAT_INTERVAL`]
+/// it emits an `hb` event (liveness) followed by a `snapshot` event
+/// carrying the cumulative obs counter/gauge/histogram state, so the
+/// parent sweep runner can show live rates and detect stalls even while
+/// the experiment is deep inside one long instance.
+fn spawn_heartbeat() -> HeartbeatHandle {
+    let start = std::time::Instant::now();
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let stop_flag = std::sync::Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("telemetry-hb".to_string())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                std::thread::sleep(HEARTBEAT_INTERVAL);
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                defender_obs::telemetry::Event::new("hb")
+                    .u64("elapsed_ns", start.elapsed().as_nanos() as u64)
+                    .emit();
+                defender_obs::telemetry::snapshot_event(&defender_obs::snapshot()).emit();
+            }
+        })
+        .expect("spawn telemetry heartbeat thread");
+    HeartbeatHandle { stop, thread }
+}
+
+/// Serializes unit tests that mutate the process-global shard/telemetry
+/// state (the statics in [`shard`] and `defender_obs::telemetry`).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -126,6 +218,38 @@ mod tests {
         assert!(experiment_main_with(&args(&["--jobs", "zero"]), run).is_err());
         assert!(experiment_main_with(&args(&["--jobs", "0"]), run).is_err());
         assert!(experiment_main_with(&args(&["--bogus"]), run).is_err());
+    }
+
+    #[test]
+    fn shard_flag_declares_the_window() {
+        let _guard = test_lock();
+        let mut seen = None;
+        experiment_main_with(&args(&["--shard", "1/3"]), || {
+            seen = shard::shard();
+        })
+        .unwrap();
+        assert_eq!(seen, Some((1, 3)));
+        shard::clear_shard();
+        let run = || panic!("must not run");
+        assert!(experiment_main_with(&args(&["--shard"]), run).is_err());
+        assert!(experiment_main_with(&args(&["--shard", "3/3"]), run).is_err());
+        assert!(experiment_main_with(&args(&["--shard", "x"]), run).is_err());
+    }
+
+    #[test]
+    fn telemetry_flag_gates_the_event_stream() {
+        let _guard = test_lock();
+        let mut during = false;
+        experiment_main_with(&args(&["--telemetry", "--shard", "0/2"]), || {
+            during = defender_obs::telemetry::enabled();
+        })
+        .unwrap();
+        assert!(during, "telemetry on during the run");
+        assert!(
+            !defender_obs::telemetry::enabled(),
+            "telemetry off after the run"
+        );
+        shard::clear_shard();
     }
 
     #[test]

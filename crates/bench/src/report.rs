@@ -102,8 +102,14 @@ impl RunReport {
         }
     }
 
-    /// Records a completed phase with its wall-clock duration.
+    /// Records a completed phase with its wall-clock duration, and
+    /// announces it on the telemetry stream (`phase` event) when a sweep
+    /// runner is listening.
     pub fn phase(&mut self, name: &str, elapsed: Duration) -> &mut RunReport {
+        defender_obs::telemetry::Event::new("phase")
+            .str("name", name)
+            .u64("wall_ns", elapsed.as_nanos() as u64)
+            .emit();
         self.phases.push((name.to_string(), elapsed));
         self
     }
@@ -122,22 +128,37 @@ impl RunReport {
         self
     }
 
+    /// Records one execution-shape metric into the "parallelism" section
+    /// (used by the sweep merger for `sw.*` shard-shape entries).
+    pub fn parallelism(&mut self, name: &str, value: u64) -> &mut RunReport {
+        self.parallelism.push((name.to_string(), value));
+        self
+    }
+
+    /// Whether `name` belongs in the "parallelism" section rather than
+    /// the jobs-invariant "counters" object: the `par.*` namespace varies
+    /// with `--jobs`, the `sw.*` namespace with `--shards`.
+    fn is_execution_shape(name: &str) -> bool {
+        name.starts_with("par.") || name.starts_with("sw.")
+    }
+
     /// Copies every counter from an obs snapshot into the report.
     ///
     /// The `par.*` namespace is an execution-shape record (pool width,
-    /// per-worker task splits) that legitimately varies with `--jobs`; it
-    /// goes into the separate "parallelism" section so the "counters"
-    /// object stays byte-identical for every pool width.
+    /// per-worker task splits) that legitimately varies with `--jobs`,
+    /// and `sw.*` (shard window shape) varies with `--shards`; both go
+    /// into the separate "parallelism" section so the "counters" object
+    /// stays byte-identical for every pool and shard width.
     pub fn counters_from(&mut self, snapshot: &defender_obs::Snapshot) -> &mut RunReport {
         for (name, value) in &snapshot.counters {
-            if name.starts_with("par.") {
+            if Self::is_execution_shape(name) {
                 self.parallelism.push((name.clone(), *value));
             } else {
                 self.counters.push((name.clone(), *value));
             }
         }
         for (name, value) in &snapshot.gauges {
-            if name.starts_with("par.") {
+            if Self::is_execution_shape(name) {
                 self.parallelism.push((name.clone(), *value));
             }
         }
@@ -283,6 +304,29 @@ mod tests {
         assert!(json.contains(r#""par.tasks.w0": 12"#), "{json}");
         // Non-par gauges are not counters and stay out entirely.
         assert!(!json.contains("other.gauge"), "{json}");
+    }
+
+    #[test]
+    fn sw_metrics_are_segregated_like_par() {
+        let snapshot = defender_obs::Snapshot {
+            counters: vec![
+                ("algo.pivots".to_string(), 7),
+                ("sw.window_instances".to_string(), 6),
+            ],
+            gauges: vec![
+                ("sw.shard_index".to_string(), 1),
+                ("sw.shard_total".to_string(), 3),
+            ],
+            histograms: Vec::new(),
+            spans: Vec::new(),
+        };
+        let mut report = RunReport::new("unit");
+        report.counters_from(&snapshot);
+        let json = report.to_json();
+        assert!(json.contains(r#""counters": {"algo.pivots": 7}"#), "{json}");
+        assert!(json.contains(r#""sw.window_instances": 6"#), "{json}");
+        assert!(json.contains(r#""sw.shard_index": 1"#), "{json}");
+        assert!(json.contains(r#""sw.shard_total": 3"#), "{json}");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use defender_bench::diff::{self, DiffConfig, Sidecar};
 use crate::args::Options;
 
 const USAGE: &str = "usage:\n  \
-    defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001] [--counters-only]\n  \
+    defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001] [--counters-only] [--format table|json]\n  \
     defender bench validate-trace <trace.json> [--min-threads 1] [--strict-drops]";
 
 /// Dispatches the `bench` subcommands.
@@ -97,7 +97,19 @@ fn run_diff(argv: &[String]) -> Result<ExitCode, String> {
         );
     }
     let report = diff::diff(&baseline, &current, config);
-    print!("{}", report.render());
+    // `--format json` emits the machine-readable report (one line, field
+    // order documented on `DiffReport::to_json`) so the sweep monitor and
+    // CI consume verdicts without grepping the table. Exit semantics are
+    // identical in both formats.
+    match options.get("format") {
+        None | Some("table") => print!("{}", report.render()),
+        Some("json") => println!("{}", report.to_json()),
+        Some(other) => {
+            return Err(format!(
+                "option `--format` must be `table` or `json`, got `{other}`"
+            ))
+        }
+    }
     if report.passed() {
         Ok(ExitCode::SUCCESS)
     } else {

@@ -1,4 +1,13 @@
-//! `defender help`.
+//! `defender help [topic]`.
+
+/// Dispatches `help` with an optional topic (`defender help sweep`).
+/// Unknown topics fall back to the general usage page.
+pub fn run(argv: &[String]) {
+    match argv.first().map(String::as_str) {
+        Some("sweep") => print_sweep(),
+        _ => print(),
+    }
+}
 
 /// Prints usage for every subcommand.
 pub fn print() {
@@ -11,13 +20,14 @@ USAGE:
   defender simulate --graph <file> --k <K> --nu <NU> [--rounds <R>] [--seed <S>]
   defender value    --graph <file> --k <K> [--limit <TUPLES>]
   defender convert  --in <file> --out <file> [--from <fmt>] [--to <fmt>]
-  defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001] [--counters-only]
+  defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001] [--counters-only] [--format table|json]
   defender bench validate-trace <trace.json> [--min-threads 1] [--strict-drops]
   defender profile <trace.json> [--format table|json] [--top N] [--sidecar]
+  defender sweep <experiment> --shards <N> [--resume <dir>] [options]   (see `defender help sweep`)
   defender lint [--root <dir>] [--config <file>] [--format text|json] [--sidecar] [--dump-registry]
-  defender help
+  defender help [sweep]
 
-Every command (except `bench` and `lint`) also accepts:
+Every command (except `bench`, `lint` and `sweep`) also accepts:
   --metrics json|table    run instrumented; dump the counter/span registry
                           (with p50/p90/p99 estimates) afterwards
   --metrics-out <FILE>    write the metrics JSON to FILE instead of stdout,
@@ -32,7 +42,8 @@ Every command (except `bench` and `lint`) also accepts:
 `bench diff` compares two BENCH_*.json sidecars (written by the
 defender-bench experiment binaries) and exits with code 2 when any phase
 wall time or counter regresses beyond the threshold; `--counters-only`
-judges only the deterministic counters (for cross-machine CI gates).
+judges only the deterministic counters (for cross-machine CI gates);
+`--format json` emits the same report as one machine-readable JSON line.
 `bench validate-trace --min-threads N` additionally requires the timeline
 to span at least N threads; `--strict-drops` exits with code 2 when the
 trace dropped events (ring overflow).
@@ -45,6 +56,10 @@ code 2 when the wall-clock accounting invariant is violated (a lane's
 root spans sum past the trace duration). The experiment binaries accept
 `--profile` to harvest the same analysis in-process (appended to the run
 sidecar) with live heartbeat lines on stderr.
+
+`sweep` splits one experiment's instance corpus across worker processes
+with live progress, checkpoint-resume and a merged sidecar —
+`defender help sweep` has the full story.
 
 `lint` runs the workspace static-analysis pass (exactness, determinism,
 panic-freedom, metric-registry audit; configured by lint.toml) and exits
@@ -74,5 +89,60 @@ EXAMPLES:
   defender generate --family cycle --n 12 --out ring.edges
   defender analyze --graph ring.edges --k 2 --nu 6
   defender simulate --graph ring.edges --k 2 --nu 6 --rounds 100000"
+    );
+}
+
+/// Prints the `defender help sweep` topic page.
+fn print_sweep() {
+    println!(
+        "defender sweep — sharded experiment sweeps across worker processes
+
+USAGE:
+  defender sweep <experiment> --shards <N> [options]
+
+  <experiment>            a sweepable experiment: e1, e15 (short or full
+                          binary name, e.g. exp_e1_pure_frontier)
+
+OPTIONS:
+  --shards <N>            split the instance corpus into N contiguous
+                          windows, one worker process each (required)
+  --out <dir>             sweep directory for checkpoints and the merged
+                          sidecar (default: sweep_<experiment>)
+  --resume <dir>          resume a killed sweep: shards with a sealed
+                          checkpoint (DONE marker + valid sidecar) are
+                          skipped, the rest re-run; implies --out <dir>
+  --parallel <M>          at most M workers at once (default: all shards)
+  --jobs <J>              forwarded to each worker's --jobs
+  --profile               forward --profile to each worker (in-process
+                          span analysis appended to shard sidecars)
+  --stall-timeout <SECS>  mark a shard STALLED after this long without
+                          telemetry (default: 10; any event revives it)
+  --bin-dir <dir>         directory holding the exp_* worker binaries
+                          (default: next to the defender executable)
+  --quiet                 suppress the live dashboard
+
+HOW IT WORKS:
+  The runner re-invokes the experiment binary once per shard with
+  `--shard i/N --telemetry`. Each worker computes only its corpus window
+  and streams NDJSON telemetry on stdout (heartbeats, per-instance
+  progress, metric snapshots, phase transitions, a terminal summary —
+  schema in EXPERIMENTS.md). The parent renders a live per-shard
+  dashboard on stderr (progress bar, rate, ETA, hottest span, stall
+  detection) and merges the per-shard BENCH_*.json sidecars into
+  <out>/BENCH_<experiment>.json. The merged `counters` object is
+  byte-identical for every --shards width — CI diffs it against the
+  single-process run. Worker console output lands in
+  <out>/shard_<i>/console.log, stderr in stderr.log.
+
+CHECKPOINTS:
+  Each finished shard seals <out>/shard_<i>/ with a DONE marker; a
+  killed sweep resumes with --resume and produces byte-identical merged
+  counters. Exit code 3 means the sweep stopped before every shard
+  finished (resume it); failed shards exit 1 with their stderr paths.
+
+EXAMPLES:
+  defender sweep e1 --shards 4
+  defender sweep e15 --shards 8 --parallel 2 --jobs 4
+  defender sweep e15 --shards 8 --resume sweep_e15"
     );
 }

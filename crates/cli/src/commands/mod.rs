@@ -8,4 +8,5 @@ pub mod help;
 pub mod lint;
 pub mod profile;
 pub mod simulate;
+pub mod sweep;
 pub mod value;

@@ -35,9 +35,10 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         commands::help::print();
         return Ok(ExitCode::SUCCESS);
     };
-    // `bench`, `lint` and `profile` manage their own argument grammars
-    // (positional files, value-less flags), which `Options::parse`
-    // rejects by design; dispatch them before the uniform option pass.
+    // `bench`, `lint`, `profile` and `sweep` manage their own argument
+    // grammars (positional files, value-less flags), which
+    // `Options::parse` rejects by design; dispatch them before the
+    // uniform option pass. `help` takes an optional positional topic.
     if command == "bench" {
         return commands::bench::run(rest);
     }
@@ -46,6 +47,13 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
     }
     if command == "profile" {
         return commands::profile::run(rest);
+    }
+    if command == "sweep" {
+        return commands::sweep::run(rest);
+    }
+    if command == "help" || command == "--help" || command == "-h" {
+        commands::help::run(rest);
+        return Ok(ExitCode::SUCCESS);
     }
     let options = args::Options::parse(rest)?;
     if options.get("jobs").is_some() {
@@ -70,10 +78,6 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         "simulate" => commands::simulate::run(&options),
         "value" => commands::value::run(&options),
         "convert" => commands::convert::run(&options),
-        "help" | "--help" | "-h" => {
-            commands::help::print();
-            Ok(())
-        }
         other => Err(format!("unknown command `{other}`")),
     };
     if result.is_ok() {

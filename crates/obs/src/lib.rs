@@ -48,6 +48,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod json;
+pub mod telemetry;
 pub mod trace;
 
 use std::cell::RefCell;
@@ -319,6 +320,26 @@ impl HistStat {
             seen += c;
         }
         0.0
+    }
+
+    /// Folds another histogram of the *same quantity* into this one:
+    /// counts and sums add, and log2 buckets merge index-by-index.
+    ///
+    /// Because log2 bucketing is a pure function of each recorded value,
+    /// merging the per-shard histograms of a partitioned workload yields
+    /// exactly the histogram a single process recording every value would
+    /// have produced — so the percentile *estimates* of a merged snapshot
+    /// match a single-process run on the same workload, not merely
+    /// approximate it. Merging is associative and commutative with the
+    /// empty histogram as identity (see the `snapshot_merge` tests).
+    pub fn merge_from(&mut self, other: &HistStat) {
+        self.count += other.count;
+        self.sum += other.sum;
+        let mut merged: BTreeMap<usize, u64> = self.buckets.iter().copied().collect();
+        for &(i, c) in &other.buckets {
+            *merged.entry(i).or_insert(0) += c;
+        }
+        self.buckets = merged.into_iter().collect();
     }
 
     /// Median estimate — see [`HistStat::percentile`].
@@ -765,6 +786,62 @@ impl Snapshot {
         root.field_raw("spans", &hist_json(&self.spans));
         root.finish()
     }
+
+    /// Folds `other` into `self`, producing the snapshot a single process
+    /// doing both workloads would have recorded:
+    ///
+    /// - **counters** sum by name (monotonic event tallies are additive
+    ///   over a partitioned workload);
+    /// - **gauges** take the per-name maximum (a gauge is a level, not a
+    ///   tally — `par.jobs` across shards is "the widest pool seen");
+    /// - **histograms** and **spans** merge per name via
+    ///   [`HistStat::merge_from`] (counts/sums add, log2 buckets merge
+    ///   index-by-index), so percentile estimates of the merged snapshot
+    ///   equal those of a single-process run over the union of values.
+    ///
+    /// Merging is associative and commutative, with `Snapshot::default()`
+    /// as the identity — the properties the out-of-process sweep runner
+    /// relies on to make its merged output independent of shard width and
+    /// merge order. All sections stay sorted by name, so `to_json` of a
+    /// merged snapshot is byte-stable.
+    pub fn merge_from(&mut self, other: &Snapshot) {
+        let mut counters: BTreeMap<String, u64> = self.counters.drain(..).collect();
+        for (name, value) in &other.counters {
+            *counters.entry(name.clone()).or_insert(0) += value;
+        }
+        self.counters = counters.into_iter().collect();
+        let mut gauges: BTreeMap<String, u64> = self.gauges.drain(..).collect();
+        for (name, value) in &other.gauges {
+            let slot = gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*value);
+        }
+        self.gauges = gauges.into_iter().collect();
+        let merge_stats = |into: &mut Vec<HistStat>, from: &[HistStat]| {
+            let mut by_name: BTreeMap<String, HistStat> =
+                into.drain(..).map(|h| (h.name.clone(), h)).collect();
+            for h in from {
+                by_name
+                    .entry(h.name.clone())
+                    .or_insert_with(|| HistStat {
+                        name: h.name.clone(),
+                        count: 0,
+                        sum: 0,
+                        buckets: Vec::new(),
+                    })
+                    .merge_from(h);
+            }
+            *into = by_name.into_values().collect();
+        };
+        merge_stats(&mut self.histograms, &other.histograms);
+        merge_stats(&mut self.spans, &other.spans);
+    }
+
+    /// [`Snapshot::merge_from`] as a value-returning fold step.
+    #[must_use]
+    pub fn merged(mut self, other: &Snapshot) -> Snapshot {
+        self.merge_from(other);
+        self
+    }
 }
 
 /// Obs tests mutate process-global state (the gates + registries), so the
@@ -1065,6 +1142,90 @@ mod tests {
         assert!(doc.starts_with('{') && doc.ends_with('}'));
         disable();
         reset();
+    }
+
+    /// Builds a snapshot with the given counters/gauges and one histogram
+    /// holding `values` (the shape [`snapshot`] would produce).
+    fn synth_snapshot(
+        counters: &[(&str, u64)],
+        gauges: &[(&str, u64)],
+        values: &[u64],
+    ) -> Snapshot {
+        let mut hist = HistStat {
+            name: "test.merge.hist".to_string(),
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        let mut buckets: BTreeMap<usize, u64> = BTreeMap::new();
+        for &v in values {
+            hist.count += 1;
+            hist.sum += v;
+            *buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        }
+        hist.buckets = buckets.into_iter().collect();
+        Snapshot {
+            counters: counters.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            gauges: gauges.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            histograms: if values.is_empty() {
+                vec![]
+            } else {
+                vec![hist]
+            },
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_gauges() {
+        let a = synth_snapshot(&[("c.x", 3), ("c.y", 1)], &[("g.jobs", 2)], &[]);
+        let b = synth_snapshot(&[("c.x", 4), ("c.z", 9)], &[("g.jobs", 7)], &[]);
+        let merged = a.merged(&b);
+        assert_eq!(merged.counter("c.x"), Some(7), "counters add");
+        assert_eq!(merged.counter("c.y"), Some(1));
+        assert_eq!(merged.counter("c.z"), Some(9));
+        assert_eq!(merged.gauge("g.jobs"), Some(7), "gauges take the max");
+        let names: Vec<&str> = merged.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["c.x", "c.y", "c.z"], "sections stay sorted");
+    }
+
+    #[test]
+    fn merge_identity_is_the_empty_snapshot() {
+        let a = synth_snapshot(&[("c.x", 3)], &[("g", 1)], &[1, 5, 900]);
+        let empty = Snapshot::default();
+        assert_eq!(a.clone().merged(&empty), a);
+        assert_eq!(empty.clone().merged(&a), a);
+        assert_eq!(empty.clone().merged(&empty), Snapshot::default());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let a = synth_snapshot(&[("c.x", 3)], &[("g", 1)], &[1, 2, 3]);
+        let b = synth_snapshot(&[("c.x", 5), ("c.y", 2)], &[("g", 9)], &[700, 800]);
+        let c = synth_snapshot(&[("c.y", 1)], &[], &[4, 1_000_000]);
+        let left = a.clone().merged(&b).merged(&c);
+        let right = a.clone().merged(&b.clone().merged(&c));
+        assert_eq!(left, right, "associative");
+        assert_eq!(a.clone().merged(&b), b.clone().merged(&a), "commutative");
+        assert_eq!(left.to_json(), right.to_json(), "byte-stable export");
+    }
+
+    #[test]
+    fn merged_histograms_match_a_single_process_run() {
+        // Partition one workload across three "shards"; the merged
+        // histogram must equal — buckets, count, sum, hence every
+        // percentile estimate — the histogram of the undivided run.
+        let values: Vec<u64> = (0..999u64).map(|i| (i * 7919) % 100_000).collect();
+        let whole = synth_snapshot(&[], &[], &values);
+        let merged = values
+            .chunks(333)
+            .map(|chunk| synth_snapshot(&[], &[], chunk))
+            .fold(Snapshot::default(), |acc, s| acc.merged(&s));
+        assert_eq!(merged, whole);
+        let (m, w) = (&merged.histograms[0], &whole.histograms[0]);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(m.percentile(q), w.percentile(q), "q = {q}");
+        }
     }
 
     #[test]

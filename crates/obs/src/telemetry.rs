@@ -1,0 +1,241 @@
+//! Cross-process shard telemetry: NDJSON events on stdout.
+//!
+//! A sweep worker (an `exp_*` binary invoked with `--telemetry` by the
+//! `defender sweep` runner) streams one JSON object per line to stdout;
+//! the parent process demultiplexes the stream — lines that parse as a
+//! JSON object with an `"ev"` field are telemetry, everything else is the
+//! experiment's ordinary console output. The emit side lives here so the
+//! whole workspace shares one wire format; the parse side lives in
+//! `defender-sweep` (`protocol` module), and the event schema is
+//! documented in EXPERIMENTS.md ("Shard telemetry protocol").
+//!
+//! Event kinds emitted by the workspace:
+//!
+//! | `ev`        | emitted by                              | meaning |
+//! |-------------|------------------------------------------|---------|
+//! | `start`     | `experiment_main` before the run         | worker alive, pid |
+//! | `window`    | `defender_bench::shard::window`          | corpus partition chosen |
+//! | `phase`     | `RunReport::phase`                       | a named phase finished |
+//! | `instance`  | `defender_profile::Progress::tick`       | instances completed (stride-sampled) |
+//! | `hb`        | the `experiment_main` timer thread       | liveness heartbeat |
+//! | `snapshot`  | the `experiment_main` timer thread       | cumulative counter/gauge/histogram state |
+//! | `summary`   | `experiment_main` after the run          | terminal status |
+//!
+//! Like the metrics and trace layers, telemetry is **off by default**
+//! behind one relaxed atomic gate, so instrumented call sites cost a
+//! branch when no sweep runner is listening.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::json::JsonObject;
+use crate::Snapshot;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SHARD_INDEX: AtomicU64 = AtomicU64::new(0);
+static SHARD_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Turns telemetry emission on for shard `index` of `total` (process-wide;
+/// every subsequent event carries the shard index).
+pub fn enable_for_shard(index: u64, total: u64) {
+    SHARD_INDEX.store(index, Ordering::Relaxed);
+    SHARD_TOTAL.store(total, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns telemetry emission off.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+    SHARD_TOTAL.store(0, Ordering::Relaxed);
+}
+
+/// Whether telemetry emission is currently on.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The shard identity set by [`enable_for_shard`], if telemetry is on.
+#[must_use]
+pub fn shard() -> Option<(u64, u64)> {
+    let total = SHARD_TOTAL.load(Ordering::Relaxed);
+    if total == 0 {
+        None
+    } else {
+        Some((SHARD_INDEX.load(Ordering::Relaxed), total))
+    }
+}
+
+/// Builder for one telemetry event line.
+///
+/// Field order on the wire is `ev`, then `shard` (when a shard identity is
+/// set), then the fields in call order — readers must key on names, not
+/// positions, but the stable order keeps the stream grep-friendly.
+#[derive(Debug)]
+pub struct Event {
+    obj: JsonObject,
+}
+
+impl Event {
+    /// Starts an event of the given kind (the `ev` field).
+    #[must_use]
+    pub fn new(kind: &str) -> Event {
+        let mut obj = JsonObject::new();
+        obj.field_str("ev", kind);
+        if let Some((index, total)) = shard() {
+            obj.field_u64("shard", index);
+            obj.field_u64("shards", total);
+        }
+        Event { obj }
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn u64(mut self, key: &str, value: u64) -> Event {
+        self.obj.field_u64(key, value);
+        self
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Event {
+        self.obj.field_str(key, value);
+        self
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(mut self, key: &str, value: bool) -> Event {
+        self.obj.field_bool(key, value);
+        self
+    }
+
+    /// Adds a pre-serialized JSON value field.
+    #[must_use]
+    pub fn raw(mut self, key: &str, value: &str) -> Event {
+        self.obj.field_raw(key, value);
+        self
+    }
+
+    /// The event as one NDJSON line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        self.obj.finish()
+    }
+
+    /// Writes the event to stdout (one line, flushed) when telemetry is
+    /// on; drops it otherwise. Flushing per line keeps the parent's view
+    /// live even when stdout is a pipe (block-buffered by default).
+    pub fn emit(self) {
+        if !enabled() {
+            return;
+        }
+        let mut line = self.to_line();
+        line.push('\n');
+        let stdout = std::io::stdout();
+        let mut handle = stdout.lock();
+        let _ = handle.write_all(line.as_bytes());
+        let _ = handle.flush();
+    }
+}
+
+/// Serializes the cumulative counter/gauge/histogram state of `snapshot`
+/// as a `snapshot` event. Counters and gauges are name→value objects;
+/// histograms and spans carry `count`/`sum` per name (enough for the
+/// parent to show live rates and the hottest span — full log2 buckets
+/// travel in the end-of-run sidecar, not on every beat).
+#[must_use]
+pub fn snapshot_event(snapshot: &Snapshot) -> Event {
+    let mut counters = JsonObject::new();
+    for (name, value) in &snapshot.counters {
+        counters.field_u64(name, *value);
+    }
+    let mut gauges = JsonObject::new();
+    for (name, value) in &snapshot.gauges {
+        gauges.field_u64(name, *value);
+    }
+    let stats = |section: &[crate::HistStat]| {
+        let mut out = JsonObject::new();
+        for h in section {
+            let mut stat = JsonObject::new();
+            stat.field_u64("count", h.count);
+            stat.field_u64("sum", h.sum);
+            out.field_raw(&h.name, &stat.finish());
+        }
+        out.finish()
+    };
+    Event::new("snapshot")
+        .raw("counters", &counters.finish())
+        .raw("gauges", &gauges.finish())
+        .raw("histograms", &stats(&snapshot.histograms))
+        .raw("spans", &stats(&snapshot.spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistStat;
+
+    #[test]
+    fn events_serialize_with_ev_first() {
+        let line = Event::new("hb").u64("elapsed_ns", 12).to_line();
+        assert!(line.starts_with(r#"{"ev": "hb""#), "{line}");
+        assert!(line.contains(r#""elapsed_ns": 12"#));
+    }
+
+    #[test]
+    fn shard_identity_rides_every_event() {
+        let _guard = crate::test_lock();
+        enable_for_shard(2, 5);
+        let line = Event::new("start").to_line();
+        assert!(
+            line.contains(r#""shard": 2, "shards": 5"#),
+            "shard fields travel on every event: {line}"
+        );
+        disable();
+        let line = Event::new("start").to_line();
+        assert!(!line.contains("shard"), "{line}");
+    }
+
+    #[test]
+    fn disabled_events_do_not_claim_enabled() {
+        let _guard = crate::test_lock();
+        disable();
+        assert!(!enabled());
+        assert!(shard().is_none());
+        // emit() on a disabled gate is a no-op; nothing to assert beyond
+        // not panicking (stdout is not captured here).
+        Event::new("hb").emit();
+    }
+
+    #[test]
+    fn snapshot_event_carries_cumulative_state() {
+        let snap = Snapshot {
+            counters: vec![("lp.pivots".to_string(), 42)],
+            gauges: vec![("par.jobs".to_string(), 4)],
+            histograms: vec![HistStat {
+                name: "lp.simplex.constraints".to_string(),
+                count: 3,
+                sum: 30,
+                buckets: vec![(3, 3)],
+            }],
+            spans: vec![HistStat {
+                name: "e1.solve".to_string(),
+                count: 7,
+                sum: 700,
+                buckets: Vec::new(),
+            }],
+        };
+        let line = snapshot_event(&snap).to_line();
+        assert!(line.contains(r#""counters": {"lp.pivots": 42}"#), "{line}");
+        assert!(line.contains(r#""gauges": {"par.jobs": 4}"#), "{line}");
+        assert!(
+            line.contains(r#""lp.simplex.constraints": {"count": 3, "sum": 30}"#),
+            "{line}"
+        );
+        assert!(
+            line.contains(r#""spans": {"e1.solve": {"count": 7, "sum": 700}}"#),
+            "{line}"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Merging per-shard `BENCH_*.json` sidecars into one sweep-level report.
+//!
+//! The merged document is built through `defender_bench::RunReport`, so
+//! it uses the exact byte-stable writer every single-process sidecar
+//! uses. The determinism contract, section by section:
+//!
+//! - **counters** — summed by name across shards. Because every shard
+//!   constructs only its own corpus window, the sum over all shards
+//!   equals a single-process run, and the rendered `"counters": {...}`
+//!   object is **byte-identical for every `--shards` width** (and for an
+//!   interrupted-then-resumed sweep). This is the object the CI gate
+//!   diffs.
+//! - **phases** — each shard's phases in shard order under an `s<i>/`
+//!   prefix. Wall times are machine- and run-sensitive; never judged for
+//!   byte identity.
+//! - **parallelism** — execution shape: `par.*` sums, one
+//!   `sw.instances.s<i>` row per shard (its window size), and
+//!   `sw.shards`. Deterministic for a fixed width but legitimately
+//!   different across widths, exactly like `par.*` across `--jobs`.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use defender_bench::diff::Sidecar;
+use defender_bench::RunReport;
+
+/// Merges per-shard sidecars (in shard order) into the sweep-level
+/// report and returns its JSON.
+///
+/// # Errors
+///
+/// Rejects an empty shard list and sidecars that disagree on the
+/// experiment name.
+pub fn merge_sidecars(shards: &[Sidecar]) -> Result<String, String> {
+    let first = shards.first().ok_or("no shard sidecars to merge")?;
+    let mut report = RunReport::new(&first.experiment);
+    let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut parallelism: BTreeMap<String, u64> = BTreeMap::new();
+    for (index, shard) in shards.iter().enumerate() {
+        if shard.experiment != first.experiment {
+            return Err(format!(
+                "shard {index} ran experiment `{}`, expected `{}`",
+                shard.experiment, first.experiment
+            ));
+        }
+        for (name, seconds) in &shard.phases {
+            report.phase(
+                &format!("s{index}/{name}"),
+                Duration::from_secs_f64(*seconds),
+            );
+        }
+        for (name, value) in &shard.counters {
+            *counters.entry(name).or_insert(0) += value;
+        }
+        for (name, value) in &shard.parallelism {
+            match name.as_str() {
+                // Per-shard identity is meaningless summed; the window
+                // size survives as a per-shard row instead.
+                "sw.shard_index" | "sw.shard_total" => {}
+                "sw.window_instances" => {
+                    parallelism.insert(format!("sw.instances.s{index}"), *value);
+                }
+                _ => *parallelism.entry(name.clone()).or_insert(0) += value,
+            }
+        }
+    }
+    parallelism.insert("sw.shards".to_string(), shards.len() as u64);
+    for (name, value) in &counters {
+        report.counter(name, *value);
+    }
+    for (name, value) in &parallelism {
+        report.parallelism(name, *value);
+    }
+    Ok(report.to_json())
+}
+
+/// Extracts the rendered `"counters": {...}` object from a sidecar
+/// document — the byte-identity unit the sweep gates compare. Relies on
+/// the workspace writer's shape: the counters object is flat (no nested
+/// braces), so it ends at the first `}` after the key.
+#[must_use]
+pub fn counters_object(sidecar_json: &str) -> Option<&str> {
+    let start = sidecar_json.find(r#""counters": {"#)?;
+    let brace = start + r#""counters": "#.len();
+    let end = sidecar_json[brace..].find('}')?;
+    Some(&sidecar_json[start..=brace + end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(experiment: &str, counters: &[(&str, u64)], par: &[(&str, u64)]) -> Sidecar {
+        Sidecar {
+            experiment: experiment.to_string(),
+            phases: vec![("solve".to_string(), 0.25)],
+            counters: counters.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            parallelism: par.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn counters_sum_and_stay_sorted() {
+        let merged = merge_sidecars(&[
+            shard("e1", &[("lp.pivots", 10), ("graph.build.path", 2)], &[]),
+            shard("e1", &[("lp.pivots", 5)], &[]),
+        ])
+        .unwrap();
+        assert!(
+            merged.contains(r#""counters": {"graph.build.path": 2, "lp.pivots": 15}"#),
+            "{merged}"
+        );
+        assert!(merged.contains(r#""name": "s0/solve""#), "{merged}");
+        assert!(merged.contains(r#""name": "s1/solve""#), "{merged}");
+        assert!(merged.contains(r#""sw.shards": 2"#), "{merged}");
+    }
+
+    #[test]
+    fn merged_counters_are_width_invariant() {
+        // One "corpus" of counter work split two ways must merge to the
+        // same counters object.
+        let whole =
+            merge_sidecars(&[shard("e1", &[("lp.pivots", 15), ("se.tests", 4)], &[])]).unwrap();
+        let split = merge_sidecars(&[
+            shard("e1", &[("lp.pivots", 9), ("se.tests", 1)], &[]),
+            shard("e1", &[("lp.pivots", 6), ("se.tests", 3)], &[]),
+        ])
+        .unwrap();
+        assert_eq!(
+            counters_object(&whole).unwrap(),
+            counters_object(&split).unwrap()
+        );
+    }
+
+    #[test]
+    fn shard_shape_rows_are_segregated_per_shard() {
+        let merged = merge_sidecars(&[
+            shard(
+                "e15",
+                &[],
+                &[
+                    ("par.tasks.w0", 3),
+                    ("sw.shard_index", 0),
+                    ("sw.shard_total", 2),
+                    ("sw.window_instances", 512),
+                ],
+            ),
+            shard(
+                "e15",
+                &[],
+                &[
+                    ("par.tasks.w0", 4),
+                    ("sw.shard_index", 1),
+                    ("sw.shard_total", 2),
+                    ("sw.window_instances", 512),
+                ],
+            ),
+        ])
+        .unwrap();
+        assert!(merged.contains(r#""par.tasks.w0": 7"#), "{merged}");
+        assert!(merged.contains(r#""sw.instances.s0": 512"#), "{merged}");
+        assert!(merged.contains(r#""sw.instances.s1": 512"#), "{merged}");
+        assert!(!merged.contains("sw.shard_index"), "{merged}");
+        let parsed = Sidecar::parse(&merged).unwrap();
+        assert_eq!(parsed.experiment, "e15");
+    }
+
+    #[test]
+    fn mismatched_experiments_are_rejected() {
+        assert!(merge_sidecars(&[]).is_err());
+        assert!(merge_sidecars(&[shard("e1", &[], &[]), shard("e2", &[], &[])]).is_err());
+    }
+
+    #[test]
+    fn counters_object_extracts_the_identity_unit() {
+        let mut report = RunReport::new("x");
+        report.counter("a.b", 1).counter("c.d", 2);
+        report.parallelism("par.jobs", 8);
+        let json = report.to_json();
+        assert_eq!(
+            counters_object(&json).unwrap(),
+            r#""counters": {"a.b": 1, "c.d": 2}"#
+        );
+        assert_eq!(counters_object("no counters here"), None);
+    }
+}
