@@ -165,4 +165,29 @@ grep -o '"counters": {[^}]*}' "$SWEEP_DIR/kr/BENCH_e1_pure_frontier.json" \
   > "$SWEEP_DIR/kr.counters"
 diff "$SWEEP_DIR/w3.counters" "$SWEEP_DIR/kr.counters"
 
+echo "== equilibrium cache gate =="
+# Run E15 twice against the same --cache directory. The first run fills
+# the memo (one entry per isomorphism class); the second must be served
+# entirely from it: `cache.misses` never ticks and `cache.hits` covers
+# the whole atlas. Delta replay keeps the judged `counters` object
+# byte-identical between the two runs — cache warmth must be invisible
+# to the regression gate (DESIGN.md §15).
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$JOBS_DIR" "$SUITE_DIR" "$SWEEP_DIR" "$CACHE_DIR"' EXIT
+mkdir "$CACHE_DIR/cold" "$CACHE_DIR/warm"
+(cd "$CACHE_DIR/cold" && "$OLDPWD"/target/release/exp_e15_value_atlas --cache "$CACHE_DIR/memo" > /dev/null)
+(cd "$CACHE_DIR/warm" && "$OLDPWD"/target/release/exp_e15_value_atlas --cache "$CACHE_DIR/memo" > /dev/null)
+for r in cold warm; do
+  grep -o '"counters": {[^}]*}' "$CACHE_DIR/$r/BENCH_e15_value_atlas.json" \
+    > "$CACHE_DIR/$r.counters"
+done
+diff "$CACHE_DIR/cold.counters" "$CACHE_DIR/warm.counters"
+grep -q '"cache.misses": [1-9]' "$CACHE_DIR/cold/BENCH_e15_value_atlas.json" \
+  || { echo "cold run never missed the cache — the gate is not exercising it"; exit 1; }
+if grep -q '"cache.misses": [1-9]' "$CACHE_DIR/warm/BENCH_e15_value_atlas.json"; then
+  echo "warm run still missed the cache"; exit 1
+fi
+WARM_HITS="$(grep -o '"cache.hits": [0-9]*' "$CACHE_DIR/warm/BENCH_e15_value_atlas.json" | grep -o '[0-9]*$')"
+[[ "${WARM_HITS:-0}" -gt 0 ]] || { echo "warm run reported no cache hits"; exit 1; }
+
 echo "CI OK"

@@ -1,0 +1,119 @@
+//! Process-wide wiring for the `--cache <DIR>` experiment flag.
+//!
+//! Experiments that solve exact equilibria route through
+//! [`defender_cache::EquilibriumCache`] when a cache is installed and
+//! fall back to the direct solver otherwise, so the flag is purely an
+//! accelerator: answers (and main-section counters, thanks to delta
+//! replay) are identical either way the cache is warm or cold.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use defender_cache::EquilibriumCache;
+
+static CACHE: Mutex<Option<Arc<EquilibriumCache>>> = Mutex::new(None);
+
+fn slot() -> std::sync::MutexGuard<'static, Option<Arc<EquilibriumCache>>> {
+    // lint: allow(panic) a poisoned slot means a panic already in flight
+    CACHE.lock().expect("cache slot poisoned")
+}
+
+/// Opens (or initializes) the persistent cache at `dir` and installs it
+/// for the rest of the process.
+///
+/// # Errors
+///
+/// Propagates [`EquilibriumCache::open`] failures as a displayable
+/// message (the experiment harness turns it into a usage error).
+pub fn set_cache_dir(dir: &Path) -> Result<(), String> {
+    let cache = EquilibriumCache::open(dir)
+        .map_err(|e| format!("cannot open cache {}: {e}", dir.display()))?;
+    *slot() = Some(Arc::new(cache));
+    Ok(())
+}
+
+/// Uninstalls the process cache (test hygiene).
+pub fn clear_cache() {
+    *slot() = None;
+}
+
+/// The installed cache, if `--cache` was passed.
+#[must_use]
+pub fn handle() -> Option<Arc<EquilibriumCache>> {
+    slot().clone()
+}
+
+/// Solves through the installed cache when there is one, directly
+/// otherwise — the single entry point experiments use so `--cache` can
+/// change the route without changing the answer.
+///
+/// # Errors
+///
+/// Same as [`defender_core::solve::solve_exact`].
+pub fn solve_exact_cached(
+    game: &defender_core::model::TupleGame<'_>,
+    tuple_limit: usize,
+) -> Result<defender_core::solve::ExactEquilibrium, defender_core::CoreError> {
+    solve_exact_cached_with_hint(game, tuple_limit, |_| None)
+}
+
+/// [`solve_exact_cached`] with a warm-start hint. Cached route: the hint
+/// sees the canonical game (the one actually solved). Direct route: it
+/// sees `game` itself.
+///
+/// # Errors
+///
+/// Same as [`defender_core::solve::solve_exact`].
+pub fn solve_exact_cached_with_hint<F>(
+    game: &defender_core::model::TupleGame<'_>,
+    tuple_limit: usize,
+    hint: F,
+) -> Result<defender_core::solve::ExactEquilibrium, defender_core::CoreError>
+where
+    F: Fn(&defender_core::model::TupleGame<'_>) -> Option<(Vec<usize>, Vec<usize>)>,
+{
+    match handle() {
+        Some(cache) => cache.solve_with_hint(game, tuple_limit, hint),
+        None => {
+            let supports = hint(game);
+            let refs = supports
+                .as_ref()
+                .map(|(rows, cols)| (rows.as_slice(), cols.as_slice()));
+            defender_core::solve::solve_exact_hinted(game, tuple_limit, refs)
+        }
+    }
+}
+
+/// Persists the installed cache's sidecar, if any.
+///
+/// # Errors
+///
+/// Propagates sidecar write failures as a displayable message.
+pub fn persist() -> Result<(), String> {
+    match handle() {
+        Some(cache) => cache
+            .persist()
+            .map_err(|e| format!("cannot persist cache: {e}")),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_is_none_until_installed_and_clears() {
+        let _guard = crate::test_lock();
+        clear_cache();
+        assert!(handle().is_none());
+        let dir = std::env::temp_dir().join(format!("bench-cache-{}", std::process::id()));
+        set_cache_dir(&dir).unwrap();
+        assert!(handle().is_some());
+        persist().unwrap();
+        assert!(dir.join(defender_cache::SIDECAR_FILE).exists());
+        clear_cache();
+        assert!(handle().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

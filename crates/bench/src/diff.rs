@@ -515,6 +515,40 @@ mod tests {
     }
 
     #[test]
+    fn cache_counters_break_the_gate_unless_segregated() {
+        // A baseline recorded from a `--cache` run would pin run-variant
+        // `cache.*` state if those counters sat in the judged section: a
+        // later warm run has misses == 0 → ORPHANED; a later cold run of
+        // a cache-less binary drops them entirely → ORPHANED too. That is
+        // exactly why `RunReport::is_execution_shape` routes `cache.*`
+        // into the unjudged parallelism section.
+        let base = sidecar(&[], &[("lp.simplex.pivots", 100), ("cache.misses", 728)]);
+        let cur = sidecar(&[], &[("lp.simplex.pivots", 100)]);
+        let report = diff(&base, &cur, DiffConfig::default());
+        assert_eq!(report.orphans(), 1);
+        assert!(!report.passed());
+        assert!(report.render().contains("ORPHANED"), "{}", report.render());
+
+        // Segregated, the same comparison is clean: cache.* lives in the
+        // parallelism section, which the gate never judges.
+        let mut warm = sidecar(&[], &[("lp.simplex.pivots", 100)]);
+        warm.parallelism = vec![
+            ("cache.canon_ns".to_string(), 123_456),
+            ("cache.hits".to_string(), 728),
+            ("cache.misses".to_string(), 0),
+        ];
+        let mut cold = sidecar(&[], &[("lp.simplex.pivots", 100)]);
+        cold.parallelism = vec![
+            ("cache.canon_ns".to_string(), 654_321),
+            ("cache.hits".to_string(), 0),
+            ("cache.misses".to_string(), 728),
+        ];
+        let report = diff(&cold, &warm, DiffConfig::default());
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.orphans(), 0);
+    }
+
+    #[test]
     fn missing_and_new_rows_warn_without_failing() {
         let base = sidecar(&[("old_phase", 1.0)], &[]);
         let cur = sidecar(&[("new_phase", 1.0)], &[]);

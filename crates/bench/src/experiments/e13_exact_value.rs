@@ -12,7 +12,6 @@ use defender_core::bipartite::a_tuple_bipartite;
 use defender_core::covering_ne::covering_ne;
 use defender_core::exhaustive::GameAdapter;
 use defender_core::model::TupleGame;
-use defender_core::solve::solve_exact;
 use defender_graph::{generators, Graph, GraphBuilder};
 use defender_num::Ratio;
 
@@ -59,7 +58,7 @@ pub fn run() {
     ];
     for (name, graph, k) in instances {
         let game = TupleGame::new(&graph, k, 1).expect("valid game");
-        let exact = solve_exact(&game, LIMIT).expect("within limit");
+        let exact = crate::cache::solve_exact_cached(&game, LIMIT).expect("within limit");
 
         // First-principles certificate.
         let adapter = GameAdapter::new(&game, LIMIT).expect("within limit");

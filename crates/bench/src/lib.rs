@@ -6,6 +6,7 @@
 //! outcomes). Each `exp_*` binary is a thin wrapper over the matching
 //! `experiments::eN::run` function; `run_all_experiments` chains them.
 
+pub mod cache;
 pub mod diff;
 pub mod experiments;
 pub mod report;
@@ -49,6 +50,12 @@ pub fn profiling_enabled() -> bool {
 ///   partition (see [`shard::window`]); used by `defender sweep` to
 ///   split one experiment across worker processes. Merged counters over
 ///   all `N` shards are byte-identical to a single-process run.
+/// - `--cache <DIR>` — memoize exact equilibrium solves keyed by the
+///   instance's canonical graph form (see `defender-cache`), persisting
+///   the memo as a JSON sidecar in `DIR`. A warm cache makes repeat runs
+///   near-instant while main-section counters stay byte-identical to the
+///   cold run (delta replay); the cache's own `cache.*` counters land in
+///   the sidecar's run-variant section.
 /// - `--telemetry` — stream NDJSON telemetry events on stdout
 ///   (`start`/`window`/`phase`/`instance`/`hb`/`snapshot`/`summary`,
 ///   see `defender_obs::telemetry`) so a parent sweep runner can render
@@ -86,6 +93,10 @@ fn experiment_main_with(argv: &[String], run: impl FnOnce()) -> Result<(), Strin
                 }
                 defender_par::set_jobs(n);
             }
+            "--cache" => {
+                let value = iter.next().ok_or("option `--cache` needs a value")?;
+                cache::set_cache_dir(std::path::Path::new(value))?;
+            }
             "--profile" => profile = true,
             "--telemetry" => telemetry = true,
             "--shard" => {
@@ -95,7 +106,7 @@ fn experiment_main_with(argv: &[String], run: impl FnOnce()) -> Result<(), Strin
             other => {
                 return Err(format!(
                     "unknown option `{other}` (supported: --trace <FILE>, --jobs <N>, \
-                     --profile, --shard <i>/<N>, --telemetry)"
+                     --profile, --shard <i>/<N>, --telemetry, --cache <DIR>)"
                 ))
             }
         }
@@ -119,6 +130,7 @@ fn experiment_main_with(argv: &[String], run: impl FnOnce()) -> Result<(), Strin
     if let Some(handle) = heartbeat {
         handle.stop();
     }
+    cache::persist()?;
     defender_obs::telemetry::Event::new("summary")
         .bool("ok", true)
         .u64("elapsed_ns", defender_obs::trace::elapsed_ns())
@@ -234,6 +246,28 @@ mod tests {
         assert!(experiment_main_with(&args(&["--shard"]), run).is_err());
         assert!(experiment_main_with(&args(&["--shard", "3/3"]), run).is_err());
         assert!(experiment_main_with(&args(&["--shard", "x"]), run).is_err());
+    }
+
+    #[test]
+    fn cache_flag_installs_and_persists_the_memo() {
+        let _guard = test_lock();
+        cache::clear_cache();
+        let dir = std::env::temp_dir().join(format!("bench-cache-flag-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut installed = false;
+        experiment_main_with(&args(&["--cache", dir.to_str().unwrap()]), || {
+            installed = cache::handle().is_some();
+        })
+        .unwrap();
+        assert!(installed, "cache installed during the run");
+        assert!(
+            dir.join(defender_cache::SIDECAR_FILE).exists(),
+            "sidecar persisted after the run"
+        );
+        cache::clear_cache();
+        let run = || panic!("must not run");
+        assert!(experiment_main_with(&args(&["--cache"]), run).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

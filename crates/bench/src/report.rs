@@ -137,9 +137,11 @@ impl RunReport {
 
     /// Whether `name` belongs in the "parallelism" section rather than
     /// the jobs-invariant "counters" object: the `par.*` namespace varies
-    /// with `--jobs`, the `sw.*` namespace with `--shards`.
+    /// with `--jobs`, the `sw.*` namespace with `--shards`, and `cache.*`
+    /// with the warmth of the `--cache` store (hits on a second run are
+    /// misses on the first; `cache.canon_ns` is wall time).
     fn is_execution_shape(name: &str) -> bool {
-        name.starts_with("par.") || name.starts_with("sw.")
+        name.starts_with("par.") || name.starts_with("sw.") || name.starts_with("cache.")
     }
 
     /// Copies every counter from an obs snapshot into the report.
@@ -327,6 +329,29 @@ mod tests {
         assert!(json.contains(r#""sw.window_instances": 6"#), "{json}");
         assert!(json.contains(r#""sw.shard_index": 1"#), "{json}");
         assert!(json.contains(r#""sw.shard_total": 3"#), "{json}");
+    }
+
+    #[test]
+    fn cache_metrics_are_segregated_like_par() {
+        let snapshot = defender_obs::Snapshot {
+            counters: vec![
+                ("algo.pivots".to_string(), 7),
+                ("cache.canon_ns".to_string(), 987),
+                ("cache.hits".to_string(), 3),
+                ("cache.misses".to_string(), 1),
+            ],
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            spans: Vec::new(),
+        };
+        let mut report = RunReport::new("unit");
+        report.counters_from(&snapshot);
+        let json = report.to_json();
+        // Run-variant cache state never lands in the judged counters.
+        assert!(json.contains(r#""counters": {"algo.pivots": 7}"#), "{json}");
+        assert!(json.contains(r#""cache.hits": 3"#), "{json}");
+        assert!(json.contains(r#""cache.misses": 1"#), "{json}");
+        assert!(json.contains(r#""cache.canon_ns": 987"#), "{json}");
     }
 
     #[test]

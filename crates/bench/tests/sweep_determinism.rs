@@ -57,13 +57,22 @@ fn merged_counters_match_the_unsharded_run_at_every_width() {
 
     let one_dir = temp_dir("w1");
     let three_dir = temp_dir("w3");
+    let twenty_dir = temp_dir("w20");
     let one = sweep_counters(&quiet_config(1, one_dir.clone()));
     let three = sweep_counters(&quiet_config(3, three_dir.clone()));
+    // More shards than the 17-family corpus: several windows are empty,
+    // those workers write sidecars with an empty counters object, and the
+    // merge must still land on the plain run's bytes.
+    let twenty = sweep_counters(&quiet_config(20, twenty_dir.clone()));
 
     assert_eq!(one, plain_counters, "--shards 1 vs plain run");
     assert_eq!(three, plain_counters, "--shards 3 vs plain run");
+    assert_eq!(
+        twenty, plain_counters,
+        "--shards 20 (wider than the corpus) vs plain run"
+    );
 
-    for dir in [plain_dir, one_dir, three_dir] {
+    for dir in [plain_dir, one_dir, three_dir, twenty_dir] {
         let _ = std::fs::remove_dir_all(dir);
     }
 }

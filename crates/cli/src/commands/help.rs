@@ -5,6 +5,7 @@
 pub fn run(argv: &[String]) {
     match argv.first().map(String::as_str) {
         Some("sweep") => print_sweep(),
+        Some("cache") => print_cache(),
         _ => print(),
     }
 }
@@ -18,14 +19,14 @@ USAGE:
   defender generate --family <name> [params] --out <file>
   defender analyze  --graph <file> --k <K> --nu <NU>
   defender simulate --graph <file> --k <K> --nu <NU> [--rounds <R>] [--seed <S>]
-  defender value    --graph <file> --k <K> [--limit <TUPLES>]
+  defender value    --graph <file> --k <K> [--limit <TUPLES>] [--cache <DIR>]
   defender convert  --in <file> --out <file> [--from <fmt>] [--to <fmt>]
   defender bench diff <baseline.json> <current.json> [--threshold 0.2] [--noise-floor 0.001] [--counters-only] [--format table|json]
   defender bench validate-trace <trace.json> [--min-threads 1] [--strict-drops]
   defender profile <trace.json> [--format table|json] [--top N] [--sidecar]
   defender sweep <experiment> --shards <N> [--resume <dir>] [options]   (see `defender help sweep`)
   defender lint [--root <dir>] [--config <file>] [--format text|json] [--sidecar] [--dump-registry]
-  defender help [sweep]
+  defender help [sweep|cache]
 
 Every command (except `bench`, `lint` and `sweep`) also accepts:
   --metrics json|table    run instrumented; dump the counter/span registry
@@ -60,6 +61,10 @@ sidecar) with live heartbeat lines on stderr.
 `sweep` splits one experiment's instance corpus across worker processes
 with live progress, checkpoint-resume and a merged sidecar —
 `defender help sweep` has the full story.
+
+`value --cache <DIR>` (and the experiment binaries' `--cache <DIR>`)
+memoizes exact equilibria keyed by the graph's canonical form, so
+isomorphic repeats are free — `defender help cache` has the full story.
 
 `lint` runs the workspace static-analysis pass (exactness, determinism,
 panic-freedom, metric-registry audit; configured by lint.toml) and exits
@@ -144,5 +149,52 @@ EXAMPLES:
   defender sweep e1 --shards 4
   defender sweep e15 --shards 8 --parallel 2 --jobs 4
   defender sweep e15 --shards 8 --resume sweep_e15"
+    );
+}
+
+/// Prints the `defender help cache` topic page.
+fn print_cache() {
+    println!(
+        "defender cache — equilibrium memoization keyed by canonical graph form
+
+USAGE:
+  defender value --graph <file> --k <K> --cache <DIR>
+  exp_e13_exact_value --cache <DIR>        (any exp_* binary)
+  exp_e15_value_atlas --cache <DIR>
+
+WHAT IT DOES:
+  Every exact LP solve is keyed by (canonical graph6, k, nu): the
+  instance is reduced to a canonical labeling (iterative color
+  refinement with individualization, exact at solved sizes), the
+  canonical representative is solved once, and every isomorphic
+  instance thereafter — relabeled copies included — reuses the stored
+  equilibrium, mapped back through the inverse permutation. On a miss,
+  equilibrium supports found by early-exit enumeration warm-start the
+  LP at its optimal basis, so even first-time solves pivot less.
+
+THE SIDECAR:
+  <DIR>/equilibria.json, written at the end of the run:
+    {{\"format\": \"defender-cache/v1\", \"entries\": [
+      {{\"graph6\": ..., \"k\": K, \"nu\": NU, \"value\": \"p/q\",
+       \"attacker\": [{{\"vertex\": v, \"p\": \"p/q\"}}, ...],
+       \"defender\": [{{\"edges\": [[u,v], ...], \"p\": \"p/q\"}}, ...],
+       \"counters\": [{{\"name\": ..., \"delta\": N}}, ...]}}, ...]}}
+  Rationals are exact \"p/q\" strings; reloading round-trips them
+  bit-for-bit. Entries loaded from disk are UNTRUSTED: on first use
+  each is re-proved by the exact Nash verifier on its canonical game;
+  a stale or hand-edited entry is recomputed, never served.
+
+TELEMETRY:
+  Counter determinism survives caching by delta replay: the canonical
+  solve's counter ticks are captured into the entry and replayed on
+  every lookup (hit or miss), so the sidecar's jobs-invariant counters
+  are byte-identical no matter how warm the cache is. The cache's own
+  run-variant state — cache.hits, cache.misses, cache.canon_ns — lands
+  in the sidecar's parallelism section, which `bench diff` never judges.
+
+EXAMPLES:
+  defender value --graph ring.edges --k 2 --cache ./memo
+  exp_e15_value_atlas --cache ./memo     # first run fills the memo
+  exp_e15_value_atlas --cache ./memo     # second run: cache.misses = 0"
     );
 }

@@ -1,6 +1,7 @@
 //! `defender value` — exact game value on an arbitrary graph via the
 //! rational LP (single-attacker zero-sum reduction).
 
+use defender_cache::EquilibriumCache;
 use defender_core::bipartite::a_tuple_bipartite_report;
 use defender_core::defense::defense_ratio_lower_bound;
 use defender_core::model::TupleGame;
@@ -11,10 +12,21 @@ use crate::args::Options;
 use crate::edgelist;
 
 /// The value report as a string (pure function, testable without IO).
-pub fn report(graph: &Graph, k: usize, limit: usize) -> Result<String, String> {
+/// With a cache, the solve routes through the canonical-form memo — the
+/// report text is identical either way.
+pub fn report(
+    graph: &Graph,
+    k: usize,
+    limit: usize,
+    cache: Option<&EquilibriumCache>,
+) -> Result<String, String> {
     use std::fmt::Write as _;
     let game = TupleGame::new(graph, k, 1).map_err(|e| e.to_string())?;
-    let exact = solve_exact(&game, limit).map_err(|e| e.to_string())?;
+    let exact = match cache {
+        Some(cache) => cache.solve(&game, limit),
+        None => solve_exact(&game, limit),
+    }
+    .map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -58,7 +70,14 @@ pub fn run(options: &Options) -> Result<(), String> {
     let graph = edgelist::read(std::path::Path::new(options.required("graph")?))?;
     let k: usize = options.required_parse("k")?;
     let limit: usize = options.parse_or("limit", 200_000)?;
-    print!("{}", report(&graph, k, limit)?);
+    let cache = options
+        .get("cache")
+        .map(|dir| EquilibriumCache::open(std::path::Path::new(dir)).map_err(|e| e.to_string()))
+        .transpose()?;
+    print!("{}", report(&graph, k, limit, cache.as_ref())?);
+    if let Some(cache) = &cache {
+        cache.persist().map_err(|e| e.to_string())?;
+    }
     Ok(())
 }
 
@@ -70,7 +89,7 @@ mod tests {
     #[test]
     fn odd_cycle_value() {
         let g = generators::cycle(5);
-        let text = report(&g, 1, 100_000).unwrap();
+        let text = report(&g, 1, 100_000, None).unwrap();
         assert!(text.contains("2/5"), "{text}");
         assert!(text.contains("lower bound n/(2k) = 5/2"));
         // Odd cycle: no bipartite structural route, so no cross-check line.
@@ -80,7 +99,7 @@ mod tests {
     #[test]
     fn bipartite_value_cross_checks_structural_route() {
         let g = generators::cycle(6);
-        let text = report(&g, 1, 100_000).unwrap();
+        let text = report(&g, 1, 100_000, None).unwrap();
         assert!(
             text.contains("structural cross-check — A_tuple: |IS| = 3"),
             "{text}"
@@ -92,8 +111,23 @@ mod tests {
     }
 
     #[test]
+    fn cached_report_matches_the_direct_report() {
+        let dir = std::env::temp_dir().join(format!("cli-value-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = generators::cycle(5);
+        let direct = report(&g, 1, 100_000, None).unwrap();
+        let cache = EquilibriumCache::open(&dir).unwrap();
+        let cold = report(&g, 1, 100_000, Some(&cache)).unwrap();
+        let warm = report(&g, 1, 100_000, Some(&cache)).unwrap();
+        assert_eq!(direct, cold);
+        assert_eq!(direct, warm);
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn guard_propagates() {
         let g = generators::complete(9);
-        assert!(report(&g, 9, 100).is_err());
+        assert!(report(&g, 9, 100, None).is_err());
     }
 }

@@ -17,7 +17,7 @@
 
 use defender_game::MixedStrategy;
 use defender_graph::VertexId;
-use defender_lp::solve_zero_sum;
+use defender_lp::solve_zero_sum_hinted;
 use defender_num::Ratio;
 
 use crate::model::{MixedConfig, TupleGame};
@@ -48,6 +48,28 @@ pub fn solve_exact(
     game: &TupleGame<'_>,
     tuple_limit: usize,
 ) -> Result<ExactEquilibrium, CoreError> {
+    solve_exact_hinted(game, tuple_limit, None)
+}
+
+/// [`solve_exact`] with an optional warm-start hint.
+///
+/// The hint is a pair `(tuple_support, vertex_support)` of index sets —
+/// typically the supports of a known equilibrium of an isomorphic
+/// instance. Tuple indices refer to the enumeration order of
+/// [`all_tuples`]; vertex indices are graph vertex indices. A good hint
+/// lets the LP start from the optimal basis and finish without a single
+/// simplex pivot; a bad or stale hint is rejected inside the LP layer
+/// and the solve falls back to the cold path, so correctness never
+/// depends on the hint.
+///
+/// # Errors
+///
+/// Same as [`solve_exact`].
+pub fn solve_exact_hinted(
+    game: &TupleGame<'_>,
+    tuple_limit: usize,
+    hint: Option<(&[usize], &[usize])>,
+) -> Result<ExactEquilibrium, CoreError> {
     let graph = game.graph();
     let tuples = all_tuples(graph, game.k(), tuple_limit)?;
     // Rows: defender tuples (maximizer). Columns: attacker vertices.
@@ -61,7 +83,7 @@ pub fn solve_exact(
             row
         })
         .collect();
-    let solution = solve_zero_sum(&matrix).map_err(|e| CoreError::TooLarge {
+    let solution = solve_zero_sum_hinted(&matrix, hint).map_err(|e| CoreError::TooLarge {
         what: format!("zero-sum LP ({e})"),
         limit: tuple_limit,
     })?;
@@ -181,6 +203,60 @@ mod tests {
             payoff::expected_ip_tuple_player(&game, &exact.config),
             exact.defender_gain
         );
+    }
+
+    #[test]
+    fn hinted_solve_reproduces_the_cold_solve_bit_for_bit() {
+        for (graph, k) in [
+            (generators::cycle(5), 1usize),
+            (generators::petersen(), 1),
+            (generators::complete(4), 2),
+        ] {
+            let game = TupleGame::new(&graph, k, 1).unwrap();
+            let cold = solve_exact(&game, LIMIT).unwrap();
+            // Read the supports off the cold solution: tuple indices in
+            // all_tuples order, vertex indices directly.
+            let tuples = all_tuples(&graph, k, LIMIT).unwrap();
+            let tuple_support: Vec<usize> = tuples
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !cold.config.defender().probability(t).is_zero())
+                .map(|(i, _)| i)
+                .collect();
+            let vertex_support: Vec<usize> = graph
+                .vertices()
+                .filter(|v| !cold.config.attacker(0).probability(v).is_zero())
+                .map(|v| v.index())
+                .collect();
+            let warm =
+                solve_exact_hinted(&game, LIMIT, Some((&tuple_support, &vertex_support))).unwrap();
+            assert_eq!(warm.value, cold.value, "{graph:?}, k = {k}");
+            assert_eq!(warm.defender_gain, cold.defender_gain);
+            assert_eq!(
+                warm.config.attacker(0).iter().collect::<Vec<_>>(),
+                cold.config.attacker(0).iter().collect::<Vec<_>>()
+            );
+            assert_eq!(
+                warm.config.defender().iter().collect::<Vec<_>>(),
+                cold.config.defender().iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_hints_never_change_the_answer() {
+        let graph = generators::cycle(5);
+        let game = TupleGame::new(&graph, 1, 1).unwrap();
+        let cold = solve_exact(&game, LIMIT).unwrap();
+        for hint in [
+            (vec![0usize, 99], vec![0usize]),     // out-of-range tuple
+            (vec![0], vec![42]),                  // out-of-range vertex
+            (vec![], vec![]),                     // empty supports
+            ((0..5).collect(), (0..5).collect()), // everything supported
+        ] {
+            let warm = solve_exact_hinted(&game, LIMIT, Some((&hint.0, &hint.1))).unwrap();
+            assert_eq!(warm.value, cold.value, "hint {hint:?}");
+        }
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod support_enumeration;
 
 pub use matrix::TwoPlayerMatrixGame;
 pub use strategy::{MixedStrategy, StrategyError};
-pub use support_enumeration::{enumerate_equilibria, BimatrixEquilibrium};
+pub use support_enumeration::{
+    enumerate_equilibria, first_equilibrium_supports, BimatrixEquilibrium,
+};
 
 use defender_num::Ratio;
 

@@ -161,6 +161,65 @@ impl PruneTables {
     }
 }
 
+/// Per-row-support prune state derived from [`PruneTables`]: everything
+/// rule evaluation needs once the row support is fixed, so the inner
+/// column loop is a handful of mask operations per pair.
+struct RowMaskFilters {
+    /// Columns dominated on this row support (rule 1).
+    dominated_cols: u32,
+    /// Column-agreement masks of supported duplicate A-row pairs (rule 3).
+    dup_row_eqs: Vec<u32>,
+    /// Supported-pair masks of duplicate B-columns on this support (rule 4).
+    dup_col_pairs: Vec<u32>,
+}
+
+impl RowMaskFilters {
+    fn build(tables: &PruneTables, cols: usize, row_mask: u32) -> RowMaskFilters {
+        // Columns dominated on this row support (rule 1): some `j'` is
+        // nowhere worse on the support and strictly better on at least
+        // one supported row.
+        let dominated_cols = (0..cols)
+            .filter(|&j| {
+                (0..cols).any(|j2| {
+                    j2 != j
+                        && tables.col_lt_rows[j2][j] & row_mask == 0
+                        && tables.col_lt_rows[j][j2] & row_mask != 0
+                })
+            })
+            .fold(0u32, |m, j| m | (1 << j));
+        // Supported row pairs with duplicate A-rows (rule 3): any column
+        // support inside `eq` makes the y-system singular.
+        let dup_row_eqs: Vec<u32> = tables
+            .row_eq_cols
+            .iter()
+            .filter(|&&(i, i2, _)| row_mask & (1 << i) != 0 && row_mask & (1 << i2) != 0)
+            .map(|&(_, _, eq)| eq)
+            .collect();
+        // Column pairs with duplicate B-columns on this row support
+        // (rule 4): both columns supported makes the x-system singular.
+        let dup_col_pairs: Vec<u32> = tables
+            .col_eq_rows
+            .iter()
+            .filter(|&&(_, _, eq)| row_mask & !eq == 0)
+            .map(|&(j, j2, _)| (1 << j) | (1 << j2))
+            .collect();
+        RowMaskFilters {
+            dominated_cols,
+            dup_row_eqs,
+            dup_col_pairs,
+        }
+    }
+
+    /// Whether the pair `(row support, col_mask)` provably carries no
+    /// equilibrium (rules 1–4; rule 2 is the table lookup).
+    fn prunes(&self, tables: &PruneTables, row_mask: u32, col_mask: u32) -> bool {
+        col_mask & self.dominated_cols != 0
+            || tables.dom_rows_by_colmask[col_mask as usize] & row_mask != 0
+            || self.dup_row_eqs.iter().any(|&eq| col_mask & !eq == 0)
+            || self.dup_col_pairs.iter().any(|&pm| pm & !col_mask == 0)
+    }
+}
+
 /// `C(n, k)` for the tiny ranges of the enumeration (`n ≤ 12`).
 fn binomial(n: usize, k: usize) -> u64 {
     if k > n {
@@ -229,35 +288,7 @@ pub fn enumerate_equilibria(game: &TwoPlayerMatrixGame) -> Vec<BimatrixEquilibri
             } else {
                 let support_r: Vec<usize> =
                     (0..rows).filter(|&i| row_mask & (1 << i) != 0).collect();
-                // Columns dominated on this row support (rule 1): some
-                // `j'` is nowhere worse on the support and strictly
-                // better on at least one supported row.
-                let dominated_cols = (0..cols)
-                    .filter(|&j| {
-                        (0..cols).any(|j2| {
-                            j2 != j
-                                && tables.col_lt_rows[j2][j] & row_mask == 0
-                                && tables.col_lt_rows[j][j2] & row_mask != 0
-                        })
-                    })
-                    .fold(0u32, |m, j| m | (1 << j));
-                // Supported row pairs with duplicate A-rows (rule 3): any
-                // column support inside `eq` makes the y-system singular.
-                let dup_row_eqs: Vec<u32> = tables
-                    .row_eq_cols
-                    .iter()
-                    .filter(|&&(i, i2, _)| row_mask & (1 << i) != 0 && row_mask & (1 << i2) != 0)
-                    .map(|&(_, _, eq)| eq)
-                    .collect();
-                // Column pairs with duplicate B-columns on this row
-                // support (rule 4): both columns supported makes the
-                // x-system singular.
-                let dup_col_pairs: Vec<u32> = tables
-                    .col_eq_rows
-                    .iter()
-                    .filter(|&&(_, _, eq)| row_mask & !eq == 0)
-                    .map(|&(j, j2, _)| (1 << j) | (1 << j2))
-                    .collect();
+                let filters = RowMaskFilters::build(&tables, cols, row_mask);
 
                 for col_mask in 1u32..(1 << cols) {
                     if col_mask.count_ones() as usize != support_size {
@@ -265,11 +296,7 @@ pub fn enumerate_equilibria(game: &TwoPlayerMatrixGame) -> Vec<BimatrixEquilibri
                         continue;
                     }
                     tested_legacy += 1;
-                    let prunable = col_mask & dominated_cols != 0
-                        || tables.dom_rows_by_colmask[col_mask as usize] & row_mask != 0
-                        || dup_row_eqs.iter().any(|&eq| col_mask & !eq == 0)
-                        || dup_col_pairs.iter().any(|&pm| pm & !col_mask == 0);
-                    if prunable {
+                    if filters.prunes(&tables, row_mask, col_mask) {
                         pairs_skipped += 1;
                         continue;
                     }
@@ -319,6 +346,64 @@ pub fn enumerate_equilibria_unpruned(game: &TwoPlayerMatrixGame) -> Vec<Bimatrix
         }
     }
     out
+}
+
+/// Finds the supports of *one* equilibrium — the smallest-support,
+/// smallest-mask equilibrium the equal-size sweep reaches first — and
+/// stops there. Sequential and deterministic: no pool fan-out, supports
+/// scanned by size and then by mask order, so the answer is a pure
+/// function of the matrix.
+///
+/// The customer is LP warm-starting (`solve_zero_sum_hinted`): for a
+/// zero-sum game any equilibrium's supports pin an optimal basis via
+/// complementary slackness, so the cheapest one to find is as good as
+/// any. Candidate pairs run through the same [`PruneTables`] pre-filter
+/// as the full enumeration (pruned pairs provably carry no equilibrium,
+/// so the first survivor to verify is still the overall first) —
+/// without it the scan would solve more linear systems than the warm
+/// start saves in pivots. Pairs whose indifference systems were
+/// actually solved are counted under `se.hint.pairs_tested`, successes
+/// under `se.hint.found`. Returns `None` when the game is too large
+/// ([`MAX_STRATEGIES`] per side) or only unequal-support (degenerate)
+/// equilibria exist — callers fall back to a cold solve.
+#[must_use]
+pub fn first_equilibrium_supports(game: &TwoPlayerMatrixGame) -> Option<(Vec<usize>, Vec<usize>)> {
+    let rows = game.rows();
+    let cols = game.cols();
+    if rows > MAX_STRATEGIES || cols > MAX_STRATEGIES {
+        return None;
+    }
+    let _span = defender_obs::span!("first_equilibrium_supports");
+    let tables = PruneTables::build(game);
+    let mut pairs_tested = 0u64;
+    for size in 1..=rows.min(cols) {
+        for row_mask in 1u32..(1 << rows) {
+            if row_mask.count_ones() as usize != size
+                || row_mask & tables.globally_dominated_rows != 0
+            {
+                continue;
+            }
+            let support_r: Vec<usize> = (0..rows).filter(|&i| row_mask & (1 << i) != 0).collect();
+            let filters = RowMaskFilters::build(&tables, cols, row_mask);
+            for col_mask in 1u32..(1 << cols) {
+                if col_mask.count_ones() as usize != size
+                    || filters.prunes(&tables, row_mask, col_mask)
+                {
+                    continue;
+                }
+                let support_c: Vec<usize> =
+                    (0..cols).filter(|&j| col_mask & (1 << j) != 0).collect();
+                pairs_tested += 1;
+                if try_supports(game, &support_r, &support_c).is_some() {
+                    defender_obs::counter!("se.hint.pairs_tested").add(pairs_tested);
+                    defender_obs::counter!("se.hint.found").incr();
+                    return Some((support_r, support_c));
+                }
+            }
+        }
+    }
+    defender_obs::counter!("se.hint.pairs_tested").add(pairs_tested);
+    None
 }
 
 /// Attempts to place an equilibrium exactly on `(support_r, support_c)`.
@@ -529,6 +614,52 @@ mod tests {
             assert_eq!(a.row_payoff, b.row_payoff);
             assert_eq!(a.col_payoff, b.col_payoff);
         }
+    }
+
+    #[test]
+    fn first_supports_match_an_enumerated_equilibrium() {
+        let game = TwoPlayerMatrixGame::new(
+            vec![
+                vec![int(4), int(1), int(0)],
+                vec![int(2), int(3), int(1)],
+                vec![int(0), int(1), int(2)],
+            ],
+            vec![
+                vec![int(1), int(2), int(0)],
+                vec![int(0), int(3), int(2)],
+                vec![int(3), int(0), int(4)],
+            ],
+        );
+        let (support_r, support_c) =
+            first_equilibrium_supports(&game).expect("finite game has an equilibrium");
+        let eqs = enumerate_equilibria(&game);
+        assert!(
+            eqs.iter().any(|e| {
+                let mut r: Vec<usize> = e.row.support().into_iter().copied().collect();
+                let mut c: Vec<usize> = e.col.support().into_iter().copied().collect();
+                r.sort_unstable();
+                c.sort_unstable();
+                r == support_r && c == support_c
+            }),
+            "hint {support_r:?}/{support_c:?} must be a real equilibrium's supports"
+        );
+    }
+
+    #[test]
+    fn first_supports_prefer_the_smallest_support() {
+        // Prisoner's dilemma: unique pure equilibrium (defect, defect) at
+        // supports ({1}, {1}) — found at size 1, masks scanned in order.
+        let game = TwoPlayerMatrixGame::new(
+            vec![vec![int(3), int(0)], vec![int(5), int(1)]],
+            vec![vec![int(3), int(5)], vec![int(0), int(1)]],
+        );
+        assert_eq!(first_equilibrium_supports(&game), Some((vec![1], vec![1])));
+    }
+
+    #[test]
+    fn first_supports_none_beyond_the_size_guard() {
+        let game = TwoPlayerMatrixGame::zero_sum(vec![vec![Ratio::ZERO; 13]; 13]);
+        assert_eq!(first_equilibrium_supports(&game), None);
     }
 
     #[test]

@@ -77,6 +77,40 @@ impl std::error::Error for Graph6Error {}
 #[must_use]
 pub fn to_graph6(graph: &Graph) -> String {
     let n = graph.vertex_count();
+    // Upper triangle, column-major: for j in 1..n, for i in 0..j.
+    let mut bits: Vec<bool> = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+    for j in 1..n {
+        for i in 0..j {
+            bits.push(graph.has_edge(VertexId::new(i), VertexId::new(j)));
+        }
+    }
+    pack(n, &bits)
+}
+
+/// Encodes an explicit edge list in graph6 without materializing a
+/// [`Graph`]. Byte-identical to [`to_graph6`] of the graph built from
+/// the same edges. This is the path `CanonicalForm::key` takes, so that
+/// cache-key bookkeeping never ticks the `graph.build.*` counters a
+/// solver run is judged on.
+///
+/// # Panics
+///
+/// Panics if `n` exceeds 258 047 or an endpoint is out of range.
+#[must_use]
+pub fn encode_edge_list(n: usize, edges: &[(usize, usize)]) -> String {
+    let mut bits = vec![false; n.saturating_sub(1) * n / 2];
+    for &(u, v) in edges {
+        let (i, j) = if u < v { (u, v) } else { (v, u) };
+        assert!(i < j && j < n, "edge ({u}, {v}) out of range for n = {n}");
+        // Column-major upper-triangle position of (i, j), i < j.
+        bits[j * (j - 1) / 2 + i] = true;
+    }
+    pack(n, &bits)
+}
+
+/// Packs the size header and column-major upper-triangle `bits` into the
+/// printable graph6 alphabet.
+fn pack(n: usize, bits: &[bool]) -> String {
     assert!(n <= 258_047, "graph6 support here stops at 258047 vertices");
     let mut out = Vec::new();
     if n <= 62 {
@@ -86,13 +120,6 @@ pub fn to_graph6(graph: &Graph) -> String {
         out.push(((n >> 12) & 63) as u8 + 63);
         out.push(((n >> 6) & 63) as u8 + 63);
         out.push((n & 63) as u8 + 63);
-    }
-    // Upper triangle, column-major: for j in 1..n, for i in 0..j.
-    let mut bits: Vec<bool> = Vec::with_capacity(n.saturating_sub(1) * n / 2);
-    for j in 1..n {
-        for i in 0..j {
-            bits.push(graph.has_edge(VertexId::new(i), VertexId::new(j)));
-        }
     }
     for chunk in bits.chunks(6) {
         let mut value = 0u8;

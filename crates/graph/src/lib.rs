@@ -35,6 +35,7 @@ mod builder;
 mod error;
 mod graph;
 
+pub mod canonical;
 pub mod dot;
 pub mod edge_cover;
 pub mod expander;

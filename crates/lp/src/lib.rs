@@ -34,5 +34,5 @@ pub mod simplex;
 pub mod zero_sum;
 
 pub use linsolve::{determinant, solve_linear};
-pub use simplex::{maximize, LpError, LpSolution};
-pub use zero_sum::{solve_zero_sum, ZeroSumSolution};
+pub use simplex::{maximize, solve_with_basis, LpError, LpSolution, DEFAULT_PIVOT_LIMIT};
+pub use zero_sum::{solve_zero_sum, solve_zero_sum_hinted, ZeroSumSolution};

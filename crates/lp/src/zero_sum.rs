@@ -2,7 +2,7 @@
 
 use defender_num::Ratio;
 
-use crate::simplex::{maximize, LpError};
+use crate::simplex::{maximize, solve_with_basis, LpError, LpSolution, DEFAULT_PIVOT_LIMIT};
 
 /// An exact solution of a zero-sum matrix game.
 #[derive(Clone, Debug)]
@@ -28,6 +28,32 @@ pub struct ZeroSumSolution {
 /// [`LpError::ShapeMismatch`] for empty/ragged matrices. (The game LP is
 /// never unbounded: the feasible region is compact after the shift.)
 pub fn solve_zero_sum(m: &[Vec<Ratio>]) -> Result<ZeroSumSolution, LpError> {
+    solve_zero_sum_hinted(m, None)
+}
+
+/// [`solve_zero_sum`] with an optional *support hint*: the supports of
+/// any one equilibrium of the game, `(row_support, col_support)` as
+/// strategy indices.
+///
+/// By complementary slackness an equilibrium's supports determine an
+/// optimal basis of the packing LP — structural variables `w_j` for the
+/// supported columns, slack variables for the rows *outside* the row
+/// support (supported rows are tight) — so the warm-started simplex
+/// typically finishes in zero Bland pivots. The attempt is counted under
+/// `lp.warm.attempts`; a hint whose basis is singular, infeasible
+/// (degenerate supports), malformed, or blows the pivot budget falls
+/// back to the cold solve and counts under `lp.warm.rejected`. The
+/// result is *always* the same optimum a cold solve produces (exact
+/// arithmetic, same Bland rule from the installed basis).
+///
+/// # Errors
+///
+/// Same as [`solve_zero_sum`] — hint failures never surface, they only
+/// cost the fallback.
+pub fn solve_zero_sum_hinted(
+    m: &[Vec<Ratio>],
+    hint: Option<(&[usize], &[usize])>,
+) -> Result<ZeroSumSolution, LpError> {
     let rows = m.len();
     if rows == 0 {
         return Err(LpError::ShapeMismatch {
@@ -56,7 +82,7 @@ pub fn solve_zero_sum(m: &[Vec<Ratio>]) -> Result<ZeroSumSolution, LpError> {
     // max Σ w_j s.t. M' w ≤ 1, w ≥ 0.
     let objective = vec![Ratio::ONE; cols];
     let rhs = vec![Ratio::ONE; rows];
-    let solution = maximize(&objective, &shifted, &rhs)?;
+    let solution = solve_packing_lp(&objective, &shifted, &rhs, hint)?;
     debug_assert!(
         solution.objective > Ratio::ZERO,
         "M' > 0 makes the optimum positive"
@@ -80,6 +106,76 @@ pub fn solve_zero_sum(m: &[Vec<Ratio>]) -> Result<ZeroSumSolution, LpError> {
         row_strategy,
         col_strategy,
     })
+}
+
+/// Runs the packing LP, warm-started from the support hint when one is
+/// given and constructible, cold otherwise. Rejected warm starts fall
+/// back to the cold solve (`lp.warm.rejected`).
+fn solve_packing_lp(
+    objective: &[Ratio],
+    shifted: &[Vec<Ratio>],
+    rhs: &[Ratio],
+    hint: Option<(&[usize], &[usize])>,
+) -> Result<LpSolution, LpError> {
+    let rows = shifted.len();
+    let cols = objective.len();
+    if let Some((row_support, col_support)) = hint {
+        defender_obs::counter!("lp.warm.attempts").incr();
+        if let Some(basis) = basis_from_supports(row_support, col_support, rows, cols) {
+            match solve_with_basis(objective, shifted, rhs, &basis, DEFAULT_PIVOT_LIMIT) {
+                Ok(solution) => return Ok(solution),
+                Err(LpError::BasisRejected { .. } | LpError::PivotBudgetExceeded { .. }) => {
+                    defender_obs::counter!("lp.warm.rejected").incr();
+                }
+                Err(other) => return Err(other),
+            }
+        } else {
+            defender_obs::counter!("lp.warm.rejected").incr();
+        }
+    }
+    maximize(objective, shifted, rhs)
+}
+
+/// Builds the complementary-slackness basis from equilibrium supports:
+/// structural `w_j` for each supported column, slacks for rows outside
+/// the row support, padded with supported-row slacks (ascending) when
+/// the column support is smaller than the row support. Returns `None`
+/// for out-of-range or oversized supports — the caller then falls back
+/// to a cold solve.
+fn basis_from_supports(
+    row_support: &[usize],
+    col_support: &[usize],
+    rows: usize,
+    cols: usize,
+) -> Option<Vec<usize>> {
+    let mut in_row_support = vec![false; rows];
+    for &i in row_support {
+        if i >= rows {
+            return None;
+        }
+        in_row_support[i] = true;
+    }
+    let mut in_col_support = vec![false; cols];
+    for &j in col_support {
+        if j >= cols {
+            return None;
+        }
+        in_col_support[j] = true;
+    }
+    let mut basis: Vec<usize> = (0..cols).filter(|&j| in_col_support[j]).collect();
+    basis.extend((0..rows).filter(|&i| !in_row_support[i]).map(|i| cols + i));
+    if basis.len() > rows {
+        return None; // more supported columns than tight rows: not a basis
+    }
+    // Degenerate case |col support| < |row support|: keep the smallest
+    // supported-row slacks basic (at value zero) to square the basis.
+    for i in (0..rows).filter(|&i| in_row_support[i]) {
+        if basis.len() == rows {
+            break;
+        }
+        basis.push(cols + i);
+    }
+    Some(basis)
 }
 
 #[cfg(test)]
@@ -187,6 +283,70 @@ mod tests {
     fn empty_matrix_rejected() {
         assert!(solve_zero_sum(&[]).is_err());
         assert!(solve_zero_sum(&[vec![]]).is_err());
+    }
+
+    #[test]
+    fn hinted_solve_matches_cold_solve_exactly() {
+        // Supports of the unique equilibrium of [[2,-1],[-1,1]]: both
+        // players mix fully. The hinted solve must return bit-identical
+        // value and strategies.
+        let m = vec![vec![int(2), int(-1)], vec![int(-1), int(1)]];
+        let cold = solve_zero_sum(&m).unwrap();
+        let warm = solve_zero_sum_hinted(&m, Some((&[0, 1], &[0, 1]))).unwrap();
+        assert_eq!(warm.value, cold.value);
+        assert_eq!(warm.row_strategy, cold.row_strategy);
+        assert_eq!(warm.col_strategy, cold.col_strategy);
+        certify(&m, &warm);
+    }
+
+    #[test]
+    fn bad_hints_fall_back_to_cold_solve() {
+        let m = vec![vec![int(2), int(-1)], vec![int(-1), int(1)]];
+        let cold = solve_zero_sum(&m).unwrap();
+        // Out-of-range, oversized, and empty hints all degrade gracefully.
+        for hint in [
+            (&[7usize][..], &[0usize, 1][..]),
+            (&[0][..], &[0, 1][..]),
+            (&[][..], &[][..]),
+        ] {
+            let s = solve_zero_sum_hinted(&m, Some(hint)).unwrap();
+            assert_eq!(s.value, cold.value, "hint {hint:?}");
+            certify(&m, &s);
+        }
+    }
+
+    #[test]
+    fn saddle_point_hint_warm_starts() {
+        // Saddle at (row 1, col 0): supports are singletons.
+        let m = vec![vec![int(1), int(3)], vec![int(2), int(4)]];
+        let s = solve_zero_sum_hinted(&m, Some((&[1], &[0]))).unwrap();
+        assert_eq!(s.value, int(2));
+        certify(&m, &s);
+    }
+
+    #[test]
+    fn random_hinted_solves_agree_with_cold() {
+        use defender_num::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(0xE9);
+        for _ in 0..64 {
+            let m: Vec<Vec<Ratio>> = (0..3)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| Ratio::from(rng.gen_range(0..7) as i64 - 3))
+                        .collect()
+                })
+                .collect();
+            let cold = solve_zero_sum(&m).expect("solvable");
+            let row_support: Vec<usize> = (0..3)
+                .filter(|&i| !cold.row_strategy[i].is_zero())
+                .collect();
+            let col_support: Vec<usize> = (0..3)
+                .filter(|&j| !cold.col_strategy[j].is_zero())
+                .collect();
+            let warm = solve_zero_sum_hinted(&m, Some((&row_support, &col_support))).unwrap();
+            assert_eq!(warm.value, cold.value);
+            certify(&m, &warm);
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod json;
 pub mod telemetry;
 pub mod trace;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -82,6 +82,106 @@ pub fn disable() {
 #[must_use]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread counter routing: capture & suppression
+// ---------------------------------------------------------------------------
+
+/// Where this thread's counter increments go. `Normal` hits the global
+/// cells; `Capture` diverts counter deltas into a thread-local map (and
+/// drops gauge/histogram writes, which are not replayable scalars);
+/// `Suppress` drops everything. Both are strictly thread-local: worker
+/// threads of a pool are never affected by the caller's mode, which is
+/// why capture is only sound around code with no internal parallelism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThreadMode {
+    Normal,
+    Capture,
+    Suppress,
+}
+
+thread_local! {
+    static MODE: Cell<ThreadMode> = const { Cell::new(ThreadMode::Normal) };
+    static CAPTURED: RefCell<BTreeMap<String, u64>> = const { RefCell::new(BTreeMap::new()) };
+}
+
+/// Restores the previous thread mode even if the wrapped closure panics,
+/// so an experiment assertion inside a captured region cannot leave the
+/// thread silently swallowing counters.
+struct ModeGuard {
+    prior: ThreadMode,
+}
+
+impl ModeGuard {
+    fn enter(mode: ThreadMode) -> ModeGuard {
+        let prior = MODE.with(Cell::get);
+        MODE.with(|m| m.set(mode));
+        ModeGuard { prior }
+    }
+}
+
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        MODE.with(|m| m.set(self.prior));
+    }
+}
+
+/// Runs `f` with this thread's counter increments diverted into a local
+/// buffer, returning `f`'s result and the sorted `(name, delta)` pairs
+/// recorded while it ran. Gauge and histogram writes inside the region
+/// are dropped (they are not replayable sums). Nested captures compose:
+/// the inner capture sees only its own deltas, and nothing leaks to the
+/// outer buffer or the global cells.
+///
+/// The canonical-solve memoization in `defender-cache` is the intended
+/// customer: it captures the counter cost of solving one canonical
+/// representative, then replays those deltas (via [`replay_counters`])
+/// once per instance on both hits and misses, making the main counter
+/// section independent of cache state.
+pub fn captured<T>(f: impl FnOnce() -> T) -> (T, Vec<(String, u64)>) {
+    let guard = ModeGuard::enter(ThreadMode::Capture);
+    let prior_map = CAPTURED.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    let result = f();
+    let deltas = CAPTURED.with(|c| std::mem::replace(&mut *c.borrow_mut(), prior_map));
+    drop(guard);
+    (result, deltas.into_iter().collect())
+}
+
+/// Runs `f` with every counter, gauge, and histogram write on this
+/// thread dropped. Spans and traces still record (wall time is never
+/// judged for determinism). Used for re-verification of cached results,
+/// whose cost must not perturb the counters of the run being measured.
+pub fn suppressed<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = ModeGuard::enter(ThreadMode::Suppress);
+    f()
+}
+
+/// A counter handle resolved from a runtime name, memoized process-wide
+/// so each distinct name leaks exactly one cell. The replay half of
+/// [`captured`]; prefer [`counter!`] for compile-time names.
+#[must_use]
+pub fn counter_by_name(name: &str) -> &'static Metric {
+    static BY_NAME: OnceLock<Mutex<BTreeMap<String, &'static Metric>>> = OnceLock::new();
+    let map = BY_NAME.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut map = map
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(metric) = map.get(name) {
+        metric
+    } else {
+        let metric = leaked_counter(name.to_string());
+        map.insert(name.to_string(), metric);
+        metric
+    }
+}
+
+/// Adds each `(name, delta)` pair to the matching global counter —
+/// the replay half of a [`captured`] region.
+pub fn replay_counters(deltas: &[(String, u64)]) {
+    for (name, delta) in deltas {
+        counter_by_name(name).add(*delta);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -137,11 +237,24 @@ impl Metric {
         }
     }
 
-    /// Adds `n` (counters; no-op while disabled).
+    /// Adds `n` (counters; no-op while disabled). Respects the calling
+    /// thread's [`captured`]/[`suppressed`] mode.
     pub fn add(&'static self, n: u64) {
         if enabled() {
-            self.ensure_registered();
-            self.value.fetch_add(n, Ordering::Relaxed);
+            match MODE.with(Cell::get) {
+                ThreadMode::Normal => {
+                    self.ensure_registered();
+                    self.value.fetch_add(n, Ordering::Relaxed);
+                }
+                ThreadMode::Capture => {
+                    if self.kind == Kind::Counter {
+                        CAPTURED.with(|c| {
+                            *c.borrow_mut().entry(self.name.to_string()).or_insert(0) += n;
+                        });
+                    }
+                }
+                ThreadMode::Suppress => {}
+            }
         }
     }
 
@@ -150,17 +263,19 @@ impl Metric {
         self.add(1);
     }
 
-    /// Overwrites the value (gauges; no-op while disabled).
+    /// Overwrites the value (gauges; no-op while disabled or while the
+    /// thread is in a [`captured`]/[`suppressed`] region).
     pub fn set(&'static self, v: u64) {
-        if enabled() {
+        if enabled() && MODE.with(Cell::get) == ThreadMode::Normal {
             self.ensure_registered();
             self.value.store(v, Ordering::Relaxed);
         }
     }
 
-    /// Raises the gauge to `v` if it is below it (no-op while disabled).
+    /// Raises the gauge to `v` if it is below it (no-op while disabled or
+    /// while the thread is in a [`captured`]/[`suppressed`] region).
     pub fn set_max(&'static self, v: u64) {
-        if enabled() {
+        if enabled() && MODE.with(Cell::get) == ThreadMode::Normal {
             self.ensure_registered();
             self.value.fetch_max(v, Ordering::Relaxed);
         }
@@ -243,9 +358,10 @@ impl Histogram {
         }
     }
 
-    /// Records one value (no-op while disabled).
+    /// Records one value (no-op while disabled or while the thread is in
+    /// a [`captured`]/[`suppressed`] region).
     pub fn record(&'static self, v: u64) {
-        if enabled() {
+        if enabled() && MODE.with(Cell::get) == ThreadMode::Normal {
             self.ensure_registered();
             self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
             self.count.fetch_add(1, Ordering::Relaxed);
@@ -893,6 +1009,101 @@ mod tests {
         c.incr();
         c.add(4);
         assert_eq!(c.get(), 5);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn captured_diverts_counters_and_replays() {
+        let _guard = lock();
+        reset();
+        enable();
+        let c = counter!("test.capture.cell");
+        c.add(2);
+        let (out, deltas) = captured(|| {
+            c.add(5);
+            counter!("test.capture.other").incr();
+            gauge!("test.capture.gauge").set(9);
+            histogram!("test.capture.hist").record(4);
+            "done"
+        });
+        assert_eq!(out, "done");
+        assert_eq!(
+            deltas,
+            vec![
+                ("test.capture.cell".to_string(), 5),
+                ("test.capture.other".to_string(), 1),
+            ]
+        );
+        assert_eq!(c.get(), 2, "captured increments stay out of the cell");
+        let snap = snapshot();
+        assert_eq!(snap.gauge("test.capture.gauge"), None, "gauges dropped");
+        assert!(
+            !snap
+                .histograms
+                .iter()
+                .any(|h| h.name == "test.capture.hist" && h.count > 0),
+            "histograms dropped"
+        );
+        replay_counters(&deltas);
+        let snap = snapshot();
+        assert_eq!(
+            snap.counter("test.capture.cell"),
+            Some(7),
+            "replay lands under the same name (snapshot sums cells by name)"
+        );
+        assert_eq!(snap.counter("test.capture.other"), Some(1));
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn captured_regions_nest_without_leaking() {
+        let _guard = lock();
+        reset();
+        enable();
+        let c = counter!("test.capture.nested");
+        let (_, outer) = captured(|| {
+            c.add(1);
+            let ((), inner) = captured(|| c.add(10));
+            assert_eq!(inner, vec![("test.capture.nested".to_string(), 10)]);
+            c.add(2);
+        });
+        assert_eq!(outer, vec![("test.capture.nested".to_string(), 3)]);
+        assert_eq!(c.get(), 0);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn suppressed_drops_everything_and_restores_mode() {
+        let _guard = lock();
+        reset();
+        enable();
+        let c = counter!("test.suppress.cell");
+        suppressed(|| {
+            c.add(100);
+            gauge!("test.suppress.gauge").set_max(5);
+            histogram!("test.suppress.hist").record(2);
+        });
+        assert_eq!(c.get(), 0);
+        c.incr();
+        assert_eq!(c.get(), 1, "normal routing resumes after the region");
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn counter_by_name_memoizes_one_cell_per_name() {
+        let _guard = lock();
+        reset();
+        enable();
+        let a = counter_by_name("test.byname.cell");
+        let b = counter_by_name("test.byname.cell");
+        assert!(std::ptr::eq(a, b), "same name resolves to the same cell");
+        a.add(3);
+        b.add(4);
+        assert_eq!(snapshot().counter("test.byname.cell"), Some(7));
         disable();
         reset();
     }

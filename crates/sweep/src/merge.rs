@@ -166,6 +166,33 @@ mod tests {
     }
 
     #[test]
+    fn empty_window_shards_merge_as_no_ops() {
+        // A shard whose window is empty (--shards wider than the corpus)
+        // contributes no counters; merging it in must not perturb the
+        // byte-identity unit, and its zero-size window must still show up
+        // as a per-shard row.
+        let whole = merge_sidecars(&[shard(
+            "e1",
+            &[("lp.pivots", 15)],
+            &[("sw.window_instances", 17)],
+        )])
+        .unwrap();
+        let with_empty = merge_sidecars(&[
+            shard("e1", &[("lp.pivots", 15)], &[("sw.window_instances", 17)]),
+            shard("e1", &[], &[("sw.window_instances", 0)]),
+        ])
+        .unwrap();
+        assert_eq!(
+            counters_object(&whole).unwrap(),
+            counters_object(&with_empty).unwrap()
+        );
+        assert!(
+            with_empty.contains(r#""sw.instances.s1": 0"#),
+            "{with_empty}"
+        );
+    }
+
+    #[test]
     fn mismatched_experiments_are_rejected() {
         assert!(merge_sidecars(&[]).is_err());
         assert!(merge_sidecars(&[shard("e1", &[], &[]), shard("e2", &[], &[])]).is_err());

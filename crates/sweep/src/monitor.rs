@@ -57,6 +57,11 @@ pub struct ShardView {
     pub done: u64,
     /// Instances in this shard's window (from `window`/`instance`).
     pub total: u64,
+    /// Whether a `window`/`instance` event has pinned `total` — separates
+    /// "window not announced yet" from a genuinely empty window (`--shards`
+    /// wider than the corpus), which would otherwise render as a shard
+    /// stuck "starting".
+    pub window_known: bool,
     /// Label of the sweep currently progressing (e.g. `e15.atlas_sweep`).
     pub label: String,
     /// Nanoseconds the current sweep label has been running (worker clock).
@@ -76,6 +81,7 @@ impl ShardView {
             pid: None,
             done: 0,
             total: 0,
+            window_known: false,
             label: String::new(),
             elapsed_ns: 0,
             counters_total: 0,
@@ -193,7 +199,10 @@ impl Monitor {
         }
         match event {
             ShardEvent::Start { pid } => view.pid = Some(*pid),
-            ShardEvent::Window { lo, hi, .. } => view.total = hi.saturating_sub(*lo),
+            ShardEvent::Window { lo, hi, .. } => {
+                view.total = hi.saturating_sub(*lo);
+                view.window_known = true;
+            }
             ShardEvent::Instance {
                 label,
                 done,
@@ -203,6 +212,7 @@ impl Monitor {
                 view.label.clone_from(label);
                 view.done = *done;
                 view.total = *total;
+                view.window_known = true;
                 view.elapsed_ns = *elapsed_ns;
             }
             ShardEvent::Heartbeat { .. } => {
@@ -296,7 +306,9 @@ fn render_shard(view: &ShardView) -> String {
             view.state.label()
         ),
         ShardState::Running | ShardState::Stalled => {
-            let mut line = if view.total > 0 {
+            let mut line = if view.window_known && view.total == 0 {
+                "0/0 empty window".to_string()
+            } else if view.total > 0 {
                 let mut s = format!(
                     "[{}] {:>3}/{} {}",
                     bar(view.done, view.total),
@@ -393,6 +405,32 @@ mod tests {
         assert_eq!(m.views()[0].pid, Some(42));
         m.mark_done(0);
         assert!(m.render().contains("512/512 done"), "{}", m.render());
+    }
+
+    #[test]
+    fn empty_windows_render_as_empty_not_starting() {
+        // --shards wider than the corpus hands some shards a zero-length
+        // window; the dashboard must say so instead of showing the shard
+        // perpetually "starting".
+        let mut m = Monitor::new("e1", 1, Duration::from_secs(5));
+        let now = Instant::now();
+        m.mark_spawned(0, now);
+        assert!(m.render().contains("starting"), "{}", m.render());
+        m.apply(
+            0,
+            &ShardEvent::Window {
+                total: 17,
+                lo: 3,
+                hi: 3,
+            },
+            now,
+        );
+        let rendered = m.render();
+        assert!(rendered.contains("0/0 empty window"), "{rendered}");
+        assert!(rendered.contains("running"), "{rendered}");
+        assert!(!rendered.contains("starting"), "{rendered}");
+        m.mark_done(0);
+        assert!(m.render().contains("0/0 done"), "{}", m.render());
     }
 
     #[test]
