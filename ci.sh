@@ -190,4 +190,65 @@ fi
 WARM_HITS="$(grep -o '"cache.hits": [0-9]*' "$CACHE_DIR/warm/BENCH_e15_value_atlas.json" | grep -o '[0-9]*$')"
 [[ "${WARM_HITS:-0}" -gt 0 ]] || { echo "warm run reported no cache hits"; exit 1; }
 
+echo "== serve gate =="
+# Cold-then-warm load against one server cache directory (DESIGN.md §16).
+# The loadgen asserts the warmth contract itself (--expect cold: one
+# cache miss per distinct class; --expect warm: every response a hit,
+# zero cache.misses delta, zero lp.simplex.pivots delta — a warm server
+# does no solver work), and the two sidecars' judged `counters` objects
+# must be byte-identical: the judged view is a pure function of the
+# served class set, never of warmth, --jobs, or arrival order. The warm
+# server runs at a different --jobs width to pin the jobs-invariance
+# half of that claim in the same diff.
+SERVE_DIR="$(mktemp -d)"
+SERVE_PID=""
+trap 'kill "$SERVE_PID" 2> /dev/null || true; rm -rf "$SMOKE_DIR" "$JOBS_DIR" "$SUITE_DIR" "$SWEEP_DIR" "$CACHE_DIR" "$SERVE_DIR"' EXIT
+mkdir "$SERVE_DIR/cold" "$SERVE_DIR/warm"
+
+serve_start() { # serve_start <logfile> <extra flags...>
+  local log="$1"; shift
+  target/release/defender serve --addr 127.0.0.1:0 "$@" > "$log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 200); do
+    grep -q '^listening ' "$log" && break
+    sleep 0.05
+  done
+  SERVE_ADDR="$(grep -m1 '^listening ' "$log" | awk '{print $2}')"
+  [[ -n "$SERVE_ADDR" ]] || { echo "server never printed its address"; cat "$log"; exit 1; }
+}
+
+serve_start "$SERVE_DIR/cold.log" --cache "$SERVE_DIR/memo"
+(cd "$SERVE_DIR/cold" && "$OLDPWD"/target/release/exp_serve_load \
+  --addr "$SERVE_ADDR" --expect cold --shutdown > /dev/null)
+wait "$SERVE_PID"
+
+serve_start "$SERVE_DIR/warm.log" --cache "$SERVE_DIR/memo" --jobs 3
+(cd "$SERVE_DIR/warm" && "$OLDPWD"/target/release/exp_serve_load \
+  --addr "$SERVE_ADDR" --expect warm --shutdown > /dev/null)
+wait "$SERVE_PID"
+
+for r in cold warm; do
+  grep -o '"counters": {[^}]*}' "$SERVE_DIR/$r/BENCH_serve.json" > "$SERVE_DIR/$r.counters"
+done
+diff "$SERVE_DIR/cold.counters" "$SERVE_DIR/warm.counters"
+# Gate the judged counters against the committed baseline: a drift in the
+# per-class solve work (pivots, enumerations, kernel fast paths) for the
+# fixed seeded load mix is an algorithmic regression.
+target/release/defender bench diff \
+  baselines/BENCH_serve.json \
+  "$SERVE_DIR/cold/BENCH_serve.json" \
+  --counters-only
+
+echo "== serve overload gate =="
+# A tiny queue and a long batch window force the load governor's hand:
+# the flood of distinct fresh classes must shed with 429 + Retry-After
+# past the watermark while an already-warm class keeps answering 200
+# hits (the loadgen asserts all three, and shuts the server down even on
+# its failure path).
+serve_start "$SERVE_DIR/overload.log" --max-queue 4 --batch-window-ms 400
+target/release/exp_serve_load --addr "$SERVE_ADDR" \
+  --overload --clients 8 --requests 32 --shutdown > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+
 echo "CI OK"

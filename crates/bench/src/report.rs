@@ -137,11 +137,17 @@ impl RunReport {
 
     /// Whether `name` belongs in the "parallelism" section rather than
     /// the jobs-invariant "counters" object: the `par.*` namespace varies
-    /// with `--jobs`, the `sw.*` namespace with `--shards`, and `cache.*`
+    /// with `--jobs`, the `sw.*` namespace with `--shards`, `cache.*`
     /// with the warmth of the `--cache` store (hits on a second run are
-    /// misses on the first; `cache.canon_ns` is wall time).
+    /// misses on the first; `cache.canon_ns` is wall time), and `srv.*`
+    /// with serving traffic shape (hit/miss/coalesced splits, queue
+    /// depth, latency — all warmth- and timing-variant by design; the
+    /// serve sidecar's judged counters come from the cache's stored
+    /// per-class deltas instead).
     fn is_execution_shape(name: &str) -> bool {
-        name.starts_with("par.") || name.starts_with("sw.") || name.starts_with("cache.")
+        ["par.", "sw.", "cache.", "srv."]
+            .iter()
+            .any(|ns| name.starts_with(ns))
     }
 
     /// Copies every counter from an obs snapshot into the report.
@@ -329,6 +335,32 @@ mod tests {
         assert!(json.contains(r#""sw.window_instances": 6"#), "{json}");
         assert!(json.contains(r#""sw.shard_index": 1"#), "{json}");
         assert!(json.contains(r#""sw.shard_total": 3"#), "{json}");
+    }
+
+    #[test]
+    fn srv_metrics_are_segregated_like_par() {
+        // Serving counters split by cache warmth and traffic shape
+        // (hit/miss/coalesced, queue depth); they must never land in the
+        // judged counters object the bench gate diffs.
+        let snapshot = defender_obs::Snapshot {
+            counters: vec![
+                ("algo.pivots".to_string(), 7),
+                ("srv.hits".to_string(), 40),
+                ("srv.misses".to_string(), 2),
+                ("cache.hits".to_string(), 41),
+            ],
+            gauges: vec![("srv.queue_depth".to_string(), 3)],
+            histograms: Vec::new(),
+            spans: Vec::new(),
+        };
+        let mut report = RunReport::new("unit");
+        report.counters_from(&snapshot);
+        let json = report.to_json();
+        assert!(json.contains(r#""counters": {"algo.pivots": 7}"#), "{json}");
+        assert!(json.contains(r#""srv.hits": 40"#), "{json}");
+        assert!(json.contains(r#""srv.misses": 2"#), "{json}");
+        assert!(json.contains(r#""srv.queue_depth": 3"#), "{json}");
+        assert!(json.contains(r#""cache.hits": 41"#), "{json}");
     }
 
     #[test]

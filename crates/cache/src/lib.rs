@@ -72,6 +72,7 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use defender_core::exhaustive::GameAdapter;
@@ -81,7 +82,7 @@ use defender_core::solve::{solve_exact_hinted, ExactEquilibrium};
 use defender_core::tuple::Tuple;
 use defender_core::CoreError;
 use defender_game::MixedStrategy;
-use defender_graph::canonical::canonical_form;
+use defender_graph::canonical::{canonical_form, CanonicalForm};
 use defender_graph::graph6::from_graph6;
 use defender_graph::{Graph, VertexId};
 use defender_num::Ratio;
@@ -118,6 +119,11 @@ struct CacheEntry {
 pub struct EquilibriumCache {
     dir: Option<PathBuf>,
     store: Mutex<BTreeMap<CacheKey, CacheEntry>>,
+    /// Whether the store has changed since the sidecar was last written.
+    /// Set on every insert, cleared by a successful [`persist`](Self::persist);
+    /// lets a high-QPS server flush on an interval instead of rewriting
+    /// the whole sidecar once per miss ([`flush_if_dirty`](Self::flush_if_dirty)).
+    dirty: AtomicBool,
 }
 
 impl fmt::Debug for EquilibriumCache {
@@ -136,6 +142,7 @@ impl EquilibriumCache {
         EquilibriumCache {
             dir: None,
             store: Mutex::new(BTreeMap::new()),
+            dirty: AtomicBool::new(false),
         }
     }
 
@@ -165,6 +172,7 @@ impl EquilibriumCache {
         Ok(EquilibriumCache {
             dir: Some(dir.to_path_buf()),
             store: Mutex::new(store),
+            dirty: AtomicBool::new(false),
         })
     }
 
@@ -197,7 +205,40 @@ impl EquilibriumCache {
         let text = render_sidecar(&self.lock());
         let tmp = dir.join(format!("{SIDECAR_FILE}.tmp"));
         fs::write(&tmp, &text)?;
-        fs::rename(&tmp, dir.join(SIDECAR_FILE))
+        fs::rename(&tmp, dir.join(SIDECAR_FILE))?;
+        // Cleared only after the rename lands: a failed write leaves the
+        // store dirty, so the next flush retries rather than losing data.
+        self.dirty.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// Writes the sidecar only when the store changed since the last
+    /// write. Returns whether a write happened.
+    ///
+    /// This is the batched-flush half of the persistence contract: a
+    /// server storing misses at high QPS marks the store dirty per insert
+    /// and calls this on an interval (and at shutdown), so the sidecar is
+    /// rewritten once per flush window instead of once per store. The
+    /// bytes written are identical to calling [`persist`](Self::persist)
+    /// after every store — the sidecar is a pure function of the store
+    /// contents (entries render in key order).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing the sidecar (the store stays dirty, so a
+    /// later flush retries).
+    pub fn flush_if_dirty(&self) -> io::Result<bool> {
+        if !self.dirty.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        self.persist()?;
+        Ok(true)
+    }
+
+    /// Whether the store changed since the sidecar was last written.
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Acquire)
     }
 
     /// Solves `Π_k(G)` through the memo (no warm-start hint).
@@ -243,28 +284,12 @@ impl EquilibriumCache {
         let key: CacheKey = (form.key(), k, nu);
         obs::counter!("cache.canon_ns").add(obs::trace::elapsed_ns().saturating_sub(t0));
 
-        // Fast path: an entry we can trust (or prove trustworthy). The
-        // clone is bound outside the `if let` so the store guard (a
-        // scrutinee temporary, alive for the whole `if let` in edition
-        // 2021) is dropped before the body locks again.
-        let cached = self.lock().get(&key).cloned();
-        if let Some(mut entry) = cached {
-            let usable = entry.verified || {
-                let ok = obs::suppressed(|| verify_entry(&entry, &key, tuple_limit));
-                if ok {
-                    entry.verified = true;
-                    if let Some(stored) = self.lock().get_mut(&key) {
-                        stored.verified = true;
-                    }
-                }
-                ok
-            };
-            if usable {
-                if let Some(eq) = materialize(&entry, game, &form.inverse()) {
-                    obs::counter!("cache.hits").incr();
-                    obs::replay_counters(&entry.counters);
-                    return Ok(eq);
-                }
+        // Fast path: an entry we can trust (or prove trustworthy).
+        if let Some(entry) = self.usable_entry(&key, tuple_limit) {
+            if let Some(eq) = materialize(&entry, game, &form.inverse()) {
+                obs::counter!("cache.hits").incr();
+                obs::replay_counters(&entry.counters);
+                return Ok(eq);
             }
             // Fall through: stale, hand-edited, or otherwise corrupt —
             // recompute and overwrite below.
@@ -292,10 +317,81 @@ impl EquilibriumCache {
         let mut entry = solved?;
         entry.counters = deltas;
         self.lock().insert(key, entry.clone());
+        self.dirty.store(true, Ordering::Release);
         materialize(&entry, game, &form.inverse()).ok_or_else(|| CoreError::TooLarge {
             what: "cache entry failed to relabel onto its own graph".to_owned(),
             limit: tuple_limit,
         })
+    }
+
+    /// Hit-only lookup for the serving hot path: returns the memoized
+    /// equilibrium relabeled onto `game`'s graph when the class is
+    /// cached, `None` otherwise. Never solves, never ticks
+    /// `cache.misses`, and — unlike [`solve`](Self::solve) — **does not
+    /// replay** the class's stored counter deltas into the live judged
+    /// counters.
+    ///
+    /// Replay exists so a batch run's judged counters are invariant to
+    /// cache warmth; a server's live counters instead stay warm-variant
+    /// by design (a warm instance must show zero `lp.*` activity), and
+    /// jobs/warmth-invariant judged counters are reconstructed offline
+    /// from the served class set via [`replay_sums`](Self::replay_sums).
+    ///
+    /// `form` must be the canonical form of `game.graph()` — the caller
+    /// computes it once and reuses it for the miss path.
+    pub fn probe(
+        &self,
+        game: &TupleGame<'_>,
+        form: &CanonicalForm,
+        tuple_limit: usize,
+    ) -> Option<ExactEquilibrium> {
+        let key: CacheKey = (form.key(), game.k(), game.attacker_count());
+        let entry = self.usable_entry(&key, tuple_limit)?;
+        let eq = materialize(&entry, game, &form.inverse())?;
+        obs::counter!("cache.hits").incr();
+        Some(eq)
+    }
+
+    /// Sums the stored per-class counter deltas over `keys`, name-sorted.
+    ///
+    /// This is the offline half of the [`probe`](Self::probe) contract:
+    /// given the set of classes a run *served* (each key counted once,
+    /// however many times or from whichever cache state it was served),
+    /// the result equals the judged counters of a cold batch run over
+    /// one representative per class — invariant to warmth, jobs, and
+    /// request ordering. Unknown keys contribute nothing.
+    pub fn replay_sums<'a, I>(&self, keys: I) -> Vec<(String, u64)>
+    where
+        I: IntoIterator<Item = &'a CacheKey>,
+    {
+        let store = self.lock();
+        let mut sums: BTreeMap<String, u64> = BTreeMap::new();
+        for key in keys {
+            if let Some(entry) = store.get(key) {
+                for (name, delta) in &entry.counters {
+                    *sums.entry(name.clone()).or_insert(0) += delta;
+                }
+            }
+        }
+        sums.into_iter().collect()
+    }
+
+    /// Looks up `key` and returns a clone of its entry if it is trusted
+    /// or passes first-use verification (marking the stored entry
+    /// verified so the proof runs once). The clone is taken with the
+    /// store guard dropped before verification re-locks.
+    fn usable_entry(&self, key: &CacheKey, tuple_limit: usize) -> Option<CacheEntry> {
+        let mut entry = self.lock().get(key).cloned()?;
+        if !entry.verified {
+            if !obs::suppressed(|| verify_entry(&entry, key, tuple_limit)) {
+                return None;
+            }
+            entry.verified = true;
+            if let Some(stored) = self.lock().get_mut(key) {
+                stored.verified = true;
+            }
+        }
+        Some(entry)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<CacheKey, CacheEntry>> {
@@ -843,6 +939,134 @@ mod tests {
         let err = EquilibriumCache::open(&dir).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_flush_writes_the_same_bytes_as_per_store_persist() {
+        let base =
+            std::env::temp_dir().join(format!("defender-cache-flush-{}", std::process::id()));
+        let eager_dir = base.join("eager");
+        let batched_dir = base.join("batched");
+        let _ = fs::remove_dir_all(&base);
+
+        let instances = [
+            (generators::cycle(5), 1usize),
+            (generators::petersen(), 1),
+            (generators::complete_bipartite(2, 3), 2),
+        ];
+
+        // Eager discipline: rewrite the sidecar after every store.
+        let eager = EquilibriumCache::open(&eager_dir).unwrap();
+        for (graph, k) in &instances {
+            let game = TupleGame::new(graph, *k, 1).unwrap();
+            eager.solve(&game, LIMIT).unwrap();
+            eager.persist().unwrap();
+        }
+
+        // Batched discipline: flush once at "shutdown".
+        let batched = EquilibriumCache::open(&batched_dir).unwrap();
+        assert!(!batched.is_dirty());
+        assert!(!batched.flush_if_dirty().unwrap(), "clean store: no write");
+        for (graph, k) in &instances {
+            let game = TupleGame::new(graph, *k, 1).unwrap();
+            batched.solve(&game, LIMIT).unwrap();
+        }
+        assert!(batched.is_dirty());
+        assert!(batched.flush_if_dirty().unwrap());
+        assert!(!batched.is_dirty(), "flush clears the dirty flag");
+        assert!(
+            !batched.flush_if_dirty().unwrap(),
+            "second flush with no new stores is a no-op"
+        );
+
+        assert_eq!(
+            fs::read_to_string(eager_dir.join(SIDECAR_FILE)).unwrap(),
+            fs::read_to_string(batched_dir.join(SIDECAR_FILE)).unwrap(),
+            "batched flush must be byte-identical to per-store persistence"
+        );
+
+        // Hits never dirty the store.
+        let game = TupleGame::new(&instances[0].0, 1, 1).unwrap();
+        batched.solve(&game, LIMIT).unwrap();
+        assert!(!batched.is_dirty(), "a pure hit must not mark dirty");
+
+        let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn probe_hits_without_replaying_and_misses_without_ticking() {
+        obs::enable();
+        let graph = generators::cycle(5);
+        let game = TupleGame::new(&graph, 1, 1).unwrap();
+        let form = canonical_form(&graph);
+        let cache = EquilibriumCache::in_memory();
+
+        // Cold probe: a miss is silent — no cache.misses tick, no solve.
+        let before = snapshot();
+        assert!(cache.probe(&game, &form, LIMIT).is_none());
+        let after = snapshot();
+        assert_eq!(
+            after.counter("cache.misses").unwrap_or(0),
+            before.counter("cache.misses").unwrap_or(0),
+            "probe misses must not tick cache.misses"
+        );
+
+        let solved = cache.solve(&game, LIMIT).unwrap();
+
+        // Warm probe: serves the memo, ticks cache.hits, and replays
+        // nothing — judged counters (lp.*, solve.*) must stay flat.
+        let before = snapshot();
+        let probed = cache.probe(&game, &form, LIMIT).unwrap();
+        let after = snapshot();
+        assert_eq!(probed.value, solved.value);
+        assert_eq!(probed.defender_gain, solved.defender_gain);
+        let adapter = GameAdapter::new(&game, LIMIT).unwrap();
+        assert!(adapter.verify(&probed.config).is_equilibrium());
+        assert_eq!(
+            after.counter("cache.hits").unwrap_or(0),
+            before.counter("cache.hits").unwrap_or(0) + 1
+        );
+        for (name, v) in &after.counters {
+            if name.starts_with("cache.") {
+                continue;
+            }
+            assert_eq!(
+                Some(*v),
+                before.counter(name),
+                "probe hit replayed judged counter {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_sums_reconstruct_judged_counters_per_served_class() {
+        let cache = EquilibriumCache::in_memory();
+        let c5 = generators::cycle(5);
+        let pet = generators::petersen();
+        let g1 = TupleGame::new(&c5, 1, 1).unwrap();
+        let g2 = TupleGame::new(&pet, 1, 1).unwrap();
+        cache.solve(&g1, LIMIT).unwrap();
+        cache.solve(&g2, LIMIT).unwrap();
+
+        let k1: CacheKey = (canonical_form(&c5).key(), 1, 1);
+        let k2: CacheKey = (canonical_form(&pet).key(), 1, 1);
+
+        let one = cache.replay_sums([&k1]);
+        let both = cache.replay_sums([&k1, &k2]);
+        assert!(!one.is_empty(), "a solved class stores counter deltas");
+        assert!(one.windows(2).all(|w| w[0].0 < w[1].0), "name-sorted");
+
+        // Σ over both classes = per-class sums merged.
+        let mut expect: BTreeMap<String, u64> = one.iter().cloned().collect();
+        for (name, v) in cache.replay_sums([&k2]) {
+            *expect.entry(name).or_insert(0) += v;
+        }
+        assert_eq!(both, expect.into_iter().collect::<Vec<_>>());
+
+        // Unknown keys contribute nothing; key set, not multiplicity.
+        let missing: CacheKey = ("~~~bogus".to_owned(), 3, 2);
+        assert!(cache.replay_sums([&missing]).is_empty());
+        assert_eq!(cache.replay_sums([&k1]), cache.replay_sums([&k1, &missing]));
     }
 
     #[test]

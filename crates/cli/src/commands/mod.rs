@@ -7,6 +7,7 @@ pub mod generate;
 pub mod help;
 pub mod lint;
 pub mod profile;
+pub mod serve;
 pub mod simulate;
 pub mod sweep;
 pub mod value;

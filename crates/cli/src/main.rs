@@ -38,7 +38,9 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
     // `bench`, `lint`, `profile` and `sweep` manage their own argument
     // grammars (positional files, value-less flags), which
     // `Options::parse` rejects by design; dispatch them before the
-    // uniform option pass. `help` takes an optional positional topic.
+    // uniform option pass. `serve` blocks until shut down over HTTP, so
+    // it skips the post-run metrics/trace export below. `help` takes an
+    // optional positional topic.
     if command == "bench" {
         return commands::bench::run(rest);
     }
@@ -50,6 +52,9 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
     }
     if command == "sweep" {
         return commands::sweep::run(rest);
+    }
+    if command == "serve" {
+        return commands::serve::run(rest);
     }
     if command == "help" || command == "--help" || command == "-h" {
         commands::help::run(rest);
