@@ -18,10 +18,20 @@ cargo test --workspace -q
 
 echo "== defender lint =="
 # Workspace static analysis (exactness, determinism, panic-freedom,
-# metric-registry audit — see DESIGN.md §12). Hard gate: an unregistered
-# counter or an un-annotated library unwrap fails CI before the bench
-# gates run.
-target/release/defender lint
+# concurrency discipline, exact-path panic/cast gating, unsafe/dependency
+# audits, suppression ageing, metric-registry audit — see DESIGN.md §12
+# and §17). Hard gate: an unregistered counter, an un-annotated library
+# unwrap, or a stale allow fails CI before the bench gates run. The
+# --sidecar counters then diff against the committed baseline so even a
+# silent change in what the linter *sees* (files scanned, finding mix)
+# is a reviewed event.
+LINT_DIR="$(mktemp -d)"
+(cd "$LINT_DIR" && "$OLDPWD"/target/release/defender lint --root "$OLDPWD" --sidecar)
+target/release/defender bench diff \
+  baselines/BENCH_lint.json \
+  "$LINT_DIR/BENCH_lint.json" \
+  --counters-only
+rm -rf "$LINT_DIR"
 
 if [[ "${CI_MIRI:-0}" == "1" ]]; then
   echo "== miri (CI_MIRI=1) =="

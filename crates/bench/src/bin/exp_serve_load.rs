@@ -314,6 +314,7 @@ fn run_load(options: &Options) -> Result<(), String> {
     let samples = Mutex::new(Vec::with_capacity(planned.len()));
     let errors = Mutex::new(Vec::new());
     let started = Instant::now();
+    // lint: allow(spawn) load-generator clients; joined by scope exit
     std::thread::scope(|scope| {
         for worker in 0..options.clients {
             let planned = &planned;
@@ -326,7 +327,7 @@ fn run_load(options: &Options) -> Result<(), String> {
                         errors
                             .lock()
                             .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .push(e); // lint: allow(panic) poison recovered
+                            .push(e);
                         return;
                     }
                 };
@@ -336,7 +337,7 @@ fn run_load(options: &Options) -> Result<(), String> {
                             let cache = cache_field(&response);
                             samples
                                 .lock()
-                                .unwrap_or_else(std::sync::PoisonError::into_inner) // lint: allow(panic) poison recovered
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
                                 .push(Sample {
                                     class: request.class,
                                     status: response.status,
@@ -345,7 +346,7 @@ fn run_load(options: &Options) -> Result<(), String> {
                         }
                         Err(e) => errors
                             .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner) // lint: allow(panic) poison recovered
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .push(format!("client {worker}: {e}")),
                     }
                 }
@@ -355,13 +356,13 @@ fn run_load(options: &Options) -> Result<(), String> {
     let elapsed = started.elapsed();
     let errors = errors
         .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner); // lint: allow(panic) poison recovered
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(first) = errors.first() {
         return Err(format!("{} transport errors, first: {first}", errors.len()));
     }
     let samples = samples
         .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner); // lint: allow(panic) poison recovered
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if samples.len() != planned.len() {
         return Err(format!(
             "sent {} requests but recorded {} responses",
@@ -537,6 +538,7 @@ fn run_overload(options: &Options) -> Result<(), String> {
     let per_client = options.requests.div_ceil(options.clients).max(1);
     let shed = Mutex::new(0usize);
     let failures = Mutex::new(Vec::new());
+    // lint: allow(spawn) load-generator clients; joined by scope exit
     std::thread::scope(|scope| {
         for worker in 0..options.clients {
             let shed = &shed;
@@ -548,7 +550,7 @@ fn run_overload(options: &Options) -> Result<(), String> {
                         failures
                             .lock()
                             .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .push(e); // lint: allow(panic) poison recovered
+                            .push(e);
                         return;
                     }
                 };
@@ -565,22 +567,21 @@ fn run_overload(options: &Options) -> Result<(), String> {
                             if response.retry_after.is_none() {
                                 failures
                                     .lock()
-                                    .unwrap_or_else(std::sync::PoisonError::into_inner) // lint: allow(panic) poison recovered
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                                     .push("429 without Retry-After".to_string());
                             }
                             *shed
                                 .lock()
                                 .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
-                            // lint: allow(panic) poison recovered
                         }
                         Ok(response) if response.status == 200 => {}
                         Ok(response) => failures
                             .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner) // lint: allow(panic) poison recovered
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .push(format!("flood answered {}", response.status)),
                         Err(e) => failures
                             .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner) // lint: allow(panic) poison recovered
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .push(format!("flood client {worker}: {e}")),
                     }
                 }
@@ -589,13 +590,13 @@ fn run_overload(options: &Options) -> Result<(), String> {
     });
     let failures = failures
         .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner); // lint: allow(panic) poison recovered
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(first) = failures.first() {
         return Err(format!("{} flood failures, first: {first}", failures.len()));
     }
     let shed = shed
         .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner); // lint: allow(panic) poison recovered
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if shed == 0 {
         return Err("flood finished without a single 429 — governor never shed".to_string());
     }

@@ -14,8 +14,9 @@ use defender_cache::EquilibriumCache;
 static CACHE: Mutex<Option<Arc<EquilibriumCache>>> = Mutex::new(None);
 
 fn slot() -> std::sync::MutexGuard<'static, Option<Arc<EquilibriumCache>>> {
-    // lint: allow(panic) a poisoned slot means a panic already in flight
-    CACHE.lock().expect("cache slot poisoned")
+    CACHE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Opens (or initializes) the persistent cache at `dir` and installs it

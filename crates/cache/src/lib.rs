@@ -179,7 +179,7 @@ impl EquilibriumCache {
     /// Number of memoized equivalence classes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.guard().len()
     }
 
     /// Whether the cache holds no entries.
@@ -202,7 +202,7 @@ impl EquilibriumCache {
         let Some(dir) = &self.dir else {
             return Ok(());
         };
-        let text = render_sidecar(&self.lock());
+        let text = render_sidecar(&self.guard());
         let tmp = dir.join(format!("{SIDECAR_FILE}.tmp"));
         fs::write(&tmp, &text)?;
         fs::rename(&tmp, dir.join(SIDECAR_FILE))?;
@@ -316,7 +316,7 @@ impl EquilibriumCache {
         obs::replay_counters(&deltas);
         let mut entry = solved?;
         entry.counters = deltas;
-        self.lock().insert(key, entry.clone());
+        self.guard().insert(key, entry.clone());
         self.dirty.store(true, Ordering::Release);
         materialize(&entry, game, &form.inverse()).ok_or_else(|| CoreError::TooLarge {
             what: "cache entry failed to relabel onto its own graph".to_owned(),
@@ -364,7 +364,7 @@ impl EquilibriumCache {
     where
         I: IntoIterator<Item = &'a CacheKey>,
     {
-        let store = self.lock();
+        let store = self.guard();
         let mut sums: BTreeMap<String, u64> = BTreeMap::new();
         for key in keys {
             if let Some(entry) = store.get(key) {
@@ -381,22 +381,23 @@ impl EquilibriumCache {
     /// verified so the proof runs once). The clone is taken with the
     /// store guard dropped before verification re-locks.
     fn usable_entry(&self, key: &CacheKey, tuple_limit: usize) -> Option<CacheEntry> {
-        let mut entry = self.lock().get(key).cloned()?;
+        let mut entry = self.guard().get(key).cloned()?;
         if !entry.verified {
             if !obs::suppressed(|| verify_entry(&entry, key, tuple_limit)) {
                 return None;
             }
             entry.verified = true;
-            if let Some(stored) = self.lock().get_mut(key) {
+            if let Some(stored) = self.guard().get_mut(key) {
                 stored.verified = true;
             }
         }
         Some(entry)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<CacheKey, CacheEntry>> {
-        // lint: allow(panic) a poisoned store means a panic already in flight
-        self.store.lock().expect("cache store poisoned")
+    fn guard(&self) -> std::sync::MutexGuard<'_, BTreeMap<CacheKey, CacheEntry>> {
+        self.store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -624,6 +625,7 @@ fn parse_entry(item: &JsonValue) -> Result<(CacheKey, CacheEntry), String> {
             .ok_or("defender item missing edges")?
         {
             let ends = pair.as_array().ok_or("edge is not a pair")?;
+            // lint: allow(index) let-else slice pattern; a mismatch takes the else branch
             let [u, v] = ends else {
                 return Err("edge is not a pair".to_owned());
             };
@@ -847,9 +849,9 @@ mod tests {
         let reloaded = EquilibriumCache::open(&dir).unwrap();
         assert_eq!(reloaded.len(), 3);
         assert_eq!(
-            *cache.lock(),
+            *cache.guard(),
             reloaded
-                .lock()
+                .guard()
                 .iter()
                 .map(|(key, entry)| {
                     let mut trusted = entry.clone();
@@ -884,7 +886,7 @@ mod tests {
         let eq = reloaded.solve(&game, LIMIT).unwrap();
         assert_eq!(eq.value, Ratio::new(2, 5));
         assert!(
-            reloaded.lock().values().all(|e| e.verified),
+            reloaded.guard().values().all(|e| e.verified),
             "first use marks the loaded entry verified"
         );
         let again = reloaded.solve(&game, LIMIT).unwrap();

@@ -26,9 +26,11 @@ pub fn attacker_best_response(game: &TupleGame<'_>, config: &MixedConfig) -> (Ve
     let v = game
         .graph()
         .vertices()
+        // lint: allow(index) hit is sized by vertex_count; VertexId::index is in range
         .min_by_key(|v| hit[v.index()])
         // lint: allow(panic) game graphs are validated non-empty
         .expect("game graphs are non-empty");
+    // lint: allow(index) hit is sized by vertex_count; VertexId::index is in range
     (v, Ratio::ONE - hit[v.index()])
 }
 
@@ -69,15 +71,20 @@ pub fn defender_best_response_greedy(game: &TupleGame<'_>, mass: &[Ratio]) -> (T
     for _ in 0..game.k() {
         let mut best: Option<(EdgeId, Ratio)> = None;
         for e in graph.edges() {
+            // lint: allow(index) picked is sized by edge_count; EdgeId::index is in range
             if picked[e.index()] {
                 continue;
             }
             let ep = graph.endpoints(e);
             let mut marginal = Ratio::ZERO;
+            // lint: allow(index) covered is sized by vertex_count; VertexId::index is in range
             if !covered[ep.u().index()] {
+                // lint: allow(index) mass is sized by vertex_count; VertexId::index is in range
                 marginal += mass[ep.u().index()];
             }
+            // lint: allow(index) covered is sized by vertex_count; VertexId::index is in range
             if !covered[ep.v().index()] {
+                // lint: allow(index) mass is sized by vertex_count; VertexId::index is in range
                 marginal += mass[ep.v().index()];
             }
             if best.as_ref().map_or(true, |(_, b)| marginal > *b) {
@@ -86,9 +93,12 @@ pub fn defender_best_response_greedy(game: &TupleGame<'_>, mass: &[Ratio]) -> (T
         }
         // lint: allow(panic) k <= m leaves an unpicked edge each greedy round
         let (e, marginal) = best.expect("k ≤ m leaves an unpicked edge");
+        // lint: allow(index) picked is sized by edge_count; EdgeId::index is in range
         picked[e.index()] = true;
         let ep = graph.endpoints(e);
+        // lint: allow(index) covered is sized by vertex_count; VertexId::index is in range
         covered[ep.u().index()] = true;
+        // lint: allow(index) covered is sized by vertex_count; VertexId::index is in range
         covered[ep.v().index()] = true;
         chosen.push(e);
         total += marginal;

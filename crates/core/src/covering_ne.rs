@@ -103,6 +103,7 @@ pub fn covering_ne(game: &TupleGame<'_>) -> Result<CoveringNe, CoreError> {
     let tuples: Vec<Tuple> = cyclic_tuples(edges.len(), k)
         .into_iter()
         .map(|window| {
+            // lint: allow(index) cyclic windows index 0..edges.len() by construction
             Tuple::new(window.into_iter().map(|i| edges[i]).collect())
                 // lint: allow(panic) cyclic windows over a matching are distinct edges
                 .expect("cyclic windows over a matching have distinct edges")
@@ -117,8 +118,10 @@ pub fn covering_ne(game: &TupleGame<'_>) -> Result<CoveringNe, CoreError> {
 
     let n = graph.vertex_count();
     let defender_gain = payoff::expected_ip_tuple_player(game, &config);
+    // lint: allow(arith) n = vertex_count >= 1: the matching above is nonempty
     let expected = Ratio::from(2 * k) * Ratio::from(game.attacker_count()) / Ratio::from(n);
     debug_assert_eq!(defender_gain, expected, "covering gain closed form");
+    // lint: allow(arith) n = vertex_count >= 1: the matching above is nonempty
     let hit_probability = Ratio::from(2 * k) / Ratio::from(n);
 
     Ok(CoveringNe {

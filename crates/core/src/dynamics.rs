@@ -83,6 +83,7 @@ pub fn fictitious_play(
         // Attacker: historically least-covered vertex (ties: lowest id).
         let attacker_vertex = graph
             .vertices()
+            // lint: allow(index) coverage_counts is sized by vertex_count; index in range
             .min_by_key(|v| coverage_counts[v.index()])
             // lint: allow(panic) game graphs are validated non-empty
             .expect("non-empty graph");
@@ -116,21 +117,27 @@ pub fn fictitious_play(
         // Score and record the round.
         let caught = tuple.covers(graph, attacker_vertex);
         caught_total += u64::from(caught);
+        // lint: allow(index) count vectors are sized by vertex_count; index in range
         vertex_counts[attacker_vertex.index()] += 1;
+        // lint: allow(index) count vectors are sized by vertex_count; index in range
         attacker_frequency[attacker_vertex.index()] += 1;
         for v in tuple.vertices(graph) {
+            // lint: allow(index) count vectors are sized by vertex_count; index in range
             coverage_counts[v.index()] += 1;
         }
         if round == next_checkpoint || round == rounds {
+            // lint: allow(arith) f64 division cannot panic; round >= 1 inside the loop
             checkpoints.push((round, caught_total as f64 / round as f64));
             next_checkpoint *= 2;
         }
     }
 
+    // lint: allow(cast) round count fits u64; usize to u64 is lossless on 64-bit
     defender_obs::counter!("core.dynamics.rounds").add(rounds as u64);
     defender_obs::counter!("core.dynamics.catches").add(caught_total);
     Ok(PlayTrace {
         rounds,
+        // lint: allow(arith) f64 division cannot panic
         average_payoff: caught_total as f64 / rounds as f64,
         checkpoints,
         attacker_frequency,

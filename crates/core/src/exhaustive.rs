@@ -118,7 +118,9 @@ impl<'a, 'g> GameAdapter<'a, 'g> {
             let mut drow = vec![Ratio::ZERO; n];
             let mut arow = vec![Ratio::ONE; n];
             for v in t.vertices(graph) {
+                // lint: allow(index) rows are sized by vertex_count; VertexId::index is in range
                 drow[v.index()] = Ratio::ONE;
+                // lint: allow(index) rows are sized by vertex_count; VertexId::index is in range
                 arow[v.index()] = Ratio::ZERO;
             }
             (drow, arow)
@@ -147,12 +149,14 @@ impl StrategicGame for GameAdapter<'_, '_> {
     }
 
     fn payoff(&self, player: usize, profile: &[Move]) -> Ratio {
+        // lint: allow(index) Game contract: profile has attacker_count + 1 slots
         let Move::Tuple(tuple) = &profile[self.game.attacker_count()] else {
             // lint: allow(panic) profile layout invariant: the last slot holds the defender tuple
             panic!("defender slot must hold a tuple");
         };
         let graph = self.game.graph();
         if player < self.game.attacker_count() {
+            // lint: allow(index) player < attacker_count on this branch
             let Move::Vertex(v) = profile[player] else {
                 // lint: allow(panic) profile layout invariant: attacker slots hold vertices
                 panic!("attacker slot must hold a vertex");
@@ -163,6 +167,7 @@ impl StrategicGame for GameAdapter<'_, '_> {
                 Ratio::ONE
             }
         } else {
+            // lint: allow(index) profile has attacker_count + 1 slots; prefix in range
             let caught = profile[..self.game.attacker_count()]
                 .iter()
                 .filter(|m| {

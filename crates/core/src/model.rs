@@ -240,6 +240,7 @@ impl MixedConfig {
     /// Panics if `i ≥ ν`.
     #[must_use]
     pub fn attacker(&self, i: usize) -> &MixedStrategy<VertexId> {
+        // lint: allow(index) documented panic contract: callers keep i below nu
         &self.attacker_strategies[i]
     }
 

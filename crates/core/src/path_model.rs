@@ -44,16 +44,20 @@ impl PathStrategy {
         }
         let mut seen = vec![false; graph.vertex_count()];
         for &v in &vertices {
+            // lint: allow(index) seen is sized by vertex_count; VertexId::index is in range
             if seen[v.index()] {
                 return Err(CoreError::ConfigMismatch {
                     reason: format!("path repeats vertex {v}"),
                 });
             }
+            // lint: allow(index) seen is sized by vertex_count; VertexId::index is in range
             seen[v.index()] = true;
         }
         for w in vertices.windows(2) {
+            // lint: allow(index) windows(2) yields exactly two elements
             if !graph.has_edge(w[0], w[1]) {
                 return Err(CoreError::ConfigMismatch {
+                    // lint: allow(index) windows(2) yields exactly two elements
                     reason: format!("({}, {}) is not an edge", w[0], w[1]),
                 });
             }
@@ -118,11 +122,14 @@ pub fn all_paths(graph: &Graph, k: usize, limit: usize) -> Result<Vec<PathStrate
         let current = *stack.last().expect("stack starts non-empty");
         let neighbors: Vec<VertexId> = graph.neighbors(current).collect();
         for w in neighbors {
+            // lint: allow(index) on_path is sized by vertex_count; VertexId::index is in range
             if !on_path[w.index()] {
+                // lint: allow(index) on_path is sized by vertex_count; VertexId::index is in range
                 on_path[w.index()] = true;
                 stack.push(w);
                 dfs(graph, k, limit, stack, on_path, out)?;
                 stack.pop();
+                // lint: allow(index) on_path is sized by vertex_count; VertexId::index is in range
                 on_path[w.index()] = false;
             }
         }
@@ -130,10 +137,12 @@ pub fn all_paths(graph: &Graph, k: usize, limit: usize) -> Result<Vec<PathStrate
     }
 
     for v in graph.vertices() {
+        // lint: allow(index) on_path is sized by vertex_count; VertexId::index is in range
         on_path[v.index()] = true;
         stack.push(v);
         dfs(graph, k, limit, &mut stack, &mut on_path, &mut out)?;
         stack.pop();
+        // lint: allow(index) on_path is sized by vertex_count; VertexId::index is in range
         on_path[v.index()] = false;
     }
     Ok(out.into_iter().collect())
@@ -298,13 +307,15 @@ pub fn cycle_path_ne(game: &TupleGame<'_>) -> Result<PathModelNe, CoreError> {
     let order = cycle_order(graph);
     let arcs: Vec<PathStrategy> = (0..n)
         .map(|start| {
-            let vertices: Vec<VertexId> = (0..=k).map(|j| order[(start + j) % n]).collect();
-            // lint: allow(panic) consecutive cycle vertices are adjacent, so arcs are paths
+            // lint: allow(arith) n >= 1: cycle graphs are nonempty
+            let vertices: Vec<VertexId> = (0..=k).map(|j| order[(start + j) % n]).collect(); // lint: allow(index) (start + j) % n is below n = order.len()
+                                                                                             // lint: allow(panic) consecutive cycle vertices are adjacent, so arcs are paths
             PathStrategy::new(graph, vertices).expect("arcs of a cycle are paths")
         })
         .collect();
     let attacker = MixedStrategy::uniform(graph.vertices().collect());
     let defender = MixedStrategy::uniform(arcs);
+    // lint: allow(arith) n = vertex_count >= 1 for a constructed cycle game
     let defender_gain = Ratio::from(k + 1) * Ratio::from(game.attacker_count()) / Ratio::from(n);
     Ok(PathModelNe {
         attacker,
@@ -350,11 +361,13 @@ pub fn verify_path_ne(
     let mut hit = vec![Ratio::ZERO; graph.vertex_count()];
     for (p, prob) in ne.defender.iter() {
         for &v in p.vertices() {
+            // lint: allow(index) hit is sized by vertex_count; VertexId::index is in range
             hit[v.index()] += prob;
         }
     }
     let min_hit = hit.iter().copied().min().unwrap_or(Ratio::ZERO);
     for (v, prob) in ne.attacker.iter() {
+        // lint: allow(index) hit is sized by vertex_count; VertexId::index is in range
         if prob > Ratio::ZERO && hit[v.index()] != min_hit {
             return Ok(false);
         }
@@ -366,6 +379,7 @@ pub fn verify_path_ne(
         .map(|v| ne.attacker.probability(&v) * nu)
         .collect();
     let path_mass =
+        // lint: allow(index) mass is sized by vertex_count; VertexId::index is in range
         |p: &PathStrategy| -> Ratio { p.vertices().iter().map(|v| mass[v.index()]).sum() };
     let max_mass = all_paths(graph, game.k(), limit)?
         .iter()

@@ -22,6 +22,7 @@ pub fn hit_probabilities(game: &TupleGame<'_>, config: &MixedConfig) -> Vec<Rati
         .collect();
     for (t, p) in config.defender().iter() {
         for v in t.vertices(graph) {
+            // lint: allow(index) hit is sized by vertex_count; VertexId::index is in range
             hit[v.index()].add(p);
         }
     }
@@ -48,6 +49,7 @@ pub fn vertex_mass(game: &TupleGame<'_>, config: &MixedConfig) -> Vec<Ratio> {
         .collect();
     for s in config.attackers() {
         for (v, p) in s.iter() {
+            // lint: allow(index) mass is sized by vertex_count; VertexId::index is in range
             mass[v.index()].add(p);
         }
     }
@@ -59,6 +61,7 @@ pub fn vertex_mass(game: &TupleGame<'_>, config: &MixedConfig) -> Vec<Ratio> {
 pub fn edge_mass(game: &TupleGame<'_>, config: &MixedConfig, e: EdgeId) -> Ratio {
     let mass = vertex_mass(game, config);
     let ep = game.graph().endpoints(e);
+    // lint: allow(index) mass is sized by vertex_count; VertexId::index is in range
     mass[ep.u().index()] + mass[ep.v().index()]
 }
 
@@ -77,6 +80,7 @@ pub fn tuple_mass_with(mass: &[Ratio], game: &TupleGame<'_>, t: &Tuple) -> Ratio
     Ratio::sum_iter(
         t.vertices(game.graph())
             .into_iter()
+            // lint: allow(index) mass is sized by vertex_count; VertexId::index is in range
             .map(|v| mass[v.index()]),
     )
 }
@@ -94,6 +98,7 @@ pub fn expected_ip_vertex_player(game: &TupleGame<'_>, config: &MixedConfig, i: 
         config
             .attacker(i)
             .iter()
+            // lint: allow(index) hit is sized by vertex_count; VertexId::index is in range
             .map(|(v, p)| (p, Ratio::ONE - hit[v.index()])),
     )
 }

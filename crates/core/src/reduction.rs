@@ -95,6 +95,7 @@ pub fn cyclic_tuples(e_num: usize, k: usize) -> Vec<Vec<usize>> {
     );
     let delta = support_tuple_count(e_num, k);
     (0..delta)
+        // lint: allow(arith) e_num >= k >= 1 asserted above
         .map(|i| (0..k).map(|j| (i * k + j) % e_num).collect())
         .collect()
 }
@@ -103,7 +104,7 @@ pub fn cyclic_tuples(e_num: usize, k: usize) -> Vec<Vec<usize>> {
 /// emits (the minimum achieving equal edge multiplicities, per Lemma 4.8).
 #[must_use]
 pub fn support_tuple_count(e_num: usize, k: usize) -> usize {
-    e_num / gcd(e_num as u128, k as u128) as usize
+    e_num / gcd(e_num as u128, k as u128) as usize // lint: allow(arith) gcd with positive k is >= 1
 }
 
 /// Claim 4.9: each support edge belongs to exactly `k / gcd(E_num, k)`
@@ -118,6 +119,7 @@ pub fn per_edge_multiplicity(e_num: usize, k: usize) -> usize {
 /// produced by the reduction (Corollaries 4.7 and 4.10).
 #[must_use]
 pub fn gain_ratio(k_ne: &KMatchingNe, edge_ne: &MatchingNe) -> Ratio {
+    // lint: allow(arith) matching-NE defender gain is positive (Theorem 3.1)
     k_ne.defender_gain() / edge_ne.defender_gain()
 }
 

@@ -78,6 +78,7 @@ pub fn solve_exact_hinted(
         .map(|t| {
             let mut row = vec![Ratio::ZERO; graph.vertex_count()];
             for v in t.vertices(graph) {
+                // lint: allow(index) row is sized by vertex_count; VertexId::index is in range
                 row[v.index()] = Ratio::ONE;
             }
             row

@@ -162,6 +162,7 @@ pub fn all_tuples(graph: &Graph, k: usize, limit: usize) -> Result<Vec<Tuple>, C
     }
     let _span = defender_obs::span!("all_tuples");
     defender_obs::counter!("core.exhaustive.tuples_enumerated")
+        // lint: allow(cast) clamped to u64::MAX on this line; cannot truncate
         .add(count.unwrap_or(0).min(u128::from(u64::MAX)) as u64);
     let mut out = Vec::with_capacity(count.unwrap_or(0) as usize);
     let mut indices: Vec<usize> = (0..k).collect();
@@ -176,12 +177,14 @@ pub fn all_tuples(graph: &Graph, k: usize, limit: usize) -> Result<Vec<Tuple>, C
                 return Ok(out);
             }
             i -= 1;
+            // lint: allow(index) i < k = indices.len(): loop decrements from k
             if indices[i] != i + m - k {
                 break;
             }
         }
-        indices[i] += 1;
+        indices[i] += 1; // lint: allow(index) i < k from the break above
         for j in i + 1..k {
+            // lint: allow(index) j in i+1..k and j-1 >= i are in range
             indices[j] = indices[j - 1] + 1;
         }
     }
@@ -196,7 +199,7 @@ fn binomial(n: usize, k: usize) -> Option<u128> {
     let mut acc: u128 = 1;
     for i in 0..k {
         acc = acc.checked_mul((n - i) as u128)?;
-        acc /= (i + 1) as u128;
+        acc /= (i + 1) as u128; // lint: allow(arith) divisor i + 1 >= 1
     }
     Some(acc)
 }

@@ -27,6 +27,7 @@ impl TwoPlayerMatrixGame {
             !row_payoff.is_empty(),
             "row player needs at least one strategy"
         );
+        // lint: allow(index) non-empty row set asserted on the line above
         let cols = row_payoff[0].len();
         assert!(cols > 0, "column player needs at least one strategy");
         assert!(
@@ -71,7 +72,7 @@ impl TwoPlayerMatrixGame {
     /// Number of column strategies.
     #[must_use]
     pub fn cols(&self) -> usize {
-        self.row_payoff[0].len()
+        self.row_payoff[0].len() // lint: allow(index) constructor asserts at least one row strategy
     }
 }
 
@@ -92,9 +93,12 @@ impl StrategicGame for TwoPlayerMatrixGame {
     }
 
     fn payoff(&self, player: usize, profile: &[usize]) -> Ratio {
+        // lint: allow(index) Game contract: a two-player profile has two entries
         let (i, j) = (profile[0], profile[1]);
         match player {
+            // lint: allow(index) profile holds strategy indices below rows()/cols()
             0 => self.row_payoff[i][j],
+            // lint: allow(index) profile holds strategy indices below rows()/cols()
             1 => self.col_payoff[i][j],
             // lint: allow(panic) documented two-player contract of the Game trait
             _ => panic!("two-player game has players 0 and 1, not {player}"),

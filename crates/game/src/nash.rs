@@ -86,6 +86,7 @@ fn product_walk<G: StrategicGame>(
         total.add_mul(weight, game.payoff(player, pure));
         return;
     }
+    // lint: allow(index) depth < profile.len(): recursion base checked above
     for (s, p) in profile[depth].iter() {
         pure.push(s.clone());
         product_walk(game, player, profile, depth + 1, weight * p, pure, total);
@@ -103,6 +104,7 @@ pub fn deviation_payoff<G: StrategicGame>(
     deviation: &G::Strategy,
 ) -> Ratio {
     let mut patched = profile.to_vec();
+    // lint: allow(index) player < profile.len() by the Game contract
     patched[player] = MixedStrategy::pure(deviation.clone());
     expected_payoff(game, player, &patched)
 }

@@ -116,6 +116,7 @@ impl<S: Clone + Ord> MixedStrategy<S> {
             return Err(StrategyError::BadTotal(total));
         }
         kept.sort_by(|a, b| a.0.cmp(&b.0));
+        // lint: allow(index) windows(2) yields exactly two elements
         if kept.windows(2).any(|w| w[0].0 == w[1].0) {
             return Err(StrategyError::DuplicateStrategy);
         }
@@ -139,6 +140,7 @@ impl<S: Clone + Ord> MixedStrategy<S> {
     pub fn probability(&self, s: &S) -> Ratio {
         self.entries
             .binary_search_by(|(t, _)| t.cmp(s))
+            // lint: allow(index) binary_search hit: i is a valid entry index
             .map(|i| self.entries[i].1)
             .unwrap_or(Ratio::ZERO)
     }

@@ -89,6 +89,7 @@ impl PruneTables {
                 (0..rows)
                     .map(|i2| {
                         (0..cols)
+                            // lint: allow(index) i, i2 < rows and j < cols loop bounds
                             .filter(|&j| a[i][j] < a[i2][j])
                             .fold(0u32, |m, j| m | (1 << j))
                     })
@@ -99,10 +100,11 @@ impl PruneTables {
         // (`lt_a[i'][i]` misses `cm`) and strictly better somewhere in it.
         let dom_rows_by_colmask: Vec<u32> = (0..(1usize << cols))
             .map(|cm| {
-                let cm = cm as u32;
+                let cm = cm as u32; // lint: allow(cast) cols <= MAX_STRATEGIES = 12; masks fit u32
                 (0..rows)
                     .filter(|&i| {
                         (0..rows)
+                            // lint: allow(index) lt_a is rows x rows; loop bounds
                             .any(|i2| i2 != i && lt_a[i2][i] & cm == 0 && lt_a[i][i2] & cm != 0)
                     })
                     .fold(0u32, |m, i| m | (1 << i))
@@ -114,6 +116,7 @@ impl PruneTables {
                 (0..cols)
                     .map(|j2| {
                         (0..rows)
+                            // lint: allow(index) i < rows and j, j2 < cols loop bounds
                             .filter(|&i| b[i][j] < b[i][j2])
                             .fold(0u32, |m, i| m | (1 << i))
                     })
@@ -125,6 +128,7 @@ impl PruneTables {
         for i in 0..rows {
             for i2 in i + 1..rows {
                 let eq = (0..cols)
+                    // lint: allow(index) a is rows x cols; loop bounds
                     .filter(|&j| a[i][j] == a[i2][j])
                     .fold(0u32, |m, j| m | (1 << j));
                 if eq != 0 {
@@ -136,6 +140,7 @@ impl PruneTables {
         for j in 0..cols {
             for j2 in j + 1..cols {
                 let eq = (0..rows)
+                    // lint: allow(index) b is rows x cols; loop bounds
                     .filter(|&i| b[i][j] == b[i][j2])
                     .fold(0u32, |m, i| m | (1 << i));
                 if eq != 0 {
@@ -147,8 +152,10 @@ impl PruneTables {
         // The wholesale row-support skip needs dominance that survives
         // restriction to *every* column subset, i.e. strict on every
         // single column — weak-with-one-strict does not restrict.
+        // lint: allow(cast) cols <= MAX_STRATEGIES = 12; the mask fits u32
         let all_cols = ((1u64 << cols) - 1) as u32;
         let globally_dominated_rows = (0..rows)
+            // lint: allow(index) lt_a is rows x rows; loop bounds
             .filter(|&i| (0..rows).any(|i2| i2 != i && lt_a[i][i2] == all_cols))
             .fold(0u32, |m, i| m | (1 << i));
         PruneTables {
@@ -182,7 +189,9 @@ impl RowMaskFilters {
             .filter(|&j| {
                 (0..cols).any(|j2| {
                     j2 != j
+                        // lint: allow(index) col_lt_rows is cols x cols; loop bounds
                         && tables.col_lt_rows[j2][j] & row_mask == 0
+                        // lint: allow(index) col_lt_rows is cols x cols; loop bounds
                         && tables.col_lt_rows[j][j2] & row_mask != 0
                 })
             })
@@ -268,7 +277,7 @@ pub fn enumerate_equilibria(game: &TwoPlayerMatrixGame) -> Vec<BimatrixEquilibri
     // flushes once per row mask to keep atomics off the hot path.
     let blocks: Vec<Vec<BimatrixEquilibrium>> =
         defender_par::par_for_indexed((1usize << rows) - 1, |idx| {
-            let row_mask = idx as u32 + 1;
+            let row_mask = idx as u32 + 1; // lint: allow(cast) idx < 2^rows <= 2^12; fits u32
             let support_size = row_mask.count_ones() as usize;
             let mut size_mismatch = 0u64;
             let mut tested_legacy = 0u64;
@@ -432,6 +441,7 @@ fn try_supports(
     let mut rhs = vec![Ratio::ZERO; k];
     rhs.push(Ratio::ONE);
     let y_solution = solve_linear(&y_system, &rhs)?;
+    // lint: allow(index) solve_linear returned k + 1 entries for the k+1 system
     let (y, v) = (&y_solution[..k], y_solution[k]);
 
     // Row mixture x and value w: column player indifferent across C.
@@ -451,6 +461,7 @@ fn try_supports(
     let mut rhs = vec![Ratio::ZERO; k];
     rhs.push(Ratio::ONE);
     let x_solution = solve_linear(&x_system, &rhs)?;
+    // lint: allow(index) solve_linear returned k + 1 entries for the k+1 system
     let (x, w) = (&x_solution[..k], x_solution[k]);
 
     // Supports must be played with strictly positive probability (smaller

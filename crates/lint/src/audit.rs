@@ -1,0 +1,420 @@
+//! The audit rule families: **cast** (truncating `as` casts), **unsafe**
+//! (workspace-wide unsafe inventory), and **deps** (the std-only
+//! dependency guarantee).
+//!
+//! - **cast** — an `as` cast to a ≤32-bit integer type inside the
+//!   exactness-scoped crates is a finding unless annotated with
+//!   `// lint: allow(cast) <reason>`: a silently truncated length or
+//!   coefficient feeding exact `Ratio` arithmetic is precisely the drift
+//!   the paper's rational guarantees forbid. Casts to `u64`/`i64` are
+//!   gated only inside exact-path functions (the item layer's
+//!   `Ratio`-reachability closure) — that is where the workspace's
+//!   `i128` accumulators live, so those are the casts that can narrow.
+//!   Casts from an in-range integer literal (`255 as u8`) pass: the
+//!   value is visible and fits.
+//! - **unsafe** — any `unsafe` token in scope is a finding unless the
+//!   file is allowlisted in `lint.toml`. The workspace is
+//!   `#![forbid(unsafe_code)]` everywhere today, so the allowlist is
+//!   empty and this rule pins that state: introducing the first unsafe
+//!   block is a reviewed, config-visible event, not a drive-by.
+//! - **deps** — parses every `Cargo.toml` (the same deliberately small
+//!   TOML subset as `lint.toml`) and flags any `[dependencies]` /
+//!   `[dev-dependencies]` / `[build-dependencies]` /
+//!   `[workspace.dependencies]` entry that is not a workspace-internal
+//!   `path`/`workspace = true` reference. The build must stay std-only
+//!   and offline; a `version = "…"` dependency would not even resolve in
+//!   the build environment, and this turns that from a confusing network
+//!   error into a lint finding with a line number.
+
+use std::collections::BTreeSet;
+
+use crate::config::RuleConfig;
+use crate::items::{FnId, ItemIndex};
+use crate::rules::Finding;
+use crate::source::SourceFile;
+use crate::tokenizer::{Token, TokenKind};
+
+/// Integer targets always gated in scope: anything could overflow 32 bits.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Integer targets gated only on the exact path, where `i128` lives.
+const WIDE_TARGETS: &[&str] = &["u64", "i64"];
+
+/// **cast** — truncating `as` casts in the exactness-scoped crates.
+pub fn check_cast(
+    file: &SourceFile,
+    cfg: &RuleConfig,
+    items: &ItemIndex,
+    exact: &BTreeSet<FnId>,
+) -> Vec<Finding> {
+    if !cfg.applies_to(&file.path) {
+        return Vec::new();
+    }
+    let code: Vec<&Token> = file.code_tokens().map(|(_, t)| t).collect();
+    let mut findings = Vec::new();
+    for (i, token) in code.iter().enumerate() {
+        if !token.is_ident("as") {
+            continue;
+        }
+        let Some(target) = code.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            continue;
+        };
+        let narrow = NARROW_TARGETS.contains(&target.text.as_str());
+        let wide = WIDE_TARGETS.contains(&target.text.as_str());
+        if !narrow && !wide {
+            continue;
+        }
+        if wide {
+            let on_exact = items
+                .enclosing_fn(token.line)
+                .is_some_and(|f| exact.contains(&(file.path.clone(), f.name.clone())));
+            if !on_exact {
+                continue;
+            }
+        }
+        // A literal source whose value visibly fits the target is safe.
+        if i > 0
+            && code[i - 1].kind == TokenKind::Int
+            && literal_fits(&code[i - 1].text, &target.text)
+        {
+            continue;
+        }
+        if file.is_allowed("cast", token.line) {
+            continue;
+        }
+        findings.push(Finding::new(
+            "cast",
+            &file.path,
+            token.line,
+            format!(
+                "`as {}` may truncate toward the exact path — use try_from / From, \
+                 or annotate with `// lint: allow(cast) <why the value fits>`",
+                target.text
+            ),
+        ));
+    }
+    findings
+}
+
+/// Whether the integer literal `text` provably fits `target`.
+fn literal_fits(text: &str, target: &str) -> bool {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let (digits, radix) = if let Some(hex) = cleaned.strip_prefix("0x") {
+        (hex, 16)
+    } else if let Some(oct) = cleaned.strip_prefix("0o") {
+        (oct, 8)
+    } else if let Some(bin) = cleaned.strip_prefix("0b") {
+        (bin, 2)
+    } else {
+        (cleaned.as_str(), 10)
+    };
+    let digits: String = digits.chars().take_while(|c| c.is_digit(radix)).collect();
+    let Ok(value) = u128::from_str_radix(&digits, radix) else {
+        return false;
+    };
+    let max: u128 = match target {
+        "u8" => u128::from(u8::MAX),
+        "u16" => u128::from(u16::MAX),
+        "u32" => u128::from(u32::MAX),
+        "u64" => u128::from(u64::MAX),
+        "i8" => i8::MAX as u128,
+        "i16" => i16::MAX as u128,
+        "i32" => i32::MAX as u128,
+        "i64" => i64::MAX as u128,
+        _ => return false,
+    };
+    value <= max
+}
+
+/// **unsafe** — any `unsafe` token in scope is a finding unless the file
+/// is allowlisted (today: nothing is).
+pub fn check_unsafe(file: &SourceFile, cfg: &RuleConfig, items: &ItemIndex) -> Vec<Finding> {
+    if !cfg.applies_to(&file.path) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (_, token) in file.code_tokens() {
+        if !token.is_ident("unsafe") {
+            continue;
+        }
+        let host = items
+            .enclosing_fn(token.line)
+            .map_or(String::new(), |f| format!(" in fn `{}`", f.name));
+        findings.push(Finding::new(
+            "unsafe",
+            &file.path,
+            token.line,
+            format!(
+                "`unsafe`{host}: the workspace is #![forbid(unsafe_code)] everywhere — \
+                 an unsafe block must be allowlisted in lint.toml with its audit trail"
+            ),
+        ));
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Dependency audit
+// ---------------------------------------------------------------------------
+
+/// One parsed dependency entry of a `Cargo.toml`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepEntry {
+    /// The manifest's workspace-relative path.
+    pub manifest: String,
+    /// The dependency name (the key, or the `[dependencies.<name>]`
+    /// header segment).
+    pub name: String,
+    /// 1-based line of the entry.
+    pub line: u32,
+    /// Whether the entry is workspace-internal (`workspace = true` or a
+    /// `path = "…"` table).
+    pub internal: bool,
+}
+
+/// Parses the dependency sections of one `Cargo.toml`. Only the subset
+/// the workspace uses is understood — `name = { workspace = true }`,
+/// `name = { path = "…", … }`, `name = "version"`, and
+/// `[dependencies.<name>]` subsections — which is exactly enough, since
+/// anything fancier is an external dependency and a finding anyway.
+#[must_use]
+pub fn parse_manifest_deps(manifest: &str, text: &str) -> Vec<DepEntry> {
+    let mut entries = Vec::new();
+    let mut in_dep_section = false;
+    // A `[dependencies.<name>]` subsection accumulates into this entry
+    // until the next section header.
+    let mut open_subsection: Option<DepEntry> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            if let Some(done) = open_subsection.take() {
+                entries.push(done);
+            }
+            let header = header.trim_end_matches(']').trim();
+            let is_dep_table = |name: &str| {
+                matches!(
+                    name,
+                    "dependencies"
+                        | "dev-dependencies"
+                        | "build-dependencies"
+                        | "workspace.dependencies"
+                )
+            };
+            if is_dep_table(header) {
+                in_dep_section = true;
+            } else if let Some((table, name)) = header.rsplit_once('.') {
+                if is_dep_table(table) {
+                    open_subsection = Some(DepEntry {
+                        manifest: manifest.to_string(),
+                        name: name.to_string(),
+                        line: (i + 1) as u32,
+                        internal: false,
+                    });
+                }
+                in_dep_section = false;
+            } else {
+                in_dep_section = false;
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if let Some(sub) = open_subsection.as_mut() {
+            if key == "workspace" && value == "true" {
+                sub.internal = true;
+            }
+            if key == "path" {
+                sub.internal = true;
+            }
+            continue;
+        }
+        if in_dep_section {
+            let internal = value.contains("workspace = true") || value.contains("path =");
+            entries.push(DepEntry {
+                manifest: manifest.to_string(),
+                name: key.trim_matches('"').to_string(),
+                line: (i + 1) as u32,
+                internal,
+            });
+        }
+    }
+    if let Some(done) = open_subsection.take() {
+        entries.push(done);
+    }
+    entries
+}
+
+/// Removes a trailing `#` comment from a manifest line, respecting
+/// double-quoted strings.
+fn strip_toml_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_string = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => break,
+            _ => {}
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// **deps** — every non-internal dependency entry is a finding.
+#[must_use]
+pub fn check_deps(entries: &[DepEntry]) -> Vec<Finding> {
+    entries
+        .iter()
+        .filter(|e| !e.internal)
+        .map(|e| {
+            Finding::new(
+                "deps",
+                &e.manifest,
+                e.line,
+                format!(
+                    "dependency `{}` is not a workspace-internal path dependency — \
+                     the build is std-only and offline (DESIGN.md §7)",
+                    e.name
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::items::exact_path;
+
+    fn cast_findings(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/x/src/lib.rs", src).unwrap();
+        let items = ItemIndex::build(&file);
+        let files = vec![("crates/x/src/lib.rs", &items, &file)];
+        let exact = exact_path(&files, &["Ratio"]);
+        let cfg = Config::parse("[rule.cast]\nscope = [\"crates\"]\n").unwrap();
+        check_cast(&file, &cfg.rule("cast"), &items, &exact)
+    }
+
+    #[test]
+    fn narrow_casts_flagged_everywhere_in_scope() {
+        let findings = cast_findings("fn f(n: usize) -> u32 { n as u32 }\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("as u32"));
+    }
+
+    #[test]
+    fn wide_casts_gated_only_on_exact_path() {
+        let src = "fn exact(r: Ratio, n: i128) -> i64 { n as i64 }\n\
+                   fn plain(n: usize) -> u64 { n as u64 }\n";
+        let findings = cast_findings(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn fitting_literals_and_annotations_pass() {
+        let findings = cast_findings("fn f() -> u8 { 255 as u8 }\n");
+        assert!(findings.is_empty(), "{findings:?}");
+        let findings = cast_findings("fn f() -> u8 { 256 as u8 }\n");
+        assert_eq!(findings.len(), 1, "256 does not fit u8");
+        let findings = cast_findings(
+            "fn f(n: usize) -> u32 {\n\
+             n as u32 // lint: allow(cast) n <= 64 vertices by construction\n\
+             }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn widening_and_usize_casts_pass() {
+        let findings = cast_findings("fn f(n: u8, m: u32) -> usize { n as usize + m as usize }\n");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unsafe_flagged_with_enclosing_fn() {
+        let file = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "fn fast(p: *const u8) -> u8 { unsafe { *p } }\n",
+        )
+        .unwrap();
+        let items = ItemIndex::build(&file);
+        let cfg = Config::parse("[rule.unsafe]\nscope = [\"crates\"]\n").unwrap();
+        let findings = check_unsafe(&file, &cfg.rule("unsafe"), &items);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("fn `fast`"));
+    }
+
+    #[test]
+    fn forbid_unsafe_code_attribute_is_not_a_finding() {
+        let file = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\nfn ok() {}\n",
+        )
+        .unwrap();
+        let items = ItemIndex::build(&file);
+        let cfg = Config::parse("[rule.unsafe]\nscope = [\"crates\"]\n").unwrap();
+        assert!(check_unsafe(&file, &cfg.rule("unsafe"), &items).is_empty());
+    }
+
+    #[test]
+    fn manifest_deps_parse_and_audit() {
+        let toml = r#"
+[package]
+name = "defender-x"
+
+[dependencies]
+defender-num = { workspace = true }
+defender-obs = { path = "../obs" }
+serde = "1.0"               # external: finding
+rand = { version = "0.8" }
+
+[dependencies.libc]
+version = "0.2"
+
+[dev-dependencies]
+defender-game = { workspace = true }
+
+[features]
+default = []
+"#;
+        let entries = parse_manifest_deps("crates/x/Cargo.toml", toml);
+        let names: Vec<(&str, bool)> = entries
+            .iter()
+            .map(|e| (e.name.as_str(), e.internal))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("defender-num", true),
+                ("defender-obs", true),
+                ("serde", false),
+                ("rand", false),
+                ("libc", false),
+                ("defender-game", true),
+            ]
+        );
+        let findings = check_deps(&entries);
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "deps"));
+        assert!(findings[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn workspace_dependencies_table_audited() {
+        let toml = "[workspace.dependencies]\n\
+                    defender-num = { path = \"crates/num\", version = \"0.1.0\" }\n\
+                    regex = \"1\"\n";
+        let entries = parse_manifest_deps("Cargo.toml", toml);
+        let findings = check_deps(&entries);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("regex"));
+    }
+}

@@ -1,0 +1,308 @@
+//! **concurrency** — synchronization discipline for the concurrent
+//! subsystems (`par` workers, the `sweep` orchestrator, the `serve`
+//! batching front, the `obs` registries).
+//!
+//! Three checks, all token-level over non-test code, all suppressable
+//! per-site with the annotation grammar or per-file with `lint.toml`
+//! keys on `[rule.concurrency]`:
+//!
+//! - **atomic orderings** — `Ordering::Relaxed` and `Ordering::SeqCst`
+//!   are findings unless the file is listed under `ordering_allow` (for
+//!   modules like the obs counters where relaxed monotone counters are
+//!   the documented design) or the site carries
+//!   `// lint: allow(ordering) <reason>`. `Acquire`/`Release`/`AcqRel`
+//!   pass: they state *which* edge they order; `Relaxed` claims no edge
+//!   is needed and `SeqCst` claims not to know which — both are exactly
+//!   the claims that silently drift a replayed solve from the oracle,
+//!   so both must be argued in writing.
+//! - **lock poison recovery** — an argless `.lock()` / `.read()` /
+//!   `.write()` call must recover poisoning via
+//!   `PoisonError::into_inner` in the same expression (the workspace
+//!   idiom: `.unwrap_or_else(PoisonError::into_inner)`), or carry
+//!   `// lint: allow(lock) <reason>`. A poisoned-mutex panic in one
+//!   worker must not cascade into every later request.
+//! - **thread spawns** — `thread::spawn` / `thread::scope` /
+//!   `thread::Builder` sites are confined to the path prefixes listed
+//!   under `spawn_allow` (the crates whose *job* is thread management);
+//!   anywhere else needs `// lint: allow(spawn) <reason>`.
+
+use crate::config::RuleConfig;
+use crate::items::ItemIndex;
+use crate::rules::Finding;
+use crate::source::SourceFile;
+use crate::tokenizer::{Token, TokenKind};
+
+/// How many following code tokens the lock check scans for the
+/// `into_inner` recovery before demanding an annotation. The fully
+/// qualified workspace idiom `.lock().unwrap_or_else(std::sync::
+/// PoisonError::into_inner)` spans 17 tokens (each `::` is two), so the
+/// window leaves headroom without reaching into the next statement.
+const LOCK_RECOVERY_WINDOW: usize = 24;
+
+/// Site counts the concurrency rule reports alongside its findings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConcurrencyStats {
+    /// `Ordering::Relaxed` / `Ordering::SeqCst` sites in scope.
+    pub ordering_sites: u64,
+    /// Argless `.lock()` / `.read()` / `.write()` sites in scope.
+    pub lock_sites: u64,
+    /// `thread::spawn` / `thread::scope` / `thread::Builder` sites.
+    pub spawn_sites: u64,
+}
+
+/// Runs the concurrency checks over one file.
+pub fn check_concurrency(
+    file: &SourceFile,
+    cfg: &RuleConfig,
+    items: &ItemIndex,
+) -> (Vec<Finding>, ConcurrencyStats) {
+    let mut stats = ConcurrencyStats::default();
+    if !cfg.applies_to(&file.path) {
+        return (Vec::new(), stats);
+    }
+    let ordering_allowed_file = prefix_listed(cfg, "ordering_allow", &file.path);
+    let spawn_allowed_file = prefix_listed(cfg, "spawn_allow", &file.path);
+    let code: Vec<&Token> = file.code_tokens().map(|(_, t)| t).collect();
+    let mut findings = Vec::new();
+    for (i, token) in code.iter().enumerate() {
+        if let Some(which) = relaxed_or_seqcst(&code, i) {
+            stats.ordering_sites += 1;
+            if !ordering_allowed_file && !file.is_allowed("ordering", token.line) {
+                findings.push(Finding::new(
+                    "concurrency",
+                    &file.path,
+                    token.line,
+                    format!(
+                        "`Ordering::{which}` needs a written reason: annotate with \
+                         `// lint: allow(ordering) <why this ordering is sufficient>` \
+                         or list the file under [rule.concurrency] ordering_allow"
+                    ),
+                ));
+            }
+        }
+        if let Some(method) = argless_guard_call(&code, i) {
+            stats.lock_sites += 1;
+            let recovered = code[i..]
+                .iter()
+                .take(LOCK_RECOVERY_WINDOW)
+                .any(|t| t.is_ident("into_inner"));
+            if !recovered && !file.is_allowed("lock", token.line) {
+                findings.push(Finding::new(
+                    "concurrency",
+                    &file.path,
+                    token.line,
+                    format!(
+                        ".{method}() does not recover poison — chain \
+                         `.unwrap_or_else(PoisonError::into_inner)` or annotate with \
+                         `// lint: allow(lock) <reason>`"
+                    ),
+                ));
+            }
+        }
+        if let Some(what) = thread_spawn(&code, i) {
+            stats.spawn_sites += 1;
+            if !spawn_allowed_file && !file.is_allowed("spawn", token.line) {
+                let host = items
+                    .enclosing_fn(token.line)
+                    .map_or(String::new(), |f| format!(" (in fn `{}`)", f.name));
+                findings.push(Finding::new(
+                    "concurrency",
+                    &file.path,
+                    token.line,
+                    format!(
+                        "thread::{what}{host} outside the spawn-allowed crates — \
+                         route the work through defender-par, or annotate with \
+                         `// lint: allow(spawn) <reason>`"
+                    ),
+                ));
+            }
+        }
+    }
+    (findings, stats)
+}
+
+/// Whether `path` starts with any prefix of the rule's `key` list.
+fn prefix_listed(cfg: &RuleConfig, key: &str, path: &str) -> bool {
+    cfg.extra
+        .get(key)
+        .is_some_and(|prefixes| prefixes.iter().any(|p| path.starts_with(p.as_str())))
+}
+
+/// `Ordering :: Relaxed` / `Ordering :: SeqCst` with the match anchored on
+/// the `Ordering` ident (so `cmp::Ordering::Less` never matches — the
+/// variant name decides).
+fn relaxed_or_seqcst(code: &[&Token], i: usize) -> Option<&'static str> {
+    if !code[i].is_ident("Ordering")
+        || !code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        || !code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+    {
+        return None;
+    }
+    let variant = code.get(i + 3)?;
+    if variant.is_ident("Relaxed") {
+        Some("Relaxed")
+    } else if variant.is_ident("SeqCst") {
+        Some("SeqCst")
+    } else {
+        None
+    }
+}
+
+/// `. lock ( )` / `. read ( )` / `. write ( )` — the argless guard
+/// acquisitions. `Read::read(&mut buf)` and friends take arguments, so
+/// requiring the immediately-closing paren screens out the io traits.
+fn argless_guard_call(code: &[&Token], i: usize) -> Option<&'static str> {
+    if !code[i].is_punct('.') {
+        return None;
+    }
+    let callee = code.get(i + 1)?;
+    let method = if callee.is_ident("lock") {
+        "lock"
+    } else if callee.is_ident("read") {
+        "read"
+    } else if callee.is_ident("write") {
+        "write"
+    } else {
+        return None;
+    };
+    if code.get(i + 2).is_some_and(|t| t.is_punct('('))
+        && code.get(i + 3).is_some_and(|t| t.is_punct(')'))
+    {
+        Some(method)
+    } else {
+        None
+    }
+}
+
+/// `thread :: spawn` / `thread :: scope` / `thread :: Builder` — anchored
+/// on the `thread` path segment, so a local method named `spawn` does not
+/// match.
+fn thread_spawn(code: &[&Token], i: usize) -> Option<String> {
+    if !code[i].is_ident("thread")
+        || !code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        || !code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+    {
+        return None;
+    }
+    let what = code.get(i + 3)?;
+    if what.kind == TokenKind::Ident && matches!(what.text.as_str(), "spawn" | "scope" | "Builder")
+    {
+        Some(what.text.clone())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn check(path: &str, src: &str, toml: &str) -> (Vec<Finding>, ConcurrencyStats) {
+        let file = SourceFile::parse(path, src).unwrap();
+        let items = ItemIndex::build(&file);
+        let cfg = Config::parse(toml).unwrap();
+        check_concurrency(&file, &cfg.rule("concurrency"), &items)
+    }
+
+    const SCOPE: &str = "[rule.concurrency]\nscope = [\"crates\"]\n";
+
+    #[test]
+    fn relaxed_and_seqcst_flagged_acquire_release_pass() {
+        let src = "fn f(a: &AtomicU64) {\n\
+                   a.store(1, Ordering::Relaxed);\n\
+                   a.load(Ordering::SeqCst);\n\
+                   a.load(Ordering::Acquire);\n\
+                   a.store(2, Ordering::Release);\n\
+                   }\n";
+        let (findings, stats) = check("crates/x/src/a.rs", src, SCOPE);
+        assert_eq!(stats.ordering_sites, 2);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("Relaxed"));
+        assert!(findings[1].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn cmp_ordering_variants_never_match() {
+        let src = "fn f(o: cmp::Ordering) -> bool { o == Ordering::Less }\n";
+        let (findings, stats) = check("crates/x/src/a.rs", src, SCOPE);
+        assert!(findings.is_empty());
+        assert_eq!(stats.ordering_sites, 0);
+    }
+
+    #[test]
+    fn ordering_allow_list_and_annotation_suppress() {
+        let src = "fn f(a: &AtomicU64) {\n\
+                   a.load(Ordering::Relaxed); // lint: allow(ordering) monotone counter\n\
+                   }\n";
+        let (findings, _) = check("crates/x/src/a.rs", src, SCOPE);
+        assert!(findings.is_empty(), "{findings:?}");
+        let toml = "[rule.concurrency]\nscope = [\"crates\"]\n\
+                    ordering_allow = [\"crates/x/src/a.rs\"]\n";
+        let bare = "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
+        let (findings, stats) = check("crates/x/src/a.rs", bare, toml);
+        assert!(findings.is_empty());
+        assert_eq!(stats.ordering_sites, 1, "still counted");
+    }
+
+    #[test]
+    fn lock_requires_poison_recovery_or_annotation() {
+        let src = "fn f(m: &Mutex<u8>) -> u8 {\n\
+                   let a = *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+                   let b = *m.lock().expect(\"poisoned\"); // lint: allow(lock) test-only state\n\
+                   let c = *m.lock().unwrap();\n\
+                   a + b + c\n\
+                   }\n";
+        let (findings, stats) = check("crates/x/src/a.rs", src, SCOPE);
+        assert_eq!(stats.lock_sites, 3);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 4);
+        assert!(findings[0].message.contains("into_inner"));
+    }
+
+    #[test]
+    fn io_read_write_with_arguments_pass() {
+        let src = "fn f(r: &mut impl Read, w: &mut impl Write, buf: &mut [u8]) {\n\
+                   r.read(buf).ok();\n\
+                   w.write(buf).ok();\n\
+                   }\n";
+        let (findings, stats) = check("crates/x/src/a.rs", src, SCOPE);
+        assert!(findings.is_empty());
+        assert_eq!(stats.lock_sites, 0);
+    }
+
+    #[test]
+    fn rwlock_argless_read_write_flagged() {
+        let src = "fn f(l: &RwLock<u8>) -> u8 { *l.read().unwrap() + *l.write().unwrap() }\n";
+        let (findings, stats) = check("crates/x/src/a.rs", src, SCOPE);
+        assert_eq!(stats.lock_sites, 2);
+        assert_eq!(findings.len(), 2);
+    }
+
+    #[test]
+    fn spawn_confined_to_allowed_prefixes() {
+        let toml = "[rule.concurrency]\nscope = [\"crates\"]\n\
+                    spawn_allow = [\"crates/par/src\"]\n";
+        let src = "fn pump() { thread::spawn(|| {}); }\n";
+        let (findings, stats) = check("crates/par/src/lib.rs", src, toml);
+        assert!(findings.is_empty());
+        assert_eq!(stats.spawn_sites, 1);
+        let (findings, _) = check("crates/core/src/lib.rs", src, toml);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("thread::spawn"));
+        assert!(findings[0].message.contains("fn `pump`"));
+        let annotated =
+            "fn pump() {\n    // lint: allow(spawn) one-shot helper\n    thread::spawn(|| {});\n}\n";
+        let (findings, _) = check("crates/core/src/lib.rs", annotated, toml);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn out_of_scope_files_are_skipped() {
+        let toml = "[rule.concurrency]\nscope = [\"crates/par/src\"]\n";
+        let src = "fn f() { thread::spawn(|| {}); }\n";
+        let (findings, stats) = check("crates/cli/src/main.rs", src, toml);
+        assert!(findings.is_empty());
+        assert_eq!(stats.spawn_sites, 0);
+    }
+}

@@ -11,22 +11,36 @@
 //!
 //! The analysis is deliberately **token-level** (a hand-rolled lexer, no
 //! `syn`, no rustc): see [`rules`] and DESIGN.md §12 for the soundness
-//! caveats this buys the zero-dependency build.
+//! caveats this buys the zero-dependency build. v2 adds an **item layer**
+//! ([`items`]) — item extents and an approximate intra-crate call graph —
+//! so the newer rule families ([`concurrency`], [`panic2`], [`audit`]) can
+//! gate by *function* (is this on the exact `Ratio` path? which fn hosts
+//! this spawn?) instead of flagging every token uniformly. A final
+//! suppression-ageing pass turns every `// lint: allow(…)` that suppressed
+//! nothing into an `unused_allow` finding, so annotations cannot outlive
+//! the code they justified.
 //!
 //! Exit codes: `0` clean, `2` findings, `1` usage or I/O error.
 
+pub mod audit;
+pub mod concurrency;
 pub mod config;
+pub mod items;
+pub mod panic2;
 pub mod rules;
 pub mod source;
 pub mod tokenizer;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use defender_obs::json::{JsonArray, JsonObject};
 
+use concurrency::ConcurrencyStats;
 use config::Config;
+use items::{FnId, ItemIndex};
+use panic2::Panic2Stats;
 use rules::{Finding, MetricUse, MetricsInputs, PanicStats};
 use source::SourceFile;
 
@@ -39,6 +53,12 @@ pub struct LintReport {
     pub files_scanned: u64,
     /// Panic-site classification totals.
     pub panic: PanicStats,
+    /// Panic-propagation v2 site totals (exact-path gating).
+    pub panic2: Panic2Stats,
+    /// Concurrency-rule site totals.
+    pub concurrency: ConcurrencyStats,
+    /// Functions on the exact path (per-crate `Ratio` closures, merged).
+    pub exact_fns: u64,
     /// Every metric call site seen (also drives `--dump-registry`).
     pub metric_uses: Vec<MetricUse>,
 }
@@ -85,6 +105,17 @@ impl LintReport {
             self.panic.annotated,
             self.panic.index_sites,
         ));
+        out.push_str(&format!(
+            "lint: exact path: {} fn(s), {} gated site(s) ({} annotated), \
+             {} site(s) outside; ordering sites: {}, lock sites: {}, spawn sites: {}\n",
+            self.exact_fns,
+            self.panic2.sites_exact,
+            self.panic2.annotated,
+            self.panic2.sites_outside_exact,
+            self.concurrency.ordering_sites,
+            self.concurrency.lock_sites,
+            self.concurrency.spawn_sites,
+        ));
         out
     }
 
@@ -105,10 +136,21 @@ impl LintReport {
         panic.field_u64("sites", self.panic.sites);
         panic.field_u64("annotated", self.panic.annotated);
         panic.field_u64("index_sites", self.panic.index_sites);
+        let mut panic2 = JsonObject::new();
+        panic2.field_u64("exact_fns", self.exact_fns);
+        panic2.field_u64("sites_exact", self.panic2.sites_exact);
+        panic2.field_u64("annotated", self.panic2.annotated);
+        panic2.field_u64("sites_outside_exact", self.panic2.sites_outside_exact);
+        let mut conc = JsonObject::new();
+        conc.field_u64("ordering_sites", self.concurrency.ordering_sites);
+        conc.field_u64("lock_sites", self.concurrency.lock_sites);
+        conc.field_u64("spawn_sites", self.concurrency.spawn_sites);
         let mut root = JsonObject::new();
         root.field_u64("files_scanned", self.files_scanned);
         root.field_raw("findings", &findings.finish());
         root.field_raw("panic", &panic.finish());
+        root.field_raw("panic2", &panic2.finish());
+        root.field_raw("concurrency", &conc.finish());
         root.finish()
     }
 
@@ -122,10 +164,16 @@ impl LintReport {
         let mut counters = JsonObject::new();
         counters.field_u64("lint.files_scanned", self.files_scanned);
         counters.field_u64("lint.findings.annotation", count("annotation"));
+        counters.field_u64("lint.findings.cast", count("cast"));
+        counters.field_u64("lint.findings.concurrency", count("concurrency"));
+        counters.field_u64("lint.findings.deps", count("deps"));
         counters.field_u64("lint.findings.determinism", count("determinism"));
         counters.field_u64("lint.findings.exactness", count("exactness"));
         counters.field_u64("lint.findings.metrics", count("metrics"));
         counters.field_u64("lint.findings.panic", count("panic"));
+        counters.field_u64("lint.findings.panic2", count("panic2"));
+        counters.field_u64("lint.findings.unsafe", count("unsafe"));
+        counters.field_u64("lint.findings.unused_allow", count("unused_allow"));
         let mut root = JsonObject::new();
         root.field_str("experiment", "lint");
         root.field_raw("phases", "[]");
@@ -142,10 +190,16 @@ fn record_obs_counters(report: &LintReport) {
     let count = |rule: &str| by_rule.get(rule).copied().unwrap_or(0);
     defender_obs::counter!("lint.files_scanned").add(report.files_scanned);
     defender_obs::counter!("lint.findings.annotation").add(count("annotation"));
+    defender_obs::counter!("lint.findings.cast").add(count("cast"));
+    defender_obs::counter!("lint.findings.concurrency").add(count("concurrency"));
+    defender_obs::counter!("lint.findings.deps").add(count("deps"));
     defender_obs::counter!("lint.findings.determinism").add(count("determinism"));
     defender_obs::counter!("lint.findings.exactness").add(count("exactness"));
     defender_obs::counter!("lint.findings.metrics").add(count("metrics"));
     defender_obs::counter!("lint.findings.panic").add(count("panic"));
+    defender_obs::counter!("lint.findings.panic2").add(count("panic2"));
+    defender_obs::counter!("lint.findings.unsafe").add(count("unsafe"));
+    defender_obs::counter!("lint.findings.unused_allow").add(count("unused_allow"));
 }
 
 // ---------------------------------------------------------------------------
@@ -220,7 +274,25 @@ fn rel_str(path: &Path) -> String {
     }
 }
 
+/// The crate-grouping key of a workspace-relative path:
+/// `crates/num/src/ratio.rs` → `crates/num`, a root `src/main.rs` → `src`.
+/// The call graph and exact-path closure are built per crate — calls do
+/// not resolve across crate boundaries at the token level.
+fn crate_key(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(krate)) => format!("crates/{krate}"),
+        (Some(first), _) => first.to_string(),
+        (None, _) => String::new(),
+    }
+}
+
 /// Runs every rule over the workspace at `root` with `config`.
+///
+/// Three passes: load + item-index every file, close the per-crate exact
+/// paths over the call graphs, then run the rule families (the item-aware
+/// ones consult the exact set) followed by the suppression-ageing,
+/// dependency and metrics audits.
 ///
 /// # Errors
 ///
@@ -231,31 +303,96 @@ pub fn lint(root: &Path, config: &Config) -> Result<LintReport, String> {
     let exactness = config.rule("exactness");
     let determinism = config.rule("determinism");
     let panic_rule = config.rule("panic");
+    let concurrency_rule = config.rule("concurrency");
+    let panic2_rule = config.rule("panic2");
+    let cast_rule = config.rule("cast");
+    let unsafe_rule = config.rule("unsafe");
     let metrics = config.rule("metrics");
 
-    let mut report = LintReport::default();
+    // Pass 1: load and item-index every file.
+    let mut loaded: Vec<(SourceFile, ItemIndex)> = Vec::new();
     for rel in workspace_files(root)? {
         let rel_name = rel_str(&rel);
         let text = fs::read_to_string(root.join(&rel))
             .map_err(|e| format!("cannot read {rel_name}: {e}"))?;
         let file = SourceFile::parse(&rel_name, &text)
             .map_err(|e| format!("{rel_name}: tokenizer: {e}"))?;
+        let index = ItemIndex::build(&file);
+        loaded.push((file, index));
+    }
+
+    // Pass 2: per-crate exact-path closures, merged (FnIds carry paths, so
+    // the union is unambiguous).
+    let mut exact: BTreeSet<FnId> = BTreeSet::new();
+    let mut crates: BTreeMap<String, Vec<(&str, &ItemIndex, &SourceFile)>> = BTreeMap::new();
+    for (file, index) in &loaded {
+        crates
+            .entry(crate_key(&file.path))
+            .or_default()
+            .push((file.path.as_str(), index, file));
+    }
+    for files in crates.values() {
+        exact.extend(items::exact_path(files, &["Ratio"]));
+    }
+
+    // Pass 3: the rule families, then suppression ageing per file (every
+    // rule that consults annotations has run on the file by then).
+    let mut report = LintReport {
+        exact_fns: exact.len() as u64,
+        ..LintReport::default()
+    };
+    for (file, index) in &loaded {
         report.files_scanned += 1;
-        report.findings.extend(rules::check_annotations(&file));
+        report.findings.extend(rules::check_annotations(file));
         report
             .findings
-            .extend(rules::check_exactness(&file, &exactness));
+            .extend(rules::check_exactness(file, &exactness));
         report
             .findings
-            .extend(rules::check_determinism(&file, &determinism));
-        let (panic_findings, stats) = rules::check_panic(&file, &panic_rule);
+            .extend(rules::check_determinism(file, &determinism));
+        let (panic_findings, stats) = rules::check_panic(file, &panic_rule);
         report.findings.extend(panic_findings);
         report.panic.sites += stats.sites;
         report.panic.annotated += stats.annotated;
         report.panic.index_sites += stats.index_sites;
+        let (conc_findings, conc_stats) =
+            concurrency::check_concurrency(file, &concurrency_rule, index);
+        report.findings.extend(conc_findings);
+        report.concurrency.ordering_sites += conc_stats.ordering_sites;
+        report.concurrency.lock_sites += conc_stats.lock_sites;
+        report.concurrency.spawn_sites += conc_stats.spawn_sites;
+        let (p2_findings, p2_stats) = panic2::check_panic2(file, &panic2_rule, index, &exact);
+        report.findings.extend(p2_findings);
+        report.panic2.sites_exact += p2_stats.sites_exact;
+        report.panic2.annotated += p2_stats.annotated;
+        report.panic2.sites_outside_exact += p2_stats.sites_outside_exact;
+        report
+            .findings
+            .extend(audit::check_cast(file, &cast_rule, index, &exact));
+        report
+            .findings
+            .extend(audit::check_unsafe(file, &unsafe_rule, index));
         if metrics.applies_to(&file.path) {
-            report.metric_uses.extend(rules::extract_metric_uses(&file));
+            report.metric_uses.extend(rules::extract_metric_uses(file));
         }
+        for allow in file.unused_allows() {
+            report.findings.push(Finding::new(
+                "unused_allow",
+                &file.path,
+                allow.line,
+                format!(
+                    "`// lint: allow({})` suppressed no finding — the covered code \
+                     was fixed or the annotation drifted; delete it (reason was: {})",
+                    allow.rule, allow.reason
+                ),
+            ));
+        }
+    }
+
+    // Dependency audit over every manifest.
+    for (manifest, text) in workspace_manifests(root)? {
+        let entries = audit::parse_manifest_deps(&manifest, &text);
+        report.findings.extend(audit::check_deps(&entries));
     }
 
     let inputs = load_metrics_inputs(root, &metrics)?;
@@ -268,6 +405,34 @@ pub fn lint(root: &Path, config: &Config) -> Result<LintReport, String> {
         .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
     record_obs_counters(&report);
     Ok(report)
+}
+
+/// Collects `(workspace-relative path, text)` of the root `Cargo.toml` and
+/// every `crates/*/Cargo.toml`, for the dependency audit.
+fn workspace_manifests(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut manifests = Vec::new();
+    let root_toml = root.join("Cargo.toml");
+    if root_toml.is_file() {
+        let text =
+            fs::read_to_string(&root_toml).map_err(|e| format!("cannot read Cargo.toml: {e}"))?;
+        manifests.push(("Cargo.toml".to_string(), text));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in read_dir_sorted(&crates_dir)? {
+            let toml = entry.join("Cargo.toml");
+            if !toml.is_file() {
+                continue;
+            }
+            let rel = toml
+                .strip_prefix(root)
+                .map_or_else(|_| toml.clone(), Path::to_path_buf);
+            let text = fs::read_to_string(&toml)
+                .map_err(|e| format!("cannot read {}: {e}", toml.display()))?;
+            manifests.push((rel_str(&rel), text));
+        }
+    }
+    Ok(manifests)
 }
 
 /// Reads the registry, documentation and baseline files named by the
@@ -480,7 +645,7 @@ mod tests {
                 annotated: 1,
                 index_sites: 5,
             },
-            metric_uses: Vec::new(),
+            ..LintReport::default()
         };
         let text = report.render_text();
         assert!(text.contains("crates/x/src/a.rs:7: [panic] boom"));

@@ -30,7 +30,7 @@ pub struct Finding {
 }
 
 impl Finding {
-    fn new(rule: &str, path: &str, line: u32, message: String) -> Finding {
+    pub(crate) fn new(rule: &str, path: &str, line: u32, message: String) -> Finding {
         Finding {
             rule: rule.to_string(),
             path: path.to_string(),

@@ -13,6 +13,8 @@
 //!   the site. The reason is mandatory: an annotation without one is
 //!   itself a finding.
 
+use std::cell::Cell;
+
 use crate::tokenizer::{self, Token, TokenKind};
 
 /// One suppression parsed from a `// lint: allow(rule) reason` comment.
@@ -27,6 +29,10 @@ pub struct Allow {
     /// Whether the comment is the only thing on its line (then it also
     /// covers the line below; a trailing annotation covers only its own).
     pub standalone: bool,
+    /// Set by [`SourceFile::is_allowed`] when the annotation suppresses a
+    /// finding; an annotation still `false` after every rule has run is
+    /// stale and reported by the suppression-ageing pass (`unused_allow`).
+    pub used: Cell<bool>,
 }
 
 /// A lexed, masked, annotation-indexed source file.
@@ -73,6 +79,7 @@ impl SourceFile {
                     rule,
                     reason,
                     standalone,
+                    used: Cell::new(false),
                 }),
                 Err(e) => bad_annotations.push((token.line, e)),
             }
@@ -88,12 +95,26 @@ impl SourceFile {
 
     /// Whether a finding of `rule` at `line` is suppressed by an
     /// annotation on that line, or by a standalone annotation on the line
-    /// directly above.
+    /// directly above. A match marks the annotation *used* for the
+    /// suppression-ageing pass ([`SourceFile::unused_allows`]).
     #[must_use]
     pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
-        self.allows
-            .iter()
-            .any(|a| a.rule == rule && (a.line == line || (a.standalone && a.line + 1 == line)))
+        let mut hit = false;
+        for a in &self.allows {
+            if a.rule == rule && (a.line == line || (a.standalone && a.line + 1 == line)) {
+                a.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Annotations that suppressed nothing after every rule has consulted
+    /// [`SourceFile::is_allowed`] — stale suppressions (the covered code
+    /// was fixed, the rule id was typo'd, or the annotation drifted off
+    /// its site). Call only after all rules have run on this file.
+    pub fn unused_allows(&self) -> impl Iterator<Item = &Allow> + '_ {
+        self.allows.iter().filter(|a| !a.used.get())
     }
 
     /// Iterator over `(index, token)` for non-comment tokens outside test
@@ -279,6 +300,29 @@ mod tests {
         assert!(!masked.contains(&"real"));
         assert!(!masked.contains(&"after"), "mask ends at the closing brace");
         assert!(!file.code_tokens().any(|(_, t)| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn nested_inner_module_stays_inside_cfg_test_mask() {
+        // The inner `mod` has its own brace pair; the mask must extend to
+        // the *outer* module's closing brace, not stop at the inner one.
+        let file = parse(
+            "pub fn live() { a() }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 mod inner {\n\
+                     fn deep() { x.unwrap() }\n\
+                 }\n\
+                 fn shallow() { y.unwrap() }\n\
+             }\n\
+             pub fn after() { b.unwrap() }\n",
+        );
+        let live: Vec<u32> = file
+            .code_tokens()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(_, t)| t.line)
+            .collect();
+        assert_eq!(live, vec![9], "only the unwrap after the module survives");
     }
 
     #[test]

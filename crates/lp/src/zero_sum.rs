@@ -60,7 +60,7 @@ pub fn solve_zero_sum_hinted(
             reason: "empty matrix".into(),
         });
     }
-    let cols = m[0].len();
+    let cols = m[0].len(); // lint: allow(index) rows == 0 rejected above; m[0] exists
     if cols == 0 || m.iter().any(|r| r.len() != cols) {
         return Err(LpError::ShapeMismatch {
             reason: "ragged or empty matrix".into(),
@@ -153,22 +153,25 @@ fn basis_from_supports(
         if i >= rows {
             return None;
         }
-        in_row_support[i] = true;
+        in_row_support[i] = true; // lint: allow(index) i < rows checked on the guard above
     }
     let mut in_col_support = vec![false; cols];
     for &j in col_support {
         if j >= cols {
             return None;
         }
-        in_col_support[j] = true;
+        in_col_support[j] = true; // lint: allow(index) j < cols checked on the guard above
     }
+    // lint: allow(index) j < cols = in_col_support.len()
     let mut basis: Vec<usize> = (0..cols).filter(|&j| in_col_support[j]).collect();
+    // lint: allow(index) i < rows = in_row_support.len()
     basis.extend((0..rows).filter(|&i| !in_row_support[i]).map(|i| cols + i));
     if basis.len() > rows {
         return None; // more supported columns than tight rows: not a basis
     }
     // Degenerate case |col support| < |row support|: keep the smallest
     // supported-row slacks basic (at value zero) to square the basis.
+    // lint: allow(index) i < rows = in_row_support.len()
     for i in (0..rows).filter(|&i| in_row_support[i]) {
         if basis.len() == rows {
             break;

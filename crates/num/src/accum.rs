@@ -86,8 +86,8 @@ impl RatioAccum {
         }
         // lint: allow(panic) g <= min(|num|,|den|) <= 2^127 only when both are i128::MIN, which den > 0 excludes
         let g = i128::try_from(g).expect("gcd of i128 magnitudes fits i128");
-        self.num /= g;
-        self.den /= g;
+        self.num /= g; // lint: allow(arith) g = gcd with nonzero den, so g >= 1
+        self.den /= g; // lint: allow(arith) g = gcd with nonzero den, so g >= 1
         true
     }
 
@@ -261,6 +261,7 @@ pub fn row_eliminate(row: &mut [Ratio], factor: Ratio, pivot: &[Ratio]) {
 pub fn row_scale_div(row: &mut [Ratio], pivot: Ratio) {
     assert!(!pivot.is_zero(), "row normalization by zero pivot");
     if pivot == Ratio::ONE {
+        // lint: allow(cast) row length fits u64; usize to u64 lossless on 64-bit
         flush(row.len() as u64, 0);
         return;
     }

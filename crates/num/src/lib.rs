@@ -42,7 +42,7 @@ pub use ratio::{ParseRatioError, Ratio, RatioError};
 #[must_use]
 pub fn gcd(mut a: u128, mut b: u128) -> u128 {
     while b != 0 {
-        let r = a % b;
+        let r = a % b; // lint: allow(arith) loop guard: b != 0
         a = b;
         b = r;
     }

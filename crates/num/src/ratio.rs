@@ -75,7 +75,9 @@ pub(crate) fn make(num: i128, den: i128) -> Result<Ratio, RatioError> {
         return Ok(Ratio { num: 0, den: 1 });
     }
     let g = gcd(num_abs, den_abs);
+    // lint: allow(arith) g = gcd with num_abs != 0 (early return above), so g >= 1
     let num_red = num_abs / g;
+    // lint: allow(arith) g = gcd with num_abs != 0 (early return above), so g >= 1
     let den_red = den_abs / g;
     let num_i = i128::try_from(num_red).map_err(|_| RatioError::Overflow)? * sign;
     let num64 = i64::try_from(num_i).map_err(|_| RatioError::Overflow)?;
@@ -417,6 +419,7 @@ impl MulAssign for Ratio {
 
 impl DivAssign for Ratio {
     fn div_assign(&mut self, rhs: Ratio) {
+        // lint: allow(arith) delegates to Div; a zero divisor panics there by contract
         *self = *self / rhs;
     }
 }

@@ -65,13 +65,14 @@ pub fn available_jobs() -> usize {
 /// Affects only *how* subsequent [`par_map`] calls execute, never what
 /// they return — results are identical for every width by construction.
 pub fn set_jobs(n: usize) {
-    JOBS.store(n.max(1), Ordering::Relaxed);
+    JOBS.store(n.max(1), Ordering::Relaxed); // lint: allow(ordering) config cell; no data published through it
 }
 
 /// The current pool width: the last [`set_jobs`] value, or
 /// [`available_jobs`] when never set.
 #[must_use]
 pub fn jobs() -> usize {
+    // lint: allow(ordering) config cell; no data published through it
     match JOBS.load(Ordering::Relaxed) {
         0 => available_jobs(),
         n => n,
@@ -145,6 +146,7 @@ where
                     let _lane = defender_obs::span!("par.worker");
                     let mut out = Vec::new();
                     loop {
+                        // lint: allow(ordering) atomic RMW claims each index once; results join at thread exit
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;

@@ -69,6 +69,7 @@ impl Progress {
         if !self.enabled && !telemetry {
             return;
         }
+        // lint: allow(ordering) monotone progress counter; display-only
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         if done % self.stride == 0 || done == self.total {
             let elapsed_ns = defender_obs::trace::elapsed_ns().saturating_sub(self.start_ns);
@@ -89,7 +90,7 @@ impl Progress {
     /// Instances recorded so far.
     #[must_use]
     pub fn done(&self) -> u64 {
-        self.done.load(Ordering::Relaxed)
+        self.done.load(Ordering::Relaxed) // lint: allow(ordering) monotone progress counter; display-only
     }
 
     fn emit(&self, done: u64, elapsed_ns: u64) {

@@ -208,8 +208,9 @@ impl Server {
     }
 
     fn lock_thread(&self, slot: &Mutex<Option<JoinHandle<()>>>) -> Option<JoinHandle<()>> {
-        // lint: allow(panic) a poisoned handle slot means a panic already in flight
-        slot.lock().expect("thread slot poisoned").take()
+        slot.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
     }
 }
 

@@ -103,15 +103,19 @@ impl InFlight {
     }
 
     fn resolve(&self, result: Result<(), HttpError>) {
-        // lint: allow(panic) a poisoned waiter mutex means a panic already in flight
-        *self.done.lock().expect("inflight poisoned") = Some(result);
+        *self
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
         self.cv.notify_all();
     }
 
     /// Waits up to `deadline`; `None` means the deadline expired.
     fn wait(&self, deadline: Duration) -> Option<Result<(), HttpError>> {
-        // lint: allow(panic) a poisoned waiter mutex means a panic already in flight
-        let mut done = self.done.lock().expect("inflight poisoned");
+        let mut done = self
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut remaining = deadline;
         loop {
             if let Some(result) = done.clone() {
@@ -355,23 +359,27 @@ impl Solver {
     }
 
     fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<CacheKey>> {
-        // lint: allow(panic) a poisoned queue means a panic already in flight
-        self.queue.lock().expect("queue poisoned")
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn lock_inflight(&self) -> std::sync::MutexGuard<'_, BTreeMap<CacheKey, Arc<InFlight>>> {
-        // lint: allow(panic) a poisoned inflight table means a panic already in flight
-        self.inflight.lock().expect("inflight poisoned")
+        self.inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn lock_served(&self) -> std::sync::MutexGuard<'_, BTreeSet<CacheKey>> {
-        // lint: allow(panic) a poisoned served set means a panic already in flight
-        self.served.lock().expect("served set poisoned")
+        self.served
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn lock_batcher(&self) -> std::sync::MutexGuard<'_, Option<JoinHandle<()>>> {
-        // lint: allow(panic) a poisoned handle slot means a panic already in flight
-        self.batcher.lock().expect("batcher handle poisoned")
+        self.batcher
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
